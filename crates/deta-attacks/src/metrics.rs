@@ -1,0 +1,209 @@
+//! Reconstruction-fidelity metrics and the paper's bucket scheme.
+
+/// Mean squared error between two images (or any equal-length vectors).
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Cosine distance `1 - <a,b> / (|a||b|)`, in `[0, 2]` (IG's objective).
+///
+/// Returns 1 for a zero vector.
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let dot: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum();
+    let na: f64 = a
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = b
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na * nb)
+}
+
+/// The MSE buckets of the paper's Tables 1 and 2.
+///
+/// Bucket 0: `[0, 1e-3)` ("recognizable"), bucket 1: `[1e-3, 1)`,
+/// bucket 2: `[1, 1e3)`, bucket 3: `>= 1e3`.
+pub const MSE_BUCKET_LABELS: [&str; 4] = ["[0,1e-3)", "[1e-3,1)", "[1,1e3)", ">=1e3"];
+
+/// Classifies an MSE into the paper's four buckets.
+pub fn mse_bucket(v: f64) -> usize {
+    if v < 1e-3 {
+        0
+    } else if v < 1.0 {
+        1
+    } else if v < 1e3 {
+        2
+    } else {
+        3
+    }
+}
+
+/// The cosine-distance buckets of the paper's Table 3.
+pub const COSINE_BUCKET_LABELS: [&str; 6] = [
+    "[0,0.01)",
+    "[0.01,0.2)",
+    "[0.2,0.4)",
+    "[0.4,0.6)",
+    "[0.6,0.8)",
+    "[0.8,1]",
+];
+
+/// Classifies a cosine distance into the paper's six buckets.
+pub fn cosine_bucket(v: f64) -> usize {
+    if v < 0.01 {
+        0
+    } else if v < 0.2 {
+        1
+    } else if v < 0.4 {
+        2
+    } else if v < 0.6 {
+        3
+    } else if v < 0.8 {
+        4
+    } else {
+        5
+    }
+}
+
+/// Percentage histogram over buckets.
+pub fn bucket_percentages(
+    values: &[f64],
+    bucket: impl Fn(f64) -> usize,
+    n_buckets: usize,
+) -> Vec<f64> {
+    let mut counts = vec![0usize; n_buckets];
+    for &v in values {
+        counts[bucket(v)] += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| 100.0 * c as f64 / values.len().max(1) as f64)
+        .collect()
+}
+
+/// Writes an image as a binary PGM (1 channel) or PPM (3 channels) file,
+/// clamping values from `[0, 1]` to bytes. Used to dump the Figure 3/4
+/// reconstruction examples.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Panics
+///
+/// Panics if `data.len() != channels * h * w` or channels not in {1, 3}.
+pub fn write_pnm(
+    path: &std::path::Path,
+    data: &[f32],
+    channels: usize,
+    h: usize,
+    w: usize,
+) -> std::io::Result<()> {
+    assert!(
+        channels == 1 || channels == 3,
+        "PNM supports 1 or 3 channels"
+    );
+    assert_eq!(data.len(), channels * h * w, "image size mismatch");
+    let magic = if channels == 1 { "P5" } else { "P6" };
+    let mut out = format!("{magic}\n{w} {h}\n255\n").into_bytes();
+    // Planar (CHW) to interleaved (HWC).
+    for y in 0..h {
+        for x in 0..w {
+            for c in 0..channels {
+                let v = data[(c * h + y) * w + x].clamp(0.0, 1.0);
+                out.push((v * 255.0).round() as u8);
+            }
+        }
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(mse(&[0.0], &[3.0]), 9.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!(cosine_distance(&[1.0, 0.0], &[1.0, 0.0]).abs() < 1e-12);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+        // Scale invariance.
+        assert!(cosine_distance(&[1.0, 2.0], &[2.0, 4.0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_buckets_match_paper() {
+        assert_eq!(mse_bucket(0.0), 0);
+        assert_eq!(mse_bucket(9.9e-4), 0);
+        assert_eq!(mse_bucket(1e-3), 1);
+        assert_eq!(mse_bucket(0.5), 1);
+        assert_eq!(mse_bucket(1.0), 2);
+        assert_eq!(mse_bucket(999.0), 2);
+        assert_eq!(mse_bucket(1e3), 3);
+    }
+
+    #[test]
+    fn cosine_buckets_match_paper() {
+        assert_eq!(cosine_bucket(0.005), 0);
+        assert_eq!(cosine_bucket(0.1), 1);
+        assert_eq!(cosine_bucket(0.3), 2);
+        assert_eq!(cosine_bucket(0.5), 3);
+        assert_eq!(cosine_bucket(0.7), 4);
+        assert_eq!(cosine_bucket(0.95), 5);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let vals = vec![0.0, 0.5, 2.0, 5000.0, 0.0002];
+        let pct = bucket_percentages(&vals, mse_bucket, 4);
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert_eq!(pct[0], 40.0);
+        assert_eq!(pct[1], 20.0);
+        assert_eq!(pct[2], 20.0);
+        assert_eq!(pct[3], 20.0);
+    }
+
+    #[test]
+    fn pnm_roundtrip_header() {
+        let dir = std::env::temp_dir().join("deta-pnm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.pgm");
+        write_pnm(&path, &[0.0, 0.5, 1.0, 0.25], 1, 2, 2).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n2 2\n255\n".len() + 4);
+    }
+}

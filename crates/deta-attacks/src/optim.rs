@@ -1,0 +1,306 @@
+//! Optimizers for the attack objectives.
+
+/// Adam with optional signed gradients and box projection.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    /// Use `sign(grad)` instead of `grad` (the IG variant).
+    pub signed: bool,
+    /// Project iterates into `[lo, hi]` after each step.
+    pub bounds: Option<(f64, f64)>,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for `n` variables.
+    pub fn new(n: usize, lr: f64) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            signed: false,
+            bounds: None,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// Enables the signed-gradient variant.
+    pub fn with_signed(mut self) -> Adam {
+        self.signed = true;
+        self
+    }
+
+    /// Enables box projection.
+    pub fn with_bounds(mut self, lo: f64, hi: f64) -> Adam {
+        self.bounds = Some((lo, hi));
+        self
+    }
+
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch the construction size.
+    pub fn step(&mut self, x: &mut [f64], grad: &[f64]) {
+        assert_eq!(x.len(), self.m.len(), "variable count mismatch");
+        assert_eq!(grad.len(), self.m.len(), "gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..x.len() {
+            let g = if self.signed {
+                grad[i].signum()
+            } else {
+                grad[i]
+            };
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            x[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            if let Some((lo, hi)) = self.bounds {
+                x[i] = x[i].clamp(lo, hi);
+            }
+        }
+    }
+}
+
+/// Limited-memory BFGS with Armijo backtracking line search.
+///
+/// The optimizer the DLG/iDLG papers use for gradient matching. The
+/// caller supplies an objective closure returning `(value, gradient)`.
+pub struct Lbfgs {
+    /// History size.
+    pub memory: usize,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Gradient-norm convergence tolerance.
+    pub tol: f64,
+}
+
+impl Default for Lbfgs {
+    fn default() -> Self {
+        Lbfgs {
+            memory: 10,
+            max_iter: 300,
+            tol: 1e-10,
+        }
+    }
+}
+
+impl Lbfgs {
+    /// Minimizes `f` starting from `x0`, returning `(x, f(x))`.
+    pub fn minimize(
+        &self,
+        x0: Vec<f64>,
+        mut f: impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    ) -> (Vec<f64>, f64) {
+        let n = x0.len();
+        let mut x = x0;
+        let (mut fx, mut g) = f(&x);
+        // (s, y, rho) history.
+        let mut hist: std::collections::VecDeque<(Vec<f64>, Vec<f64>, f64)> =
+            std::collections::VecDeque::new();
+        for _ in 0..self.max_iter {
+            let gnorm: f64 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if gnorm < self.tol || !fx.is_finite() {
+                break;
+            }
+            // Two-loop recursion for the search direction d = -H g.
+            let mut q = g.clone();
+            let mut alphas = Vec::with_capacity(hist.len());
+            for (s, y, rho) in hist.iter().rev() {
+                let alpha = rho * dot(s, &q);
+                for i in 0..n {
+                    q[i] -= alpha * y[i];
+                }
+                alphas.push(alpha);
+            }
+            // Initial Hessian scaling gamma = <s,y>/<y,y> of the newest
+            // pair; with no history yet, normalize so the first trial step
+            // has unit length (a raw gradient step can overshoot wildly).
+            match hist.back() {
+                Some((s, y, _)) => {
+                    let gamma = dot(s, y) / dot(y, y).max(1e-300);
+                    for v in &mut q {
+                        *v *= gamma;
+                    }
+                }
+                None => {
+                    for v in &mut q {
+                        *v /= gnorm.max(1e-300);
+                    }
+                }
+            }
+            for ((s, y, rho), alpha) in hist.iter().zip(alphas.iter().rev()) {
+                let beta = rho * dot(y, &q);
+                for i in 0..n {
+                    q[i] += s[i] * (alpha - beta);
+                }
+            }
+            let d: Vec<f64> = q.iter().map(|v| -v).collect();
+            let dg = dot(&d, &g);
+            // Fall back to steepest descent on a non-descent direction.
+            let (d, dg) = if dg < 0.0 {
+                (d, dg)
+            } else {
+                let sd: Vec<f64> = g.iter().map(|v| -v).collect();
+                let sdg = -gnorm * gnorm;
+                (sd, sdg)
+            };
+            // Armijo backtracking.
+            let mut step = 1.0f64;
+            let c1 = 1e-4;
+            let mut accepted = false;
+            let mut x_new = x.clone();
+            let mut fx_new = fx;
+            let mut g_new = g.clone();
+            for _ in 0..30 {
+                for i in 0..n {
+                    x_new[i] = x[i] + step * d[i];
+                }
+                let (fv, gv) = f(&x_new);
+                if fv.is_finite() && fv <= fx + c1 * step * dg {
+                    fx_new = fv;
+                    g_new = gv;
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !accepted {
+                break;
+            }
+            // Update history.
+            let s: Vec<f64> = (0..n).map(|i| x_new[i] - x[i]).collect();
+            let y: Vec<f64> = (0..n).map(|i| g_new[i] - g[i]).collect();
+            let sy = dot(&s, &y);
+            if sy > 1e-12 {
+                if hist.len() == self.memory {
+                    hist.pop_front();
+                }
+                hist.push_back((s, y, 1.0 / sy));
+            }
+            x = x_new;
+            fx = fx_new;
+            g = g_new;
+        }
+        (x, fx)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = sum (x - target)^2.
+        let target = [3.0f64, -1.5, 0.25];
+        let mut x = vec![0.0f64; 3];
+        let mut adam = Adam::new(3, 0.1);
+        for _ in 0..500 {
+            let grad: Vec<f64> = x
+                .iter()
+                .zip(target.iter())
+                .map(|(a, t)| 2.0 * (a - t))
+                .collect();
+            adam.step(&mut x, &grad);
+        }
+        for (a, t) in x.iter().zip(target.iter()) {
+            assert!((a - t).abs() < 1e-2, "{a} vs {t}");
+        }
+    }
+
+    #[test]
+    fn signed_variant_minimizes_too() {
+        let mut x = vec![5.0f64];
+        let mut adam = Adam::new(1, 0.05).with_signed();
+        for _ in 0..400 {
+            let grad = vec![2.0 * x[0]];
+            adam.step(&mut x, &grad);
+        }
+        assert!(x[0].abs() < 0.2, "{}", x[0]);
+    }
+
+    #[test]
+    fn bounds_projection() {
+        let mut x = vec![0.5f64];
+        let mut adam = Adam::new(1, 1.0).with_bounds(0.0, 1.0);
+        // A gradient pushing hard below zero.
+        for _ in 0..10 {
+            adam.step(&mut x, &[100.0]);
+            assert!((0.0..=1.0).contains(&x[0]));
+        }
+        assert_eq!(x[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let mut adam = Adam::new(2, 0.1);
+        adam.step(&mut [0.0], &[1.0]);
+    }
+
+    #[test]
+    fn lbfgs_minimizes_quadratic_exactly() {
+        let target = [3.0f64, -1.5, 0.25, 10.0];
+        let (x, fx) = Lbfgs::default().minimize(vec![0.0; 4], |x| {
+            let v: f64 = x
+                .iter()
+                .zip(target.iter())
+                .map(|(a, t)| (a - t) * (a - t))
+                .sum();
+            let g: Vec<f64> = x
+                .iter()
+                .zip(target.iter())
+                .map(|(a, t)| 2.0 * (a - t))
+                .collect();
+            (v, g)
+        });
+        assert!(fx < 1e-12, "fx={fx}");
+        for (a, t) in x.iter().zip(target.iter()) {
+            assert!((a - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lbfgs_minimizes_rosenbrock() {
+        // The classic ill-conditioned valley Adam crawls through.
+        let (x, fx) = Lbfgs {
+            max_iter: 500,
+            ..Default::default()
+        }
+        .minimize(vec![-1.2, 1.0], |x| {
+            let (a, b) = (x[0], x[1]);
+            let v = (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2);
+            let g = vec![
+                -2.0 * (1.0 - a) - 400.0 * a * (b - a * a),
+                200.0 * (b - a * a),
+            ];
+            (v, g)
+        });
+        assert!(fx < 1e-8, "fx={fx}");
+        assert!((x[0] - 1.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lbfgs_handles_flat_start() {
+        // Zero gradient at the start terminates immediately without NaN.
+        let (x, fx) = Lbfgs::default().minimize(vec![0.0], |x| (x[0] * x[0], vec![2.0 * x[0]]));
+        assert_eq!(x[0], 0.0);
+        assert_eq!(fx, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Batch-size ablation (beyond the paper's tables): how mini-batching
+//! alone degrades gradient inversion, and how DeTA stacks on top.
+//!
+//! The paper observes that FedAvg's multi-iteration batching already
+//! makes leakage attacks harder (Section 3.1) and that active attacks
+//! were developed precisely to scale inversion to mini-batches. This
+//! ablation quantifies the baseline effect with the batched DLG
+//! implementation: reconstruction error vs batch size on full views, and
+//! the combined effect with DeTA's transforms.
+//!
+//! ```text
+//! cargo run --release -p deta-bench --bin ablation_batch
+//! ```
+
+use deta_attacks::batch::{
+    batch_mean_gradient, best_assignment_mse, run_batch_dlg, BatchDlgConfig,
+};
+use deta_attacks::graphnet::MlpSpec;
+use deta_attacks::harness::{breach_view, AttackView};
+use deta_bench::{write_csv, Args};
+use deta_crypto::DetRng;
+use deta_datasets::DatasetSpec;
+
+fn main() {
+    let args = Args::parse();
+    let trials: usize = args.get("trials", 8);
+    let iterations: usize = args.get("iterations", 600);
+
+    let data_spec = DatasetSpec::cifar100_like().at_resolution(8);
+    let dim = data_spec.dim();
+    let classes = 10usize;
+    let model = MlpSpec::new(&[dim, 24, classes]);
+    let mut rng = DetRng::from_u64(12);
+    let params: Vec<f32> = (0..model.param_count())
+        .map(|_| rng.next_gaussian() as f32 * 0.3)
+        .collect();
+
+    let mut rows: Vec<String> = Vec::new();
+    println!(
+        "{:<8} {:<16} {:>14} {:>10}",
+        "batch", "view", "mean MSE", "success"
+    );
+    for b in [1usize, 2, 4] {
+        for (vname, view) in [
+            ("full", Some(AttackView::Full)),
+            (
+                "part-0.6+shuf",
+                Some(AttackView::PartitionShuffle { factor: 0.6 }),
+            ),
+        ] {
+            let mut mses = Vec::with_capacity(trials);
+            for t in 0..trials {
+                let images: Vec<Vec<f32>> = (0..b)
+                    .map(|i| {
+                        data_spec
+                            .generate_class((t * b + i) % classes, 1, (t * 31 + i) as u64)
+                            .features
+                            .data()
+                            .to_vec()
+                    })
+                    .collect();
+                let labels: Vec<usize> = (0..b).map(|i| (t * b + i) % classes).collect();
+                let g = batch_mean_gradient(&model, &params, &images, &labels);
+                let bv = breach_view(&g, view.unwrap(), 31, &[(t % 251) as u8; 16]);
+                let out = run_batch_dlg(
+                    &model,
+                    &params,
+                    &bv,
+                    b,
+                    &BatchDlgConfig {
+                        iterations,
+                        seed: t as u64,
+                        restarts: 1,
+                    },
+                );
+                let err = best_assignment_mse(&out.reconstructions, &images);
+                mses.push(err);
+                rows.push(format!("{b},{vname},{t},{err:.6e}"));
+            }
+            let mean = mses.iter().sum::<f64>() / mses.len() as f64;
+            let success = mses.iter().filter(|&&m| m < 1e-3).count();
+            println!(
+                "{:<8} {:<16} {:>14.5} {:>7}/{:<2}",
+                b, vname, mean, success, trials
+            );
+        }
+    }
+    println!(
+        "\nExpected: reconstruction degrades as batch size grows even on the \
+         full view (FedAvg's built-in protection), and fails outright under \
+         DeTA at every batch size."
+    );
+    write_csv("ablation_batch.csv", "batch,view,trial,mse", &rows);
+}

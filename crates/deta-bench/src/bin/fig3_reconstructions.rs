@@ -1,0 +1,173 @@
+//! Regenerates **Figures 3 and 4**: example reconstructions under every
+//! combination of partitioning and shuffling, dumped as PPM images.
+//!
+//! Figure 3 (DLG/iDLG rows) uses the MLP victim; Figure 4 (IG rows) uses
+//! the small conv victim. Ground truth plus one reconstruction per view
+//! are written to `results/fig3/`.
+//!
+//! ```text
+//! cargo run --release -p deta-bench --bin fig3_reconstructions
+//! ```
+
+use deta_attacks::dlg::{run_dlg, DlgConfig};
+use deta_attacks::graphnet::{ConvSpec, MlpSpec};
+use deta_attacks::harness::{breach_view, AttackTape, AttackView, GraphModel};
+use deta_attacks::idlg::run_idlg;
+use deta_attacks::ig::{run_ig, IgConfig};
+use deta_attacks::metrics::{mse, write_pnm};
+use deta_bench::results_dir;
+use deta_crypto::DetRng;
+use deta_datasets::DatasetSpec;
+
+fn gradient_of(model: &dyn GraphModel, params: &[f32], image: &[f32], label: usize) -> Vec<f32> {
+    let at = AttackTape::build(model, model.param_count());
+    let mut ev = at.tape.evaluator();
+    let xin: Vec<f64> = image.iter().map(|&v| v as f64).collect();
+    let inputs = at.pack_inputs(
+        &xin,
+        &at.hard_label_logits(label),
+        params,
+        &vec![0.0; model.param_count()],
+    );
+    ev.eval(&at.tape, &inputs);
+    at.grads.iter().map(|&g| ev.value(g) as f32).collect()
+}
+
+fn views() -> [AttackView; 6] {
+    [
+        AttackView::Full,
+        AttackView::Partition { factor: 0.6 },
+        AttackView::Partition { factor: 0.2 },
+        AttackView::PartitionShuffle { factor: 1.0 },
+        AttackView::PartitionShuffle { factor: 0.6 },
+        AttackView::PartitionShuffle { factor: 0.2 },
+    ]
+}
+
+fn main() {
+    let dir = results_dir().join("fig3");
+    std::fs::create_dir_all(&dir).expect("results dir");
+
+    // --- DLG and iDLG rows (Figure 3): MLP on 8x8 CIFAR-100-like. ---
+    let data8 = DatasetSpec::cifar100_like().at_resolution(8);
+    let mlp = MlpSpec::new(&[data8.dim(), 24, data8.classes]);
+    let mut rng = DetRng::from_u64(10);
+    let mlp_params: Vec<f32> = (0..mlp.param_count())
+        .map(|_| rng.next_gaussian() as f32 * 0.3)
+        .collect();
+    let label = 13usize;
+    let image8: Vec<f32> = data8.generate_class(label, 1, 77).features.data().to_vec();
+    write_pnm(&dir.join("ground_truth_8x8.ppm"), &image8, 3, 8, 8).unwrap();
+    let g8 = gradient_of(&mlp, &mlp_params, &image8, label);
+
+    println!("{:<8} {:<16} {:>12}", "attack", "view", "MSE");
+    for view in views() {
+        let bv = breach_view(&g8, view, 50, &[9u8; 16]);
+        let dlg = run_dlg(
+            &mlp,
+            &mlp_params,
+            &bv,
+            &DlgConfig {
+                iterations: 300,
+                lr: 0.1,
+                seed: 1,
+                restarts: 1,
+            },
+        );
+        println!(
+            "{:<8} {:<16} {:>12.5}",
+            "DLG",
+            view.label(),
+            mse(&dlg.reconstruction, &image8)
+        );
+        write_pnm(
+            &dir.join(format!("dlg_{}.ppm", view.label().replace('.', "_"))),
+            &dlg.reconstruction,
+            3,
+            8,
+            8,
+        )
+        .unwrap();
+
+        let idlg = run_idlg(
+            &mlp,
+            &mlp_params,
+            &bv,
+            &DlgConfig {
+                iterations: 300,
+                lr: 0.1,
+                seed: 2,
+                restarts: 1,
+            },
+        );
+        println!(
+            "{:<8} {:<16} {:>12.5}",
+            "iDLG",
+            view.label(),
+            mse(&idlg.dlg.reconstruction, &image8)
+        );
+        write_pnm(
+            &dir.join(format!("idlg_{}.ppm", view.label().replace('.', "_"))),
+            &idlg.dlg.reconstruction,
+            3,
+            8,
+            8,
+        )
+        .unwrap();
+    }
+
+    // --- IG rows (Figure 4): conv model on 16x16 ImageNet-like. ---
+    let hw = 16usize;
+    let data16 = DatasetSpec::imagenet_like().at_resolution(hw);
+    let conv = ConvSpec {
+        in_c: 3,
+        hw,
+        out_c: 4,
+        k: 3,
+        classes: 10,
+    };
+    let conv_params: Vec<f32> = (0..conv.param_count())
+        .map(|_| rng.next_gaussian() as f32 * 0.3)
+        .collect();
+    let ig_label = 4usize;
+    let image16: Vec<f32> = data16
+        .generate_class(ig_label, 1, 88)
+        .features
+        .data()
+        .to_vec();
+    write_pnm(&dir.join("ground_truth_16x16.ppm"), &image16, 3, hw, hw).unwrap();
+    let g16 = gradient_of(&conv, &conv_params, &image16, ig_label);
+    for view in views() {
+        let bv = breach_view(&g16, view, 51, &[9u8; 16]);
+        let ig = run_ig(
+            &conv,
+            &conv_params,
+            &bv,
+            &IgConfig {
+                iterations: 600,
+                lr: 0.05,
+                tv_weight: 1e-4,
+                restarts: 2,
+                seed: 3,
+                image_shape: (3, hw, hw),
+                label: ig_label,
+            },
+        );
+        println!(
+            "{:<8} {:<16} {:>12.5}  (cos {:.4})",
+            "IG",
+            view.label(),
+            mse(&ig.reconstruction, &image16),
+            ig.final_cosine
+        );
+        write_pnm(
+            &dir.join(format!("ig_{}.ppm", view.label().replace('.', "_"))),
+            &ig.reconstruction,
+            3,
+            hw,
+            hw,
+        )
+        .unwrap();
+    }
+    println!("\nImages written to {}", dir.display());
+}

@@ -1,0 +1,33 @@
+//! One-off generator for the hardcoded Schnorr group in `deta-crypto`.
+use deta_bignum::{is_probable_prime, prime::random_bits, BigUint};
+
+fn main() {
+    let mut s = 0x243F6A8885A308D3u64; // deterministic xorshift seed
+    let mut rng = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        s.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    // Find q prime with 2q+1 prime (255-bit q, 256-bit p).
+    loop {
+        let mut q = random_bits(&mut rng, 255);
+        if q.is_even() {
+            q = &q + &BigUint::one();
+        }
+        if !is_probable_prime(&q, 32, &mut rng) {
+            continue;
+        }
+        let p = &q.shl_bits(1) + &BigUint::one();
+        if is_probable_prime(&p, 32, &mut rng) {
+            println!("q = {q}");
+            println!("p = {p}");
+            // generator: g = 4 = 2^2 is always a QR, generates order-q subgroup.
+            let g = BigUint::from_u64(4);
+            // sanity: g^q mod p == 1
+            assert!(g.modpow(&q, &p).is_one());
+            println!("g = 4 verified");
+            break;
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Addition, subtraction, multiplication, and shifts for [`BigUint`].
+
+use crate::BigUint;
+use std::ops::{Add, AddAssign, Mul, Shl, Shr, Sub};
+
+impl BigUint {
+    /// Adds `other` into `self` in place.
+    pub fn add_assign_ref(&mut self, other: &BigUint) {
+        let mut carry = 0u64;
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtracts `other` from `self`, returning `None` on underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = self.clone();
+        let mut borrow = 0u64;
+        for i in 0..out.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = out.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        out.normalize();
+        Some(out)
+    }
+
+    /// Multiplies by a single `u64` limb.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &limb in &self.limbs {
+            let prod = limb as u128 * m as u128 + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left-shifts by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            let mut c = self.clone();
+            c.normalize();
+            return c;
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                out.push((limb << bit_shift) | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right-shifts by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let mut out: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for limb in out.iter_mut().rev() {
+                let next_carry = *limb << (64 - bit_shift);
+                *limb = (*limb >> bit_shift) | carry;
+                carry = next_carry;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] for a fallible form.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(&b(2) + &b(3), b(5));
+        assert_eq!(&b(0) + &b(0), b(0));
+    }
+
+    #[test]
+    fn add_carry_chain() {
+        let a = b(u128::MAX);
+        let one = b(1);
+        let sum = &a + &one;
+        assert_eq!(sum.bit_len(), 129);
+        assert_eq!(&sum - &one, a);
+    }
+
+    #[test]
+    fn sub_basic() {
+        assert_eq!(&b(10) - &b(3), b(7));
+        assert_eq!(&b(10) - &b(10), b(0));
+        assert!(b(3).checked_sub(&b(10)).is_none());
+    }
+
+    #[test]
+    fn sub_borrow_chain() {
+        let a = b(1u128 << 127);
+        let d = &a - &b(1);
+        assert_eq!(&d + &b(1), a);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(&b(6) * &b(7), b(42));
+        assert_eq!(&b(0) * &b(7), b(0));
+        assert_eq!(&b(1) * &b(7), b(7));
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = b(u64::MAX as u128);
+        let sq = &a * &a;
+        assert_eq!(sq.to_u128(), Some((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn mul_u64_matches_mul() {
+        let a = b(0x1234_5678_9abc_def0_1111_u128);
+        assert_eq!(a.mul_u64(12345), &a * &b(12345));
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = b(0xdead_beef_cafe_babe_u128);
+        for s in [0usize, 1, 7, 63, 64, 65, 127, 130] {
+            let shifted = a.shl_bits(s);
+            assert_eq!(shifted.shr_bits(s), a, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        assert_eq!(b(5).shr_bits(3), b(0));
+        assert_eq!(b(5).shr_bits(300), b(0));
+    }
+
+    #[test]
+    fn shl_matches_mul_by_power_of_two() {
+        let a = b(123456789);
+        assert_eq!(a.shl_bits(10), a.mul_u64(1024));
+    }
+}

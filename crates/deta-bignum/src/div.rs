@@ -1,0 +1,151 @@
+//! Division and remainder for [`BigUint`].
+//!
+//! Uses a fast single-limb path and binary long division for the general
+//! case. Binary long division is O(bits x limbs) which is ample for the
+//! simulation-grade key sizes used throughout this repository.
+
+use crate::BigUint;
+use std::ops::{Div, Rem};
+
+impl BigUint {
+    /// Divides by a single `u64`, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u128;
+        let mut q = vec![0u64; self.limbs.len()];
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        let mut quo = BigUint { limbs: q };
+        quo.normalize();
+        (quo, rem as u64)
+    }
+
+    /// Divides by `d`, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &BigUint) -> (BigUint, BigUint) {
+        assert!(!d.is_zero(), "division by zero");
+        if self < d {
+            return (BigUint::zero(), self.clone());
+        }
+        if d.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(d.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        // Binary long division: scan bits of `self` from most significant,
+        // accumulating the running remainder and setting quotient bits.
+        let n = self.bit_len();
+        let mut rem = BigUint::zero();
+        let mut quo = BigUint {
+            limbs: vec![0u64; n.div_ceil(64)],
+        };
+        for i in (0..n).rev() {
+            // rem = rem * 2 + bit(i).
+            rem = rem.shl_bits(1);
+            if self.bit(i) {
+                if rem.limbs.is_empty() {
+                    rem.limbs.push(1);
+                } else {
+                    rem.limbs[0] |= 1;
+                }
+            }
+            if rem >= *d {
+                rem = &rem - d;
+                quo.limbs[i / 64] |= 1 << (i % 64);
+            }
+        }
+        quo.normalize();
+        rem.normalize();
+        (quo, rem)
+    }
+
+    /// Returns `self mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_ref(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+}
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = b(17).div_rem(&b(5));
+        assert_eq!((q, r), (b(3), b(2)));
+    }
+
+    #[test]
+    fn div_by_larger_is_zero() {
+        let (q, r) = b(5).div_rem(&b(17));
+        assert_eq!((q, r), (b(0), b(5)));
+    }
+
+    #[test]
+    fn div_exact() {
+        let (q, r) = b(1 << 80).div_rem(&b(1 << 40));
+        assert_eq!((q, r), (b(1 << 40), b(0)));
+    }
+
+    #[test]
+    fn div_rem_u64_path() {
+        let a = b(0xffff_ffff_ffff_ffff_ffff_u128);
+        let (q, r) = a.div_rem_u64(12345);
+        let recomposed = &q.mul_u64(12345) + &b(r as u128);
+        assert_eq!(recomposed, a);
+    }
+
+    #[test]
+    fn div_rem_multi_limb_identity() {
+        // (q * d + r) == a with r < d for values spanning several limbs.
+        let a = BigUint::from_bytes_be(&[0xab; 40]);
+        let d = BigUint::from_bytes_be(&[0x37; 17]);
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn div_by_zero_panics() {
+        let _ = b(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn rem_ref_matches_operator() {
+        let a = b(987654321987654321);
+        let m = b(1000000007);
+        assert_eq!(a.rem_ref(&m), &a % &m);
+    }
+}

@@ -1,0 +1,252 @@
+//! Modular arithmetic: multiplication, exponentiation, GCD, inverse.
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Returns `(self + other) mod m`.
+    pub fn add_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let s = self + other;
+        &s % m
+    }
+
+    /// Returns `(self * other) mod m`.
+    pub fn mul_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let p = self * other;
+        &p % m
+    }
+
+    /// Returns `(self - other) mod m`, where both inputs must already be
+    /// reduced modulo `m`.
+    pub fn sub_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && other < m);
+        if self >= other {
+            self - other
+        } else {
+            &(self + m) - other
+        }
+    }
+
+    /// Computes `self^exp mod m` via left-to-right square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        // Odd multi-limb moduli route through Montgomery arithmetic; the
+        // crossover check keeps tiny inputs on the simple path.
+        if !m.is_even() && m.limbs.len() >= 2 && exp.bit_len() > 4 {
+            if let Some(ctx) = crate::montgomery::MontgomeryCtx::new(m) {
+                return ctx.modpow(self, exp);
+            }
+        }
+        let base = self % m;
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let mut acc = BigUint::one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.mul_mod(&acc, m);
+            if exp.bit(i) {
+                acc = acc.mul_mod(&base, m);
+            }
+        }
+        acc
+    }
+
+    /// Computes the greatest common divisor via the binary GCD algorithm.
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let shift = a.trailing_zeros().min(b.trailing_zeros());
+        a = a.shr_bits(a.trailing_zeros());
+        loop {
+            b = b.shr_bits(b.trailing_zeros());
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                return a.shl_bits(shift);
+            }
+        }
+    }
+
+    /// Returns the least common multiple.
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let g = self.gcd(other);
+        &(self / &g) * other
+    }
+
+    /// Counts trailing zero bits (zero input yields 0).
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return i * 64 + limb.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// Computes the modular inverse of `self` modulo `m`, if it exists.
+    ///
+    /// Uses the iterative extended Euclidean algorithm with sign tracking.
+    /// Returns `None` when `gcd(self, m) != 1` or `m < 2`.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        if m < &BigUint::from_u64(2) {
+            return None;
+        }
+        // Invariants: r0 = s0_sign*s0*a (mod m), maintained over (r, s) rows.
+        let mut r0 = self % m;
+        let mut r1 = m.clone();
+        // Coefficients of `self` with explicit signs.
+        let mut s0 = (BigUint::one(), false); // (magnitude, negative?)
+        let mut s1 = (BigUint::zero(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // s2 = s0 - q * s1.
+            let qs1 = &q * &s1.0;
+            let s2 = signed_sub(&s0, &(qs1, s1.1));
+            r0 = std::mem::replace(&mut r1, r2);
+            s0 = std::mem::replace(&mut s1, s2);
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        let (mag, neg) = s0;
+        let mag = &mag % m;
+        Some(if neg && !mag.is_zero() { m - &mag } else { mag })
+    }
+}
+
+/// Computes `a - b` for sign-magnitude pairs `(magnitude, negative?)`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b where both positive.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (&a.0 - &b.0, false)
+            } else {
+                (&b.0 - &a.0, true)
+            }
+        }
+        // a - (-b) = a + b.
+        (false, true) => (&a.0 + &b.0, false),
+        // (-a) - b = -(a + b).
+        (true, false) => (&a.0 + &b.0, true),
+        // (-a) - (-b) = b - a.
+        (true, true) => {
+            if b.0 >= a.0 {
+                (&b.0 - &a.0, false)
+            } else {
+                (&a.0 - &b.0, true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn modpow_small() {
+        assert_eq!(b(2).modpow(&b(10), &b(1000)), b(24));
+        assert_eq!(b(3).modpow(&b(0), &b(7)), b(1));
+        assert_eq!(b(3).modpow(&b(5), &b(1)), b(0));
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // Fermat's little theorem: a^(p-1) = 1 (mod p) for prime p.
+        let p = b(1_000_000_007);
+        for a in [2u128, 3, 12345, 999_999_999] {
+            assert_eq!(b(a).modpow(&(&p - &b(1)), &p), b(1));
+        }
+    }
+
+    #[test]
+    fn modpow_large_modulus() {
+        // 2^128 mod (2^127 - 1, a Mersenne prime) == 2^1 == 2, since
+        // 2^127 == 1 (mod 2^127 - 1).
+        let m = &b(1u128 << 127) - &b(1);
+        assert_eq!(b(2).modpow(&b(128), &m), b(2));
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(17).gcd(&b(13)), b(1));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(b(48).gcd(&b(48)), b(48));
+    }
+
+    #[test]
+    fn gcd_large_power_of_two_factor() {
+        let a = b(3 << 40);
+        let c = b(5 << 40);
+        assert_eq!(a.gcd(&c), b(1 << 40));
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(b(4).lcm(&b(6)), b(12));
+        assert_eq!(b(0).lcm(&b(6)), b(0));
+    }
+
+    #[test]
+    fn modinv_small() {
+        let m = b(17);
+        for a in 1u128..17 {
+            let inv = b(a).modinv(&m).unwrap();
+            assert_eq!(b(a).mul_mod(&inv, &m), b(1), "a={a}");
+        }
+    }
+
+    #[test]
+    fn modinv_nonexistent() {
+        assert!(b(6).modinv(&b(9)).is_none());
+        assert!(b(0).modinv(&b(7)).is_none());
+        assert!(b(3).modinv(&b(1)).is_none());
+    }
+
+    #[test]
+    fn modinv_large() {
+        let m = &b(1u128 << 127) - &b(1); // Mersenne prime.
+        let a = b(0xdead_beef_1234_5678);
+        let inv = a.modinv(&m).unwrap();
+        assert_eq!(a.mul_mod(&inv, &m), b(1));
+    }
+
+    #[test]
+    fn sub_mod_wraps() {
+        let m = b(100);
+        assert_eq!(b(30).sub_mod(&b(70), &m), b(60));
+        assert_eq!(b(70).sub_mod(&b(30), &m), b(40));
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(b(0).trailing_zeros(), 0);
+        assert_eq!(b(1).trailing_zeros(), 0);
+        assert_eq!(b(8).trailing_zeros(), 3);
+        assert_eq!(b(1u128 << 100).trailing_zeros(), 100);
+    }
+}

@@ -1,0 +1,274 @@
+//! Montgomery-form modular arithmetic (CIOS multiplication).
+//!
+//! Modular exponentiation dominates the cost of Paillier encryption and
+//! Schnorr signatures. For an odd modulus `n`, Montgomery representation
+//! replaces every expensive division-based reduction with shifts and
+//! word-level multiplications: the CIOS (coarsely integrated operand
+//! scanning) method interleaves the multiply and reduce passes.
+//!
+//! [`BigUint::modpow`] automatically routes through [`MontgomeryCtx`]
+//! when the modulus is odd; the binary square-and-multiply fallback
+//! remains for even moduli.
+
+use crate::BigUint;
+
+/// Precomputed state for arithmetic modulo a fixed odd `n`.
+pub struct MontgomeryCtx {
+    /// The modulus (odd, > 1).
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n` where `R = 2^(64 * limbs)`, used to enter the domain.
+    r2: Vec<u64>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for `n`.
+    ///
+    /// Returns `None` if `n` is even or `< 3`.
+    pub fn new(n: &BigUint) -> Option<MontgomeryCtx> {
+        if n.is_even() || n.bit_len() < 2 {
+            return None;
+        }
+        let limbs = n.limbs.clone();
+        let n0_inv = neg_inv_u64(limbs[0]);
+        // R^2 mod n = 2^(128 * limbs) mod n, computed with plain division
+        // (one-time cost per modulus).
+        let r2_big = BigUint::one().shl_bits(128 * limbs.len()).rem_ref(n);
+        let mut r2 = r2_big.limbs;
+        r2.resize(limbs.len(), 0);
+        Some(MontgomeryCtx {
+            n: limbs,
+            n0_inv,
+            r2,
+        })
+    }
+
+    /// Number of limbs in the modulus.
+    fn s(&self) -> usize {
+        self.n.len()
+    }
+
+    /// CIOS Montgomery product: returns `a * b * R^{-1} mod n`.
+    ///
+    /// `a` and `b` are `s`-limb vectors (values < n).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let s = self.s();
+        debug_assert_eq!(a.len(), s);
+        debug_assert_eq!(b.len(), s);
+        // t has s + 2 limbs.
+        let mut t = vec![0u64; s + 2];
+        for &ai in a.iter() {
+            // t += ai * b.
+            let mut carry = 0u128;
+            for j in 0..s {
+                let sum = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[s] as u128 + carry;
+            t[s] = sum as u64;
+            t[s + 1] = t[s + 1].wrapping_add((sum >> 64) as u64);
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry = {
+                let sum = t[0] as u128 + m as u128 * self.n[0] as u128;
+                sum >> 64
+            };
+            for j in 1..s {
+                let sum = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[s] as u128 + carry;
+            t[s - 1] = sum as u64;
+            t[s] = t[s + 1].wrapping_add((sum >> 64) as u64);
+            t[s + 1] = 0;
+        }
+        // Conditional subtraction: t may be in [0, 2n).
+        let mut out: Vec<u64> = t[..s].to_vec();
+        let overflow = t[s] != 0;
+        if overflow || ge(&out, &self.n) {
+            sub_in_place(&mut out, &self.n, overflow);
+        }
+        out
+    }
+
+    /// Converts into Montgomery form.
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let mut limbs = a.limbs.clone();
+        limbs.resize(self.s(), 0);
+        self.mont_mul(&limbs, &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.s()];
+        one[0] = 1;
+        let mut out = BigUint {
+            limbs: self.mont_mul(a, &one),
+        };
+        out.normalize();
+        out
+    }
+
+    /// Computes `base^exp mod n` by left-to-right square-and-multiply in
+    /// the Montgomery domain.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let n_big = BigUint {
+            limbs: self.n.clone(),
+        };
+        let base = base.rem_ref(&n_big);
+        if exp.is_zero() {
+            return if n_big.is_one() {
+                BigUint::zero()
+            } else {
+                BigUint::one()
+            };
+        }
+        let base_m = self.to_mont(&base);
+        // acc = 1 in Montgomery form = R mod n = mont(1, R^2).
+        let mut acc = {
+            let mut one = vec![0u64; self.s()];
+            one[0] = 1;
+            self.mont_mul(&one, &self.r2)
+        };
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Computes `-n^{-1} mod 2^64` for odd `n` (Newton-Hensel iteration).
+fn neg_inv_u64(n: u64) -> u64 {
+    debug_assert!(n & 1 == 1);
+    let mut x = n; // Correct to 3 bits already for odd n... iterate to 64.
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n.wrapping_mul(x), 1);
+    x.wrapping_neg()
+}
+
+/// `a >= b` for equal-length limb slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` in place; `extra` adds 2^(64*len) to `a` first (for the
+/// overflowed case).
+fn sub_in_place(a: &mut [u64], b: &[u64], extra: bool) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert!(
+        borrow == 0 || extra,
+        "unexpected borrow in Montgomery reduce"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schoolbook modpow used as the reference.
+    fn naive_modpow(b: &BigUint, e: &BigUint, m: &BigUint) -> BigUint {
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let base = b.rem_ref(m);
+        let mut acc = BigUint::one();
+        for i in (0..e.bit_len()).rev() {
+            acc = acc.mul_mod(&acc, m);
+            if e.bit(i) {
+                acc = acc.mul_mod(&base, m);
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn rejects_even_and_tiny_moduli() {
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(10)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(0)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(1)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::from_u64(9)).is_some());
+    }
+
+    #[test]
+    fn neg_inv_correct() {
+        for n in [1u64, 3, 5, 0xffff_ffff_ffff_fff1, 0x1234_5678_9abc_def1] {
+            let x = neg_inv_u64(n);
+            assert_eq!(n.wrapping_mul(x.wrapping_neg()), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let m = BigUint::from_u64(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        for (b, e) in [
+            (2u64, 10u64),
+            (3, 1000),
+            (123456789, 987654321),
+            (0, 5),
+            (5, 0),
+        ] {
+            let got = ctx.modpow(&BigUint::from_u64(b), &BigUint::from_u64(e));
+            let want = naive_modpow(&BigUint::from_u64(b), &BigUint::from_u64(e), &m);
+            assert_eq!(got, want, "b={b} e={e}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_multi_limb() {
+        // A 320-bit odd modulus exercised with many random-ish values.
+        let m = {
+            let mut bytes = vec![0xC3u8; 40];
+            bytes[39] |= 1;
+            BigUint::from_bytes_be(&bytes)
+        };
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let mut s = 0x1234_5678u64;
+        let mut next = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            s.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        for _ in 0..20 {
+            let b = BigUint::from_bytes_be(&(0..48).map(|_| next() as u8).collect::<Vec<_>>());
+            let e = BigUint::from_bytes_be(&(0..16).map(|_| next() as u8).collect::<Vec<_>>());
+            let got = ctx.modpow(&b, &e);
+            let want = naive_modpow(&b, &e, &m);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn fermat_on_mersenne_prime() {
+        let p = {
+            // 2^127 - 1.
+            let one = BigUint::one();
+            &one.shl_bits(127) - &one
+        };
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let exp = &p - &BigUint::one();
+        for b in [2u64, 3, 0xdeadbeef] {
+            assert!(ctx.modpow(&BigUint::from_u64(b), &exp).is_one());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Probabilistic primality testing and prime generation.
+
+use crate::BigUint;
+
+/// A source of uniformly random `u64` words.
+///
+/// Defined here (rather than depending on a crypto crate) so that the
+/// random-number generator in `deta-crypto` can be plugged in without a
+/// dependency cycle. Implemented for any `FnMut() -> u64` closure.
+pub trait RandomSource {
+    /// Returns the next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<F: FnMut() -> u64> RandomSource for F {
+    fn next_u64(&mut self) -> u64 {
+        self()
+    }
+}
+
+/// Returns a uniformly random value in `[0, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below<R: RandomSource + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "random_below with zero bound");
+    let bits = bound.bit_len();
+    let limbs = bits.div_ceil(64);
+    let top_mask = if bits % 64 == 0 {
+        u64::MAX
+    } else {
+        (1u64 << (bits % 64)) - 1
+    };
+    // Rejection sampling: each iteration succeeds with probability > 1/2.
+    loop {
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+        if let Some(top) = v.last_mut() {
+            *top &= top_mask;
+        }
+        let mut n = BigUint { limbs: v };
+        n.normalize();
+        if &n < bound {
+            return n;
+        }
+    }
+}
+
+/// Returns a uniformly random value with exactly `bits` significant bits.
+pub fn random_bits<R: RandomSource + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits > 0);
+    let limbs = bits.div_ceil(64);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+    let top_bit = (bits - 1) % 64;
+    let top = &mut v[limbs - 1];
+    if top_bit < 63 {
+        *top &= (1u64 << (top_bit + 1)) - 1;
+    }
+    *top |= 1u64 << top_bit; // Force the exact bit length.
+    let mut n = BigUint { limbs: v };
+    n.normalize();
+    n
+}
+
+/// Small primes used for cheap trial division before Miller-Rabin.
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
+];
+
+/// Tests `n` for primality with trial division plus `rounds` rounds of
+/// Miller-Rabin with random bases.
+///
+/// The error probability is at most `4^-rounds` for composite `n`.
+pub fn is_probable_prime<R: RandomSource + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    if n < &BigUint::from_u64(2) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from_u64(p);
+        if *n == p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let s = n_minus_1.trailing_zeros();
+    let d = n_minus_1.shr_bits(s);
+    let two = BigUint::from_u64(2);
+    let span = &n_minus_1 - &two; // Bases drawn from [2, n-2].
+    'witness: for _ in 0..rounds {
+        let a = &random_below(rng, &span) + &two;
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "prime must have at least 2 bits");
+    loop {
+        let mut candidate = random_bits(rng, bits);
+        // Force odd (except for the degenerate 2-bit case where 2 is fine).
+        if candidate.is_even() {
+            if bits == 2 {
+                return BigUint::from_u64(2);
+            }
+            candidate.limbs[0] |= 1;
+        }
+        if is_probable_prime(&candidate, 24, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> impl FnMut() -> u64 {
+        // xorshift64* with fixed seed: deterministic tests.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            s.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 97, 101, 8191, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 9, 15, 91, 561, 1_000_000_006, 1 << 40] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller-Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 16, &mut r));
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            let v = random_below(&mut r, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_exact_length() {
+        let mut r = rng();
+        for bits in [1usize, 2, 5, 63, 64, 65, 128, 200] {
+            let v = random_bits(&mut r, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn gen_prime_has_requested_bits() {
+        let mut r = rng();
+        for bits in [8usize, 16, 32, 64, 96] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_probable_prime(&p, 16, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_prime_128_bits() {
+        let mut r = rng();
+        let p = gen_prime(128, &mut r);
+        assert_eq!(p.bit_len(), 128);
+        // p - 1 must be even (p odd).
+        assert!(!p.is_even());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for `BigUint` arithmetic invariants.
+
+use deta_bignum::BigUint;
+use proptest::prelude::*;
+
+/// Strategy producing a `BigUint` from arbitrary big-endian bytes.
+fn biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+/// Strategy producing a non-zero `BigUint`.
+fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|n| if n.is_zero() { BigUint::one() } else { n })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in biguint(), b in biguint()) {
+        let s = &a + &b;
+        prop_assert_eq!(&s - &b, a);
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn div_rem_identity(a in biguint(), d in biguint_nonzero()) {
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in biguint(), s in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn gcd_lcm_product(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let g = a.gcd(&b);
+        let l = a.lcm(&b);
+        prop_assert_eq!(&g * &l, &a * &b);
+    }
+
+    #[test]
+    fn modpow_matches_naive(a in 0u64..1000, e in 0u64..20, m in 2u64..10_000) {
+        let expected = {
+            let mut acc: u128 = 1;
+            for _ in 0..e {
+                acc = acc * a as u128 % m as u128;
+            }
+            acc as u64
+        };
+        let got = BigUint::from_u64(a).modpow(
+            &BigUint::from_u64(e),
+            &BigUint::from_u64(m),
+        );
+        prop_assert_eq!(got, BigUint::from_u64(expected));
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in biguint_nonzero(), m in biguint_nonzero()) {
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_sub(a in biguint(), b in biguint()) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+}

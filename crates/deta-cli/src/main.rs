@@ -1,0 +1,198 @@
+//! `deta-cli` — run DeTA federated-learning sessions and attack
+//! evaluations from the command line.
+//!
+//! ```text
+//! deta-cli run <config>            run a DeTA session (and FFL baseline)
+//! deta-cli attack [--images N]     DLG attack across defense configurations
+//! deta-cli help                    this message
+//! ```
+
+use deta_attacks::dlg::{run_dlg, DlgConfig};
+use deta_attacks::graphnet::MlpSpec;
+use deta_attacks::harness::{breach_view, AttackTape, AttackView};
+use deta_attacks::metrics::mse;
+use deta_cli::Config;
+use deta_core::baseline::run_ffl;
+use deta_core::DetaSession;
+use deta_crypto::DetRng;
+use deta_datasets::{iid_partition, noniid_skew_partition, DatasetSpec};
+use std::process::ExitCode;
+
+const HELP: &str = "deta-cli — DeTA federated learning driver
+
+USAGE:
+    deta-cli run <config-file>     run a configured session, then the FFL baseline
+    deta-cli attack [N]            run the DLG attack demo over N images (default 5)
+    deta-cli help                  show this message
+
+CONFIG KEYS (key = value; # comments):
+    dataset      mnist|cifar10|cifar100|rvlcdip|imagenet   (default mnist)
+    resolution   image side in pixels                      (default 12)
+    model        mlp|convnet8|convnet23|vgg_lite|resnet_lite (default mlp)
+    hidden       mlp hidden width                          (default 32)
+    parties, aggregators, rounds, local_epochs, batch_size, lr, seed
+    algorithm    avg|sum|median|krum|flame|trimmed         (default avg)
+    mode         fedavg|fedsgd                             (default fedavg)
+    partition, shuffle, cc_protected                       (default true)
+    paillier     true enables encrypted fusion (paillier_bits, default 384)
+    ldp_epsilon, ldp_delta, ldp_clip                       enable local DP
+    participation  per-round quorum (partial participation)
+    noniid       true uses the 90-10 skew split
+    examples_per_party                                     (default 200)
+    link         lan|wan                                   (default lan)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("error: `run` needs a config file\n\n{HELP}");
+                return ExitCode::FAILURE;
+            };
+            match cmd_run(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("attack") => {
+            let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(5usize);
+            cmd_attack(n);
+            ExitCode::SUCCESS
+        }
+        Some("help") | None => {
+            println!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let config = Config::parse(&text)?;
+    let spec = config.dataset()?;
+    let session_cfg = config.session_config()?;
+    let per_party = config.examples_per_party()?;
+    let n_parties = session_cfg.n_parties;
+
+    println!(
+        "dataset {} at {}x{}, {} parties x {} examples, model {}",
+        spec.name,
+        spec.height,
+        spec.width,
+        n_parties,
+        per_party,
+        config.get("model").unwrap_or("mlp"),
+    );
+    let train = spec.generate(per_party * n_parties, session_cfg.seed.wrapping_add(1));
+    let test = spec.generate((per_party / 2).max(50), session_cfg.seed.wrapping_add(2));
+    let shards = if config.noniid()? {
+        noniid_skew_partition(&train, n_parties, 0.9, session_cfg.seed.wrapping_add(3))
+    } else {
+        iid_partition(&train, n_parties, session_cfg.seed.wrapping_add(3))
+    };
+    let builder = config.model_builder(&spec)?;
+
+    println!(
+        "\n== DeTA: {} aggregators, partition={} shuffle={} algorithm={} ==",
+        session_cfg.n_aggregators,
+        session_cfg.transform.partition,
+        session_cfg.transform.shuffle,
+        session_cfg.algorithm.name(),
+    );
+    let mut session = DetaSession::setup(session_cfg.clone(), builder.as_ref(), shards.clone())?;
+    let deta = session.run(&test);
+    for m in &deta {
+        println!(
+            "round {:2}  loss {:.4}  acc {:5.1}%  latency {:7.3}s  cum {:8.3}s",
+            m.round,
+            m.test_loss,
+            m.test_accuracy * 100.0,
+            m.round_latency_s,
+            m.cumulative_latency_s
+        );
+    }
+
+    println!("\n== FFL baseline ==");
+    let ffl = run_ffl(session_cfg, builder.as_ref(), shards, &test)?;
+    for m in &ffl {
+        println!(
+            "round {:2}  loss {:.4}  acc {:5.1}%  latency {:7.3}s  cum {:8.3}s",
+            m.round,
+            m.test_loss,
+            m.test_accuracy * 100.0,
+            m.round_latency_s,
+            m.cumulative_latency_s
+        );
+    }
+    let d = deta.last().map(|m| m.cumulative_latency_s).unwrap_or(0.0);
+    let f = ffl.last().map(|m| m.cumulative_latency_s).unwrap_or(0.0);
+    if f > 0.0 {
+        println!("\nDeTA/FFL latency overhead: {:+.2}x", d / f - 1.0);
+    }
+    Ok(())
+}
+
+fn cmd_attack(n_images: usize) {
+    let spec_data = DatasetSpec::cifar100_like().at_resolution(8);
+    let dim = spec_data.dim();
+    let model = MlpSpec::new(&[dim, 24, 20]);
+    let mut rng = DetRng::from_u64(1);
+    let params: Vec<f32> = (0..model.param_count())
+        .map(|_| rng.next_gaussian() as f32 * 0.3)
+        .collect();
+    let tape = AttackTape::build(&model, model.param_count());
+    let mut ev = tape.tape.evaluator();
+    let views = [
+        AttackView::Full,
+        AttackView::Partition { factor: 0.6 },
+        AttackView::PartitionShuffle { factor: 0.6 },
+    ];
+    println!("{:<16} {:>10} {:>14}", "view", "success", "median MSE");
+    for view in views {
+        let mut mses: Vec<f64> = Vec::new();
+        for img in 0..n_images {
+            let label = img % 20;
+            let sample = spec_data.generate_class(label, 1, img as u64);
+            let image: Vec<f32> = sample.features.data().to_vec();
+            let xin: Vec<f64> = image.iter().map(|&v| v as f64).collect();
+            let inputs = tape.pack_inputs(
+                &xin,
+                &tape.hard_label_logits(label),
+                &params,
+                &vec![0.0; model.param_count()],
+            );
+            ev.eval(&tape.tape, &inputs);
+            let gradient: Vec<f32> = tape.grads.iter().map(|&g| ev.value(g) as f32).collect();
+            let bv = breach_view(&gradient, view, 7, &[img as u8; 16]);
+            let out = run_dlg(
+                &model,
+                &params,
+                &bv,
+                &DlgConfig {
+                    iterations: 300,
+                    lr: 0.1,
+                    seed: img as u64,
+                    restarts: 1,
+                },
+            );
+            mses.push(mse(&out.reconstruction, &image));
+        }
+        mses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let success = mses.iter().filter(|&&m| m < 1e-3).count();
+        println!(
+            "{:<16} {:>7}/{:<2} {:>14.5}",
+            view.label(),
+            success,
+            n_images,
+            mses[n_images / 2]
+        );
+    }
+}

@@ -1,0 +1,473 @@
+//! Model aggregation algorithms (paper Section 3.1 and 7.1).
+//!
+//! All algorithms here operate on a slice of per-party update vectors of
+//! equal length and produce one aggregated vector of that length. Because
+//! each is coordinate-wise (or, for Krum/FLAME, distance-based in a way
+//! that partitioning and permutation preserve — permutations are
+//! isometries of the L2 norm), they compute identical results on whole
+//! updates and on partitioned/shuffled fragments. That invariance is what
+//! makes DeTA transparent to the training algorithm, and it is asserted by
+//! property tests in `tests/invariance.rs`.
+
+/// A model aggregation algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use deta_core::agg::AggKind;
+///
+/// let alg = AggKind::IterativeAveraging.build();
+/// let inputs = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+/// assert_eq!(alg.aggregate(&inputs, &[1.0, 1.0]), vec![2.0, 3.0]);
+/// ```
+pub trait Aggregation: Send + Sync {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Aggregates `inputs[party][coord]` with per-party weights.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `inputs` is empty, lengths differ, or
+    /// `weights.len() != inputs.len()`.
+    fn aggregate(&self, inputs: &[Vec<f32>], weights: &[f32]) -> Vec<f32>;
+}
+
+/// Selects an aggregation algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKind {
+    /// Weighted iterative averaging (the FedAvg/FedSGD core).
+    IterativeAveraging,
+    /// Unweighted gradient sum (FedSGD variant).
+    GradientSum,
+    /// Coordinate-wise median (Byzantine-robust).
+    CoordinateMedian,
+    /// Krum selection with `f` assumed Byzantine parties.
+    Krum {
+        /// Assumed number of Byzantine parties.
+        f: usize,
+    },
+    /// FLAME-lite: cosine-distance outlier filtering + clipped averaging.
+    FlameLite,
+    /// Coordinate-wise trimmed mean discarding the `trim` largest and
+    /// smallest values per coordinate (Yin et al., 2018).
+    TrimmedMean {
+        /// Values trimmed from each end per coordinate.
+        trim: usize,
+    },
+}
+
+impl AggKind {
+    /// Instantiates the algorithm.
+    pub fn build(&self) -> Box<dyn Aggregation> {
+        match *self {
+            AggKind::IterativeAveraging => Box::new(IterativeAveraging),
+            AggKind::GradientSum => Box::new(GradientSum),
+            AggKind::CoordinateMedian => Box::new(CoordinateMedian),
+            AggKind::Krum { f } => Box::new(Krum { f }),
+            AggKind::FlameLite => Box::new(FlameLite),
+            AggKind::TrimmedMean { trim } => Box::new(TrimmedMean { trim }),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggKind::IterativeAveraging => "iterative-averaging",
+            AggKind::GradientSum => "gradient-sum",
+            AggKind::CoordinateMedian => "coordinate-median",
+            AggKind::Krum { .. } => "krum",
+            AggKind::FlameLite => "flame-lite",
+            AggKind::TrimmedMean { .. } => "trimmed-mean",
+        }
+    }
+}
+
+fn validate(inputs: &[Vec<f32>], weights: &[f32]) -> usize {
+    assert!(!inputs.is_empty(), "no inputs to aggregate");
+    assert_eq!(weights.len(), inputs.len(), "weight count mismatch");
+    let len = inputs[0].len();
+    for (i, v) in inputs.iter().enumerate() {
+        assert_eq!(v.len(), len, "input {i} length mismatch");
+    }
+    len
+}
+
+/// Weighted mean across parties — the core of FedAvg and FedSGD.
+pub struct IterativeAveraging;
+
+impl Aggregation for IterativeAveraging {
+    fn name(&self) -> &'static str {
+        "iterative-averaging"
+    }
+
+    fn aggregate(&self, inputs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+        let len = validate(inputs, weights);
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut out = vec![0.0f64; len];
+        for (input, &w) in inputs.iter().zip(weights.iter()) {
+            let w = w as f64 / total;
+            for (o, &v) in out.iter_mut().zip(input.iter()) {
+                *o += w * v as f64;
+            }
+        }
+        out.into_iter().map(|v| v as f32).collect()
+    }
+}
+
+/// Plain sum (FedSGD gradient accumulation); weights are ignored.
+pub struct GradientSum;
+
+impl Aggregation for GradientSum {
+    fn name(&self) -> &'static str {
+        "gradient-sum"
+    }
+
+    fn aggregate(&self, inputs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+        let len = validate(inputs, weights);
+        let mut out = vec![0.0f64; len];
+        for input in inputs {
+            for (o, &v) in out.iter_mut().zip(input.iter()) {
+                *o += v as f64;
+            }
+        }
+        out.into_iter().map(|v| v as f32).collect()
+    }
+}
+
+/// Coordinate-wise median (Yin et al., 2018); weights are ignored.
+pub struct CoordinateMedian;
+
+impl Aggregation for CoordinateMedian {
+    fn name(&self) -> &'static str {
+        "coordinate-median"
+    }
+
+    fn aggregate(&self, inputs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+        let len = validate(inputs, weights);
+        let n = inputs.len();
+        let mut column = vec![0.0f32; n];
+        let mut out = Vec::with_capacity(len);
+        for c in 0..len {
+            for (p, input) in inputs.iter().enumerate() {
+                column[p] = input[c];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = if n % 2 == 1 {
+                column[n / 2]
+            } else {
+                (column[n / 2 - 1] + column[n / 2]) / 2.0
+            };
+            out.push(median);
+        }
+        out
+    }
+}
+
+/// Krum (Blanchard et al., 2017): selects the single update closest to its
+/// `n - f - 2` nearest neighbours; weights are ignored.
+///
+/// With DeTA partitioning enabled, selection runs independently per
+/// fragment — the paper notes this preserves outlier elimination because
+/// permutation preserves pairwise distances.
+pub struct Krum {
+    /// Assumed number of Byzantine parties.
+    pub f: usize,
+}
+
+impl Aggregation for Krum {
+    fn name(&self) -> &'static str {
+        "krum"
+    }
+
+    fn aggregate(&self, inputs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+        validate(inputs, weights);
+        let n = inputs.len();
+        // Krum's neighbourhood size: n - f - 2 (at least 1).
+        let k = n.saturating_sub(self.f + 2).max(1);
+        let mut best_score = f64::INFINITY;
+        let mut best_idx = 0usize;
+        for i in 0..n {
+            let mut dists: Vec<f64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| sq_dist(&inputs[i], &inputs[j]))
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let score: f64 = dists.iter().take(k).sum();
+            if score < best_score {
+                best_score = score;
+                best_idx = i;
+            }
+        }
+        inputs[best_idx].clone()
+    }
+}
+
+/// FLAME-lite: filters parties whose update direction deviates (cosine
+/// distance to the coordinate-wise median direction), clips the survivors
+/// to the median norm, and averages. Weights are ignored.
+///
+/// This captures the clustering + clipping structure of FLAME (Nguyen et
+/// al., 2022) in a deterministic, dependency-free form.
+pub struct FlameLite;
+
+impl Aggregation for FlameLite {
+    fn name(&self) -> &'static str {
+        "flame-lite"
+    }
+
+    fn aggregate(&self, inputs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+        let len = validate(inputs, weights);
+        let n = inputs.len();
+        if n <= 2 {
+            // Too few parties to filter; fall back to the mean.
+            return IterativeAveraging.aggregate(inputs, &vec![1.0; n]);
+        }
+        // Reference direction: the coordinate-wise median update.
+        let median = CoordinateMedian.aggregate(inputs, weights);
+        // Cosine distance of each update to the reference.
+        let dists: Vec<f64> = inputs.iter().map(|u| cosine_distance(u, &median)).collect();
+        let mut sorted = dists.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med_dist = sorted[n / 2];
+        // Accept updates within twice the median distance (plus epsilon
+        // for the all-identical case).
+        let threshold = med_dist * 2.0 + 1e-9;
+        let accepted: Vec<usize> = (0..n).filter(|&i| dists[i] <= threshold).collect();
+        // Clip accepted updates to the median L2 norm.
+        let norms: Vec<f64> = accepted.iter().map(|&i| l2(&inputs[i])).collect();
+        let mut sorted_norms = norms.clone();
+        sorted_norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let clip = sorted_norms[sorted_norms.len() / 2].max(1e-12);
+        let mut out = vec![0.0f64; len];
+        for (&i, &norm) in accepted.iter().zip(norms.iter()) {
+            let scale = if norm > clip { clip / norm } else { 1.0 };
+            for (o, &v) in out.iter_mut().zip(inputs[i].iter()) {
+                *o += v as f64 * scale;
+            }
+        }
+        let inv = 1.0 / accepted.len() as f64;
+        out.into_iter().map(|v| (v * inv) as f32).collect()
+    }
+}
+
+/// Coordinate-wise trimmed mean: per coordinate, drop the `trim` smallest
+/// and largest party values and average the rest. Robust to up to `trim`
+/// Byzantine parties per coordinate; weights are ignored.
+pub struct TrimmedMean {
+    /// Values trimmed from each end.
+    pub trim: usize,
+}
+
+impl Aggregation for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "trimmed-mean"
+    }
+
+    fn aggregate(&self, inputs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+        let len = validate(inputs, weights);
+        let n = inputs.len();
+        assert!(
+            2 * self.trim < n,
+            "trim {} too large for {n} parties",
+            self.trim
+        );
+        let keep = n - 2 * self.trim;
+        let mut column = vec![0.0f32; n];
+        let mut out = Vec::with_capacity(len);
+        for c in 0..len {
+            for (p, input) in inputs.iter().enumerate() {
+                column[p] = input[c];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let sum: f64 = column[self.trim..n - self.trim]
+                .iter()
+                .map(|&v| v as f64)
+                .sum();
+            out.push((sum / keep as f64) as f32);
+        }
+        out
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+fn l2(a: &[f32]) -> f64 {
+    a.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt()
+}
+
+fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
+    let dot: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum();
+    let na = l2(a);
+    let nb = l2(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 3.0, 4.0, 5.0],
+            vec![3.0, 4.0, 5.0, 6.0],
+        ]
+    }
+
+    #[test]
+    fn averaging_unweighted() {
+        let out = IterativeAveraging.aggregate(&inputs(), &[1.0, 1.0, 1.0]);
+        assert_eq!(out, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn averaging_weighted() {
+        // Paper: theta <- sum_i (n_i / n) theta_i with n_i = party data sizes.
+        let out = IterativeAveraging.aggregate(&inputs(), &[2.0, 1.0, 1.0]);
+        assert_eq!(out[0], (2.0 * 1.0 + 2.0 + 3.0) / 4.0);
+    }
+
+    #[test]
+    fn gradient_sum() {
+        let out = GradientSum.aggregate(&inputs(), &[1.0, 1.0, 1.0]);
+        assert_eq!(out, vec![6.0, 9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn coordinate_median_odd() {
+        let out = CoordinateMedian.aggregate(&inputs(), &[1.0, 1.0, 1.0]);
+        assert_eq!(out, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn coordinate_median_even() {
+        let ins = vec![vec![1.0, 10.0], vec![3.0, 20.0]];
+        let out = CoordinateMedian.aggregate(&ins, &[1.0, 1.0]);
+        assert_eq!(out, vec![2.0, 15.0]);
+    }
+
+    #[test]
+    fn median_resists_outlier() {
+        let mut ins = inputs();
+        ins.push(vec![1e9, 1e9, 1e9, 1e9]);
+        let out = CoordinateMedian.aggregate(&ins, &[1.0; 4]);
+        assert!(out.iter().all(|&v| v < 10.0));
+    }
+
+    #[test]
+    fn krum_selects_an_input() {
+        let out = Krum { f: 1 }.aggregate(&inputs(), &[1.0; 3]);
+        assert!(inputs().contains(&out));
+    }
+
+    #[test]
+    fn krum_rejects_outlier() {
+        let mut ins = inputs();
+        ins.push(vec![1e6, -1e6, 1e6, -1e6]);
+        let out = Krum { f: 1 }.aggregate(&ins, &[1.0; 4]);
+        assert!(out.iter().all(|&v| v.abs() < 10.0), "picked the outlier");
+    }
+
+    #[test]
+    fn flame_filters_poisoned_update() {
+        // Honest updates point one way; the poisoned one is opposite and
+        // huge. FLAME-lite must keep the aggregate near the honest mean.
+        let honest: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..8).map(|c| 1.0 + 0.01 * (i * 8 + c) as f32).collect())
+            .collect();
+        let mut ins = honest.clone();
+        ins.push(vec![-50.0; 8]);
+        let out = FlameLite.aggregate(&ins, &[1.0; 6]);
+        for &v in &out {
+            assert!((0.5..=1.5).contains(&v), "aggregate {v} polluted by poison");
+        }
+    }
+
+    #[test]
+    fn flame_small_n_falls_back_to_mean() {
+        let ins = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let out = FlameLite.aggregate(&ins, &[1.0, 1.0]);
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_basics() {
+        let out = TrimmedMean { trim: 1 }.aggregate(&inputs(), &[1.0; 3]);
+        // Trimming 1 from each end of 3 values leaves the median.
+        assert_eq!(out, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_resists_outlier() {
+        let mut ins = inputs();
+        ins.push(vec![1e9; 4]);
+        ins.push(vec![-1e9; 4]);
+        let out = TrimmedMean { trim: 1 }.aggregate(&ins, &[1.0; 5]);
+        assert!(out.iter().all(|&v| v.abs() < 10.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn trimmed_mean_overtrim_panics() {
+        TrimmedMean { trim: 2 }.aggregate(&inputs(), &[1.0; 3]);
+    }
+
+    #[test]
+    fn kind_builds_correct_algorithm() {
+        for kind in [
+            AggKind::IterativeAveraging,
+            AggKind::GradientSum,
+            AggKind::CoordinateMedian,
+            AggKind::Krum { f: 0 },
+            AggKind::FlameLite,
+            AggKind::TrimmedMean { trim: 1 },
+        ] {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_inputs_panic() {
+        IterativeAveraging.aggregate(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_inputs_panic() {
+        IterativeAveraging.aggregate(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn all_algorithms_preserve_length() {
+        let ins = inputs();
+        for kind in [
+            AggKind::IterativeAveraging,
+            AggKind::GradientSum,
+            AggKind::CoordinateMedian,
+            AggKind::Krum { f: 0 },
+            AggKind::FlameLite,
+            AggKind::TrimmedMean { trim: 1 },
+        ] {
+            let out = kind.build().aggregate(&ins, &[1.0; 3]);
+            assert_eq!(out.len(), 4, "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! The aggregator runtime, executing inside a (simulated) SEV CVM.
+//!
+//! Each aggregator:
+//!
+//! * loads its authentication-token signing key from the secret the
+//!   attestation proxy injected at verified launch,
+//! * answers party handshakes by signing the challenge transcript with
+//!   that token (Phase II challenge-response),
+//! * collects transformed fragment uploads over secure channels, keeping
+//!   them in CVM guest memory (so a breach leaks exactly what the paper's
+//!   threat model says it leaks: fragmented, shuffled vectors),
+//! * runs the chosen coordinate-wise aggregation when all registered
+//!   parties have uploaded, and dispatches aggregated fragments back,
+//! * participates in inter-aggregator synchronization: one initiator node
+//!   announces rounds; followers acknowledge completion.
+
+use crate::agg::Aggregation;
+use crate::proxy::TOKEN_SECRET_LABEL;
+use crate::wire::Msg;
+use deta_bignum::BigUint;
+use deta_crypto::{DetRng, SigningKey};
+use deta_paillier::{Ciphertext, PublicKey as PaillierPk};
+use deta_sev_sim::Cvm;
+use deta_transport::{secure, Endpoint, SecureChannel};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Role in inter-aggregator synchronization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AggRole {
+    /// Coordinates rounds: notifies parties and followers.
+    Initiator {
+        /// Endpoint names of the follower aggregators.
+        followers: Vec<String>,
+    },
+    /// Waits for the initiator's round announcements.
+    Follower {
+        /// Endpoint name of the initiator.
+        initiator: String,
+    },
+}
+
+/// Errors from the aggregator runtime.
+#[derive(Debug)]
+pub enum AggError {
+    /// The CVM has no provisioned token secret.
+    MissingToken,
+    /// The token secret bytes are not a valid signing key.
+    BadToken,
+}
+
+impl std::fmt::Display for AggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggError::MissingToken => write!(f, "CVM has no provisioned auth token"),
+            AggError::BadToken => write!(f, "provisioned auth token is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+/// One aggregator node.
+pub struct AggregatorNode {
+    /// Endpoint name.
+    pub name: String,
+    cvm: Cvm,
+    token: SigningKey,
+    endpoint: Endpoint,
+    rng: DetRng,
+    channels: HashMap<String, SecureChannel>,
+    registered: HashMap<String, f32>,
+    algorithm: Box<dyn Aggregation>,
+    role: AggRole,
+    /// Plain fragment uploads per round: party -> fragment.
+    pending: HashMap<u64, HashMap<String, Vec<f32>>>,
+    /// Encrypted uploads per round: party -> (ciphertexts, value count).
+    pending_enc: HashMap<u64, HashMap<String, (Vec<Ciphertext>, u64)>>,
+    /// Paillier public key when running encrypted fusion.
+    paillier_pk: Option<PaillierPk>,
+    /// Rounds whose aggregation this node has completed.
+    pub completed_rounds: u64,
+    /// Measured aggregation compute seconds (for the latency model).
+    pub aggregate_time_s: f64,
+    /// Sync acknowledgements received (initiator only).
+    sync_done: HashMap<u64, usize>,
+    /// Per-round upload quorum (None = wait for every registered party).
+    quorum: Option<usize>,
+}
+
+impl AggregatorNode {
+    /// Creates a node from a provisioned CVM.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the CVM lacks a valid token secret (i.e. Phase I never
+    /// completed for this CVM).
+    pub fn new(
+        name: &str,
+        cvm: Cvm,
+        endpoint: Endpoint,
+        algorithm: Box<dyn Aggregation>,
+        role: AggRole,
+        rng: DetRng,
+    ) -> Result<AggregatorNode, AggError> {
+        let secret = cvm
+            .guest()
+            .secret(TOKEN_SECRET_LABEL)
+            .ok_or(AggError::MissingToken)?;
+        let token = SigningKey::from_bytes(&secret).ok_or(AggError::BadToken)?;
+        Ok(AggregatorNode {
+            name: name.to_string(),
+            cvm,
+            token,
+            endpoint,
+            rng,
+            channels: HashMap::new(),
+            registered: HashMap::new(),
+            algorithm,
+            role,
+            pending: HashMap::new(),
+            pending_enc: HashMap::new(),
+            paillier_pk: None,
+            completed_rounds: 0,
+            aggregate_time_s: 0.0,
+            sync_done: HashMap::new(),
+            quorum: None,
+        })
+    }
+
+    /// Enables the Paillier fusion path with the given public key.
+    pub fn set_paillier_key(&mut self, pk: PaillierPk) {
+        self.paillier_pk = Some(pk);
+    }
+
+    /// Sets a per-round upload quorum: aggregation fires once this many
+    /// parties have uploaded (partial participation). `None` waits for
+    /// all registered parties.
+    pub fn set_quorum(&mut self, quorum: Option<usize>) {
+        self.quorum = quorum;
+    }
+
+    /// Registered party count.
+    pub fn registered_parties(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Deregisters a party (dropout handling): pending and future rounds
+    /// aggregate over the remaining parties only.
+    ///
+    /// Cross-silo parties leave for maintenance or network partitions;
+    /// because every algorithm here aggregates whatever the registered
+    /// set contributed, removal is safe at round boundaries.
+    pub fn deregister(&mut self, party: &str) {
+        self.registered.remove(party);
+        for uploads in self.pending.values_mut() {
+            uploads.remove(party);
+        }
+        for uploads in self.pending_enc.values_mut() {
+            uploads.remove(party);
+        }
+    }
+
+    /// Access to the CVM (e.g. for breach experiments).
+    pub fn cvm(&self) -> &Cvm {
+        &self.cvm
+    }
+
+    /// Initiator only: announces a round to all parties and followers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a follower.
+    pub fn begin_round(&mut self, round: u64, training_id: [u8; 16]) {
+        let followers = match &self.role {
+            AggRole::Initiator { followers } => followers.clone(),
+            AggRole::Follower { .. } => panic!("begin_round on a follower"),
+        };
+        for f in &followers {
+            let _ = self
+                .endpoint
+                .send(f, Msg::SyncRound { round, training_id }.encode());
+        }
+        let parties: Vec<String> = self.registered.keys().cloned().collect();
+        for p in parties {
+            self.send_sealed(&p, &Msg::RoundStart { round, training_id });
+        }
+    }
+
+    /// Initiator only: number of follower round-completion acks received
+    /// for `round`.
+    pub fn sync_acks(&self, round: u64) -> usize {
+        self.sync_done.get(&round).copied().unwrap_or(0)
+    }
+
+    /// Processes all queued messages; returns how many were handled.
+    pub fn pump(&mut self) -> usize {
+        let mut handled = 0;
+        while let Some(msg) = self.endpoint.recv() {
+            self.handle(&msg.from, &msg.payload);
+            handled += 1;
+        }
+        handled
+    }
+
+    /// Blocks up to `timeout` for the next message, then drains the
+    /// queue. The service loop for a threaded deployment.
+    pub fn pump_blocking(&mut self, timeout: std::time::Duration) -> usize {
+        match self.endpoint.recv_timeout(timeout) {
+            None => 0,
+            Some(msg) => {
+                self.handle(&msg.from.clone(), &msg.payload.clone());
+                1 + self.pump()
+            }
+        }
+    }
+
+    fn send_sealed(&mut self, to: &str, msg: &Msg) {
+        let Some(chan) = self.channels.get_mut(to) else {
+            return;
+        };
+        let sealed = chan.seal_msg(&msg.encode());
+        let _ = self.endpoint.send(to, Msg::Record { sealed }.encode());
+    }
+
+    fn handle(&mut self, from: &str, payload: &[u8]) {
+        let Ok(msg) = Msg::decode(payload) else {
+            return; // Malformed traffic is dropped.
+        };
+        match msg {
+            Msg::Hello { handshake } => {
+                // Phase II: sign the handshake transcript with the token.
+                if let Ok((resp, chan)) = secure::respond(&handshake, &self.token, &mut self.rng) {
+                    self.channels.insert(from.to_string(), chan);
+                    let _ = self
+                        .endpoint
+                        .send(from, Msg::HelloReply { handshake: resp }.encode());
+                }
+            }
+            Msg::Record { sealed } => {
+                let Some(chan) = self.channels.get_mut(from) else {
+                    return;
+                };
+                let Ok(plain) = chan.open_msg(&sealed) else {
+                    return;
+                };
+                let Ok(inner) = Msg::decode(&plain) else {
+                    return;
+                };
+                self.handle_inner(from, inner);
+            }
+            Msg::SyncRound { round, training_id } => {
+                // On a follower the training id is opaque (the permutation
+                // key never reaches aggregators) and there is nothing to
+                // do until uploads arrive. On the initiator this message
+                // is the operator's round trigger: fan it out.
+                if matches!(self.role, AggRole::Initiator { .. }) {
+                    self.begin_round(round, training_id);
+                }
+            }
+            Msg::SyncDone { round } => {
+                *self.sync_done.entry(round).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_inner(&mut self, from: &str, msg: Msg) {
+        match msg {
+            Msg::Register { party, weight } => {
+                self.registered.insert(party, weight);
+                self.send_sealed(from, &Msg::RegisterAck);
+            }
+            Msg::Upload { round, fragment } => {
+                self.pending
+                    .entry(round)
+                    .or_default()
+                    .insert(from.to_string(), fragment);
+                self.try_aggregate(round);
+            }
+            Msg::UploadEncrypted {
+                round,
+                ciphertexts,
+                value_count,
+            } => {
+                let cts: Vec<Ciphertext> = ciphertexts
+                    .iter()
+                    .map(|b| Ciphertext(BigUint::from_bytes_be(b)))
+                    .collect();
+                self.pending_enc
+                    .entry(round)
+                    .or_default()
+                    .insert(from.to_string(), (cts, value_count));
+                self.try_aggregate_encrypted(round);
+            }
+            _ => {}
+        }
+    }
+
+    /// Runs plain aggregation once the expected number of parties (the
+    /// quorum, or every registered party) has uploaded. Uploads arriving
+    /// after the round completed are discarded.
+    fn try_aggregate(&mut self, round: u64) {
+        if round <= self.completed_rounds {
+            self.pending.remove(&round);
+            return;
+        }
+        let n = self.registered.len();
+        let expected = self.quorum.unwrap_or(n).min(n);
+        if n == 0 || self.pending.get(&round).map_or(0, |m| m.len()) < expected {
+            return;
+        }
+        let uploads = self.pending.remove(&round).unwrap();
+        // Deterministic party order: sorted by name.
+        let mut names: Vec<&String> = uploads.keys().collect();
+        names.sort();
+        let inputs: Vec<Vec<f32>> = names.iter().map(|n| uploads[*n].clone()).collect();
+        let weights: Vec<f32> = names
+            .iter()
+            .map(|n| self.registered.get(*n).copied().unwrap_or(1.0))
+            .collect();
+        // Record the fragments in CVM guest memory: this is precisely what
+        // a breach of this aggregator leaks. Length-prefixed records of
+        // (party name, Upload message).
+        let mut mem = Vec::new();
+        for (name, input) in names.iter().zip(inputs.iter()) {
+            let name_bytes = name.as_bytes();
+            mem.extend_from_slice(&(name_bytes.len() as u32).to_le_bytes());
+            mem.extend_from_slice(name_bytes);
+            let msg = Msg::Upload {
+                round,
+                fragment: input.clone(),
+            }
+            .encode();
+            mem.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+            mem.extend_from_slice(&msg);
+        }
+        self.cvm.guest().write(&mem);
+        let t0 = Instant::now();
+        let aggregated = self.algorithm.aggregate(&inputs, &weights);
+        self.aggregate_time_s += t0.elapsed().as_secs_f64();
+        let parties: Vec<String> = self.registered.keys().cloned().collect();
+        for p in parties {
+            self.send_sealed(
+                &p,
+                &Msg::Aggregated {
+                    round,
+                    fragment: aggregated.clone(),
+                },
+            );
+        }
+        self.completed_rounds = self.completed_rounds.max(round);
+        self.notify_initiator(round);
+    }
+
+    /// Runs homomorphic aggregation once the expected number of parties
+    /// has uploaded.
+    fn try_aggregate_encrypted(&mut self, round: u64) {
+        if round <= self.completed_rounds {
+            self.pending_enc.remove(&round);
+            return;
+        }
+        let n = self.registered.len();
+        let expected = self.quorum.unwrap_or(n).min(n);
+        if n == 0 || self.pending_enc.get(&round).map_or(0, |m| m.len()) < expected {
+            return;
+        }
+        let Some(pk) = self.paillier_pk.clone() else {
+            return;
+        };
+        let uploads = self.pending_enc.remove(&round).unwrap();
+        let mut names: Vec<&String> = uploads.keys().collect();
+        names.sort();
+        let value_count = uploads[names[0]].1;
+        let ct_len = uploads[names[0]].0.len();
+        let t0 = Instant::now();
+        let mut acc: Vec<Ciphertext> = vec![pk.zero_ciphertext(); ct_len];
+        for name in &names {
+            let (cts, vc) = &uploads[*name];
+            if cts.len() != ct_len || *vc != value_count {
+                return; // Inconsistent upload; drop the round.
+            }
+            for (a, c) in acc.iter_mut().zip(cts.iter()) {
+                *a = a.add(c, &pk);
+            }
+        }
+        self.aggregate_time_s += t0.elapsed().as_secs_f64();
+        let serialized: Vec<Vec<u8>> = acc.iter().map(|c| c.0.to_bytes_be()).collect();
+        let parties: Vec<String> = self.registered.keys().cloned().collect();
+        for p in parties {
+            self.send_sealed(
+                &p,
+                &Msg::AggregatedEncrypted {
+                    round,
+                    ciphertexts: serialized.clone(),
+                    value_count,
+                    summands: n as u64,
+                },
+            );
+        }
+        self.completed_rounds = self.completed_rounds.max(round);
+        self.notify_initiator(round);
+    }
+
+    fn notify_initiator(&mut self, round: u64) {
+        if let AggRole::Follower { initiator } = &self.role {
+            let _ = self
+                .endpoint
+                .send(&initiator.clone(), Msg::SyncDone { round }.encode());
+        }
+    }
+}
+
+/// Parses a breached aggregator's guest memory into the model-update
+/// fragments it held: `(party name, round, fragment)` records.
+///
+/// This is the attacker-side counterpart of the record format written in
+/// [`AggregatorNode`]'s aggregation path; malformed trailing bytes are
+/// ignored.
+pub fn parse_breached_memory(memory: &[u8]) -> Vec<(String, u64, Vec<f32>)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let read_u32 = |buf: &[u8], pos: usize| -> Option<usize> {
+        buf.get(pos..pos + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()) as usize)
+    };
+    while pos + 4 <= memory.len() {
+        let Some(name_len) = read_u32(memory, pos) else {
+            break;
+        };
+        pos += 4;
+        let Some(name_bytes) = memory.get(pos..pos + name_len) else {
+            break;
+        };
+        let Ok(name) = String::from_utf8(name_bytes.to_vec()) else {
+            break;
+        };
+        pos += name_len;
+        let Some(msg_len) = read_u32(memory, pos) else {
+            break;
+        };
+        pos += 4;
+        let Some(msg_bytes) = memory.get(pos..pos + msg_len) else {
+            break;
+        };
+        pos += msg_len;
+        if let Ok(Msg::Upload { round, fragment }) = Msg::decode(msg_bytes) {
+            out.push((name, round, fragment));
+        }
+    }
+    out
+}

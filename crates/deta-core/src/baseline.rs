@@ -1,0 +1,68 @@
+//! The FFL baseline: traditional centralized FL.
+//!
+//! Every comparison in the paper's evaluation is against the IBM Framework
+//! for Federated Learning with one central aggregator. The baseline here
+//! is the same runtime with a single aggregator, no partitioning, no
+//! shuffling, and no confidential-computing overhead — the party-side
+//! training code, wire protocol, and aggregation algorithms are shared, so
+//! differences in accuracy or latency are attributable to DeTA's security
+//! features alone.
+
+use crate::session::{DetaConfig, DetaSession, RoundMetrics, SetupError};
+use deta_crypto::DetRng;
+use deta_nn::train::LabeledData;
+use deta_nn::Sequential;
+
+/// Convenience wrapper: builds and runs a baseline (FFL-style) session
+/// with the same knobs as a DeTA session.
+///
+/// The `config` passed in is coerced to the baseline shape (one
+/// aggregator, no transform, no CC) while keeping all training
+/// hyper-parameters.
+///
+/// # Errors
+///
+/// Propagates setup failures.
+pub fn run_ffl(
+    mut config: DetaConfig,
+    model_builder: &dyn Fn(&mut DetRng) -> Sequential,
+    party_data: Vec<LabeledData>,
+    test: &LabeledData,
+) -> Result<Vec<RoundMetrics>, SetupError> {
+    config.n_aggregators = 1;
+    config.proportions = None;
+    config.transform = crate::transform::TransformConfig::none();
+    config.cc_protected = false;
+    let mut session = DetaSession::setup(config, model_builder, party_data)?;
+    Ok(session.run(test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deta_datasets::{iid_partition, DatasetSpec};
+    use deta_nn::models::mlp;
+
+    #[test]
+    fn ffl_baseline_trains() {
+        let spec = DatasetSpec::mnist_like().at_resolution(8);
+        let train = spec.generate(120, 1);
+        let test = spec.generate(60, 2);
+        let shards = iid_partition(&train, 2, 3);
+        let config = DetaConfig::ffl_baseline(2, 3);
+        let dim = spec.dim();
+        let classes = spec.classes;
+        let metrics = run_ffl(
+            config,
+            &move |rng| mlp(&[dim, 24, classes], rng),
+            shards,
+            &test,
+        )
+        .unwrap();
+        assert_eq!(metrics.len(), 3);
+        // Loss should improve from round 1 to round 3.
+        assert!(metrics[2].test_loss < metrics[0].test_loss * 1.05);
+        // Baseline never pays CC overhead.
+        assert_eq!(metrics[0].latency.cc_overhead_s, 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! A threaded aggregator deployment.
+//!
+//! [`crate::session::DetaSession`] drives aggregators synchronously for
+//! exact reproducibility, but a real DeTA deployment runs each aggregator
+//! as an independent service. [`ThreadedAggregators`] provides that mode:
+//! each node runs a blocking service loop on its own OS thread, waking on
+//! message arrival (see `Endpoint::recv_timeout`) and going back to sleep
+//! when the queue drains. Rounds are triggered by sending the initiator a
+//! `SyncRound` message from any operator endpoint.
+
+use crate::aggregator::AggregatorNode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running cluster of aggregator service threads.
+pub struct ThreadedAggregators {
+    handles: Vec<JoinHandle<AggregatorNode>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ThreadedAggregators {
+    /// Spawns one service thread per node.
+    pub fn spawn(nodes: Vec<AggregatorNode>) -> ThreadedAggregators {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = nodes
+            .into_iter()
+            .map(|mut node| {
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("deta-{}", node.name))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            node.pump_blocking(Duration::from_millis(20));
+                        }
+                        // Drain anything still queued before handing the
+                        // node back.
+                        node.pump();
+                        node
+                    })
+                    .expect("spawn aggregator thread")
+            })
+            .collect();
+        ThreadedAggregators { handles, stop }
+    }
+
+    /// Number of running aggregator threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Signals all threads to stop and returns the nodes.
+    pub fn shutdown(self) -> Vec<AggregatorNode> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("aggregator thread panicked"))
+            .collect()
+    }
+}

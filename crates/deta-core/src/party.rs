@@ -1,0 +1,517 @@
+//! The FL party runtime.
+//!
+//! Parties hold the private training data. Per the paper's life cycle
+//! (Figure 1) each party:
+//!
+//! 1. verifies every aggregator via challenge-response against the token
+//!    keys published by the attestation proxy, and registers (Phase II),
+//! 2. on each round announcement, trains locally, applies
+//!    `Trans` (partition + shuffle) to its flat model update, and uploads
+//!    fragment `j` to aggregator `j` over its secure channel,
+//! 3. collects aggregated fragments from all aggregators, applies
+//!    `Trans^-1`, and synchronizes its local model.
+//!
+//! With the Paillier fusion algorithm, step 2 additionally encrypts each
+//! fragment and step 3 decrypts the homomorphic sums.
+
+use crate::dp::{gaussian_mechanism, LdpConfig, PrivacyAccountant};
+use crate::session::SyncMode;
+use crate::transform::Transformer;
+use crate::wire::Msg;
+use deta_crypto::{DetRng, VerifyingKey};
+use deta_nn::train::{batch_gradient, train_local, LabeledData};
+use deta_nn::Sequential;
+use deta_paillier::{Ciphertext, KeyPair as PaillierKeyPair, VectorCodec};
+use deta_transport::{Endpoint, HandshakeInitiator, SecureChannel};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Party-side configuration for one FL session.
+#[derive(Clone, Debug)]
+pub struct PartyConfig {
+    /// Local epochs per round (FedAvg).
+    pub local_epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Local learning rate.
+    pub lr: f32,
+    /// FedAvg (parameter upload) or FedSGD (gradient upload).
+    pub mode: SyncMode,
+    /// Total number of participating parties (used to scale FedSGD sums).
+    pub n_parties: usize,
+    /// Scale applied to the aggregated gradient before the FedSGD step
+    /// (1.0 when the aggregator averages; 1/N when it sums).
+    pub grad_scale: f32,
+    /// Optional local differential privacy applied to updates before
+    /// `Trans` (the paper's Section 8.1 composition).
+    pub ldp: Option<LdpConfig>,
+}
+
+/// Accumulated party-side compute timers (seconds), feeding the latency
+/// model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartyTimers {
+    /// Local training time.
+    pub train_s: f64,
+    /// Transform + inverse-transform time.
+    pub transform_s: f64,
+    /// Paillier encryption/decryption time.
+    pub crypto_s: f64,
+}
+
+/// Paillier material held by parties (aggregators never see the private
+/// key).
+pub struct PaillierParty {
+    /// Shared key pair (all parties hold it; the aggregator only gets the
+    /// public key).
+    pub keys: PaillierKeyPair,
+    /// Fixed-point packing codec.
+    pub codec: VectorCodec,
+}
+
+/// Errors in the party protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartyError {
+    /// An aggregator failed challenge-response authentication.
+    AuthenticationFailed(String),
+    /// Protocol desynchronization.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for PartyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartyError::AuthenticationFailed(a) => {
+                write!(f, "aggregator {a:?} failed authentication")
+            }
+            PartyError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PartyError {}
+
+/// One FL party.
+pub struct Party {
+    /// Endpoint name.
+    pub name: String,
+    endpoint: Endpoint,
+    rng: DetRng,
+    transformer: Transformer,
+    /// The local model replica.
+    pub model: Sequential,
+    data: LabeledData,
+    cfg: PartyConfig,
+    /// Aggregator endpoint names, index = fragment index.
+    aggregators: Vec<String>,
+    expected_tokens: HashMap<String, VerifyingKey>,
+    pending_handshakes: HashMap<String, HandshakeInitiator>,
+    channels: HashMap<String, SecureChannel>,
+    acks: HashSet<String>,
+    /// Aggregated fragments collected for the current round.
+    collected: HashMap<String, Vec<f32>>,
+    collected_enc: HashMap<String, (Vec<Ciphertext>, u64, u64)>,
+    current_round: Option<(u64, [u8; 16])>,
+    /// Parameters snapshot at round start (FedSGD applies deltas to it).
+    round_base: Vec<f32>,
+    /// Optional Paillier fusion material.
+    pub paillier: Option<PaillierParty>,
+    /// Compute timers.
+    pub timers: PartyTimers,
+    /// Per-round training statistics from the last local round.
+    pub last_train_loss: f32,
+    /// Cumulative privacy spend when LDP is enabled.
+    pub privacy: PrivacyAccountant,
+}
+
+impl Party {
+    /// Creates a party.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        endpoint: Endpoint,
+        model: Sequential,
+        data: LabeledData,
+        transformer: Transformer,
+        aggregators: Vec<String>,
+        cfg: PartyConfig,
+        rng: DetRng,
+    ) -> Party {
+        assert_eq!(
+            aggregators.len(),
+            transformer.n_fragments(),
+            "aggregator count must match transformer fragments"
+        );
+        Party {
+            name: name.to_string(),
+            endpoint,
+            rng,
+            transformer,
+            model,
+            data,
+            cfg,
+            aggregators,
+            expected_tokens: HashMap::new(),
+            pending_handshakes: HashMap::new(),
+            channels: HashMap::new(),
+            acks: HashSet::new(),
+            collected: HashMap::new(),
+            collected_enc: HashMap::new(),
+            current_round: None,
+            round_base: Vec::new(),
+            paillier: None,
+            timers: PartyTimers::default(),
+            last_train_loss: 0.0,
+            privacy: PrivacyAccountant::default(),
+        }
+    }
+
+    /// Local dataset size (the FedAvg weight `n_i`).
+    pub fn weight(&self) -> f32 {
+        self.data.len() as f32
+    }
+
+    /// Phase II step 1: sends handshake hellos to all aggregators.
+    ///
+    /// `tokens` maps aggregator endpoint names to the token verifying keys
+    /// published by the attestation proxy.
+    pub fn send_hellos(&mut self, tokens: &HashMap<String, VerifyingKey>) {
+        for agg in self.aggregators.clone() {
+            let hs = HandshakeInitiator::new(&mut self.rng);
+            let _ = self.endpoint.send(
+                &agg,
+                Msg::Hello {
+                    handshake: hs.hello().to_vec(),
+                }
+                .encode(),
+            );
+            self.pending_handshakes.insert(agg.clone(), hs);
+            if let Some(k) = tokens.get(&agg) {
+                self.expected_tokens.insert(agg, k.clone());
+            }
+        }
+    }
+
+    /// Phase II step 2: completes handshakes from queued replies, then
+    /// registers over each established channel.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any aggregator's challenge response does not verify
+    /// against its expected token key — the party refuses to share updates
+    /// with it.
+    pub fn complete_handshakes(&mut self) -> Result<(), PartyError> {
+        if !self.aggregators.is_empty() && self.channels.len() == self.aggregators.len() {
+            // Already done: stay idempotent so polling callers (e.g. the
+            // threaded deployment) cannot drain unrelated records.
+            return Ok(());
+        }
+        for msg in self.endpoint.drain() {
+            let Ok(Msg::HelloReply { handshake }) = Msg::decode(&msg.payload) else {
+                continue;
+            };
+            let Some(hs) = self.pending_handshakes.remove(&msg.from) else {
+                continue;
+            };
+            let Some(token) = self.expected_tokens.get(&msg.from) else {
+                return Err(PartyError::AuthenticationFailed(msg.from));
+            };
+            let chan = hs
+                .complete(&handshake, token)
+                .map_err(|_| PartyError::AuthenticationFailed(msg.from.clone()))?;
+            self.channels.insert(msg.from.clone(), chan);
+        }
+        if self.channels.len() != self.aggregators.len() {
+            return Err(PartyError::Protocol("missing handshake replies"));
+        }
+        let weight = self.weight();
+        let name = self.name.clone();
+        for agg in self.aggregators.clone() {
+            self.send_sealed(
+                &agg,
+                &Msg::Register {
+                    party: name.clone(),
+                    weight,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Phase II step 3: drains registration acks; returns `true` when all
+    /// aggregators acknowledged.
+    pub fn registration_complete(&mut self) -> bool {
+        self.drain_records();
+        self.acks.len() == self.aggregators.len()
+    }
+
+    /// Polls for a round announcement from the initiator.
+    pub fn poll_round_start(&mut self) -> Option<(u64, [u8; 16])> {
+        self.drain_records();
+        self.current_round
+    }
+
+    /// Runs the local training step for the announced round and uploads
+    /// transformed fragments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is active.
+    pub fn run_local_round(&mut self) {
+        let (round, tid) = self.current_round.expect("no active round");
+        self.round_base = self.model.flat_params();
+        let t0 = Instant::now();
+        let update: Vec<f32> = match self.cfg.mode {
+            SyncMode::FedAvg => {
+                let stats = train_local(
+                    &mut self.model,
+                    &self.data,
+                    self.cfg.local_epochs,
+                    self.cfg.batch_size,
+                    self.cfg.lr,
+                );
+                self.last_train_loss = stats.loss;
+                self.model.flat_params()
+            }
+            SyncMode::FedSgd => {
+                // One batch per round, cycling deterministically.
+                let n_batches = self.data.len().div_ceil(self.cfg.batch_size);
+                let b = (round as usize - 1) % n_batches;
+                let start = b * self.cfg.batch_size;
+                let end = (start + self.cfg.batch_size).min(self.data.len());
+                let (x, y) = self.data.slice(start, end);
+                let (loss, grad) = batch_gradient(&mut self.model, &x, y);
+                self.last_train_loss = loss;
+                grad
+            }
+        };
+        self.timers.train_s += t0.elapsed().as_secs_f64();
+        let mut update = update;
+        if let Some(ldp) = self.cfg.ldp {
+            // LDP perturbation happens on the party's device, before any
+            // transformation — aggregators only ever see noised values.
+            // The mechanism protects the party's *contribution*: for
+            // FedAvg that is the parameter delta against the shared round
+            // base (raw parameters have unbounded sensitivity), for
+            // FedSGD it is the gradient itself.
+            match self.cfg.mode {
+                SyncMode::FedAvg => {
+                    let mut delta: Vec<f32> = update
+                        .iter()
+                        .zip(self.round_base.iter())
+                        .map(|(n, b)| n - b)
+                        .collect();
+                    gaussian_mechanism(&mut delta, &ldp, &mut self.privacy, &mut self.rng);
+                    for (u, (b, d)) in update
+                        .iter_mut()
+                        .zip(self.round_base.iter().zip(delta.iter()))
+                    {
+                        *u = b + d;
+                    }
+                }
+                SyncMode::FedSgd => {
+                    gaussian_mechanism(&mut update, &ldp, &mut self.privacy, &mut self.rng);
+                }
+            }
+        }
+        let t1 = Instant::now();
+        let fragments = self.transformer.transform(&update, &tid);
+        self.timers.transform_s += t1.elapsed().as_secs_f64();
+        if self.paillier.is_some() {
+            self.upload_encrypted(round, &fragments);
+        } else {
+            for (j, frag) in fragments.into_iter().enumerate() {
+                let agg = self.aggregators[j].clone();
+                self.send_sealed(
+                    &agg,
+                    &Msg::Upload {
+                        round,
+                        fragment: frag,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Skips local training for the announced round (partial
+    /// participation): the party still synchronizes with the aggregated
+    /// result when it arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is active.
+    pub fn skip_local_round(&mut self) {
+        let _ = self.current_round.expect("no active round");
+        self.round_base = self.model.flat_params();
+    }
+
+    fn upload_encrypted(&mut self, round: u64, fragments: &[Vec<f32>]) {
+        let t0 = Instant::now();
+        let mut encrypted: Vec<(String, Vec<Vec<u8>>, u64)> = Vec::new();
+        {
+            let p = self.paillier.as_ref().expect("paillier material");
+            for (j, frag) in fragments.iter().enumerate() {
+                let cts = p.codec.encrypt_vector(&p.keys.public, frag, &mut self.rng);
+                let ser: Vec<Vec<u8>> = cts.iter().map(|c| c.0.to_bytes_be()).collect();
+                encrypted.push((self.aggregators[j].clone(), ser, frag.len() as u64));
+            }
+        }
+        self.timers.crypto_s += t0.elapsed().as_secs_f64();
+        for (agg, ciphertexts, value_count) in encrypted {
+            self.send_sealed(
+                &agg,
+                &Msg::UploadEncrypted {
+                    round,
+                    ciphertexts,
+                    value_count,
+                },
+            );
+        }
+    }
+
+    /// Collects aggregated fragments; when all have arrived, reverses the
+    /// transformation and synchronizes the local model.
+    ///
+    /// Returns `true` when no round remains pending — either this call
+    /// applied the aggregate, or none was in flight. Pollers can therefore
+    /// call it repeatedly without tracking which parties already finished.
+    pub fn try_finish_round(&mut self) -> bool {
+        let Some((round, tid)) = self.current_round else {
+            return true;
+        };
+        self.drain_records();
+        let k = self.aggregators.len();
+        if self.paillier.is_some() {
+            if self.collected_enc.len() < k {
+                return false;
+            }
+            self.apply_encrypted_round(tid);
+        } else {
+            if self.collected.len() < k {
+                return false;
+            }
+            let fragments: Vec<Vec<f32>> = self
+                .aggregators
+                .iter()
+                .map(|a| self.collected[a].clone())
+                .collect();
+            self.collected.clear();
+            let t0 = Instant::now();
+            let merged = self.transformer.inverse(&fragments, &tid);
+            self.timers.transform_s += t0.elapsed().as_secs_f64();
+            self.apply_update(&merged);
+        }
+        let _ = round;
+        self.current_round = None;
+        true
+    }
+
+    fn apply_encrypted_round(&mut self, tid: [u8; 16]) {
+        let mut fragments: Vec<Vec<f32>> = Vec::with_capacity(self.aggregators.len());
+        let t0 = Instant::now();
+        {
+            let p = self.paillier.as_ref().expect("paillier material");
+            for a in &self.aggregators {
+                let (cts, value_count, summands) = &self.collected_enc[a];
+                let sums = p.codec.decrypt_sum(
+                    &p.keys.private,
+                    cts,
+                    *value_count as usize,
+                    *summands as usize,
+                );
+                // Equal-weight average of the homomorphic sum.
+                let avg: Vec<f32> = sums.iter().map(|&s| s / *summands as f32).collect();
+                fragments.push(avg);
+            }
+        }
+        self.timers.crypto_s += t0.elapsed().as_secs_f64();
+        self.collected_enc.clear();
+        let t1 = Instant::now();
+        let merged = self.transformer.inverse(&fragments, &tid);
+        self.timers.transform_s += t1.elapsed().as_secs_f64();
+        self.apply_update(&merged);
+    }
+
+    fn apply_update(&mut self, merged: &[f32]) {
+        match self.cfg.mode {
+            SyncMode::FedAvg => self.model.set_flat_params(merged),
+            SyncMode::FedSgd => {
+                // theta <- theta - lr * grad_scale * aggregated gradient.
+                // With iterative averaging the aggregate is already the
+                // mean (grad_scale = 1); with gradient-sum the session
+                // sets grad_scale = 1/N.
+                let step = self.cfg.lr * self.cfg.grad_scale;
+                let params: Vec<f32> = self
+                    .round_base
+                    .iter()
+                    .zip(merged.iter())
+                    .map(|(p, g)| p - step * g)
+                    .collect();
+                self.model.set_flat_params(&params);
+            }
+        }
+    }
+
+    /// Drains queued records, dispatching on the inner message.
+    fn drain_records(&mut self) {
+        for msg in self.endpoint.drain() {
+            let Ok(Msg::Record { sealed }) = Msg::decode(&msg.payload) else {
+                continue;
+            };
+            let Some(chan) = self.channels.get_mut(&msg.from) else {
+                continue;
+            };
+            let Ok(plain) = chan.open_msg(&sealed) else {
+                continue;
+            };
+            let Ok(inner) = Msg::decode(&plain) else {
+                continue;
+            };
+            match inner {
+                Msg::RegisterAck => {
+                    self.acks.insert(msg.from.clone());
+                }
+                Msg::RoundStart { round, training_id } => {
+                    self.current_round = Some((round, training_id));
+                }
+                Msg::Aggregated { round, fragment } => {
+                    // Guard against stale deliveries: only the active
+                    // round's aggregates count.
+                    if self.current_round.map(|(r, _)| r) == Some(round) {
+                        self.collected.insert(msg.from.clone(), fragment);
+                    }
+                }
+                Msg::AggregatedEncrypted {
+                    round,
+                    ciphertexts,
+                    value_count,
+                    summands,
+                } => {
+                    if self.current_round.map(|(r, _)| r) != Some(round) {
+                        continue;
+                    }
+                    let cts: Vec<Ciphertext> = ciphertexts
+                        .iter()
+                        .map(|b| Ciphertext(deta_bignum::BigUint::from_bytes_be(b)))
+                        .collect();
+                    self.collected_enc
+                        .insert(msg.from.clone(), (cts, value_count, summands));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn send_sealed(&mut self, to: &str, msg: &Msg) {
+        let Some(chan) = self.channels.get_mut(to) else {
+            return;
+        };
+        let sealed = chan.seal_msg(&msg.encode());
+        let _ = self.endpoint.send(to, Msg::Record { sealed }.encode());
+    }
+
+    /// Evaluates the current model on a dataset.
+    pub fn evaluate(&mut self, data: &LabeledData, batch_size: usize) -> (f32, f32) {
+        deta_nn::train::evaluate(&mut self.model, data, batch_size)
+    }
+}

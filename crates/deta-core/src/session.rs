@@ -1,0 +1,580 @@
+//! End-to-end orchestration of the DeTA training life cycle (paper
+//! Figure 1).
+//!
+//! [`DetaSession::setup`] performs the full bootstrap:
+//!
+//! 1. launches one (simulated) SEV platform per aggregator and runs the
+//!    attestation proxy's Phase I verification + token provisioning,
+//! 2. generates the shared model mapper and permutation key (key broker),
+//! 3. builds identically initialized party models and runs Phase II
+//!    (challenge-response verification, registration, secure channels).
+//!
+//! [`DetaSession::run`] then drives synchronized training rounds through
+//! the initiator aggregator, collecting accuracy/loss and latency metrics
+//! per round — the quantities plotted in the paper's Figures 5-7.
+
+use crate::agg::AggKind;
+use crate::aggregator::{AggError, AggRole, AggregatorNode};
+use crate::dp::LdpConfig;
+use crate::keybroker::KeyBroker;
+use crate::latency::{LatencyModel, RoundInputs, RoundLatency};
+use crate::mapper::ModelMapper;
+use crate::paillier_fusion::{PaillierFusion, PaillierFusionConfig};
+use crate::party::{Party, PartyConfig, PartyError, PartyTimers};
+use crate::proxy::AttestationProxy;
+use crate::transform::{TransformConfig, Transformer};
+use deta_crypto::{DetRng, VerifyingKey};
+use deta_nn::train::LabeledData;
+use deta_nn::Sequential;
+use deta_sev_sim::{AmdRas, BreachDump, GuestImage, Platform, SevError};
+use deta_transport::{LinkModel, Network};
+use std::collections::{HashMap, HashSet};
+
+/// Model-update synchronization mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Parties train locally for several epochs and upload parameters.
+    FedAvg,
+    /// Parties upload per-batch gradients each round.
+    FedSgd,
+}
+
+/// Full configuration of a DeTA (or baseline) FL session.
+#[derive(Clone, Debug)]
+pub struct DetaConfig {
+    /// Number of participating parties.
+    pub n_parties: usize,
+    /// Number of decentralized aggregators.
+    pub n_aggregators: usize,
+    /// Partition proportions (None = equal).
+    pub proportions: Option<Vec<f32>>,
+    /// Which defense layers are active.
+    pub transform: TransformConfig,
+    /// Aggregation algorithm.
+    pub algorithm: AggKind,
+    /// Enable the Paillier encrypted-fusion path.
+    pub paillier: Option<PaillierFusionConfig>,
+    /// FedAvg or FedSGD.
+    pub mode: SyncMode,
+    /// Number of training rounds.
+    pub rounds: usize,
+    /// Local epochs per round (FedAvg).
+    pub local_epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Master seed (controls every random choice in the session).
+    pub seed: u64,
+    /// Network link model.
+    pub link: LinkModel,
+    /// Whether aggregators run CC-protected (affects latency accounting;
+    /// the FFL baseline sets this false).
+    pub cc_protected: bool,
+    /// Optional party-side local differential privacy.
+    pub ldp: Option<LdpConfig>,
+    /// Per-round participation quorum: only this many parties train and
+    /// upload each round (chosen deterministically per round); the rest
+    /// synchronize with the aggregate. `None` = full participation.
+    pub participation: Option<usize>,
+}
+
+impl DetaConfig {
+    /// A standard DeTA deployment: three SEV aggregators (as in the
+    /// paper's evaluation), full transform, iterative averaging.
+    pub fn deta(n_parties: usize, rounds: usize) -> DetaConfig {
+        DetaConfig {
+            n_parties,
+            n_aggregators: 3,
+            proportions: None,
+            transform: TransformConfig::full(),
+            algorithm: AggKind::IterativeAveraging,
+            paillier: None,
+            mode: SyncMode::FedAvg,
+            rounds,
+            local_epochs: 1,
+            batch_size: 32,
+            lr: 0.1,
+            seed: 0,
+            link: LinkModel::lan(),
+            cc_protected: true,
+            ldp: None,
+            participation: None,
+        }
+    }
+
+    /// The FFL baseline: one central aggregator, no transform, no CC.
+    pub fn ffl_baseline(n_parties: usize, rounds: usize) -> DetaConfig {
+        DetaConfig {
+            n_aggregators: 1,
+            transform: TransformConfig::none(),
+            cc_protected: false,
+            ..Self::deta(n_parties, rounds)
+        }
+    }
+}
+
+/// Per-round metrics (the data behind the paper's figures).
+#[derive(Clone, Copy, Debug)]
+pub struct RoundMetrics {
+    /// Round number, starting at 1.
+    pub round: u64,
+    /// Mean training loss across parties during this round.
+    pub train_loss: f32,
+    /// Global test loss after synchronization.
+    pub test_loss: f32,
+    /// Global test accuracy after synchronization.
+    pub test_accuracy: f32,
+    /// Latency breakdown of this round.
+    pub latency: RoundLatency,
+    /// This round's total latency in seconds.
+    pub round_latency_s: f64,
+    /// Cumulative latency since round 1 (the paper's y-axis).
+    pub cumulative_latency_s: f64,
+    /// Bytes uploaded by all parties this round.
+    pub upload_bytes: u64,
+    /// Bytes downloaded by all parties this round.
+    pub download_bytes: u64,
+}
+
+/// Errors during session setup.
+#[derive(Debug)]
+pub enum SetupError {
+    /// Attestation failure (Phase I).
+    Sev(SevError),
+    /// Aggregator bring-up failure.
+    Agg(AggError),
+    /// Party authentication/registration failure (Phase II).
+    Party(PartyError),
+    /// Configuration inconsistency.
+    Config(&'static str),
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::Sev(e) => write!(f, "attestation failed: {e}"),
+            SetupError::Agg(e) => write!(f, "aggregator setup failed: {e}"),
+            SetupError::Party(e) => write!(f, "party setup failed: {e}"),
+            SetupError::Config(why) => write!(f, "bad configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+impl From<SevError> for SetupError {
+    fn from(e: SevError) -> Self {
+        SetupError::Sev(e)
+    }
+}
+
+impl From<AggError> for SetupError {
+    fn from(e: AggError) -> Self {
+        SetupError::Agg(e)
+    }
+}
+
+impl From<PartyError> for SetupError {
+    fn from(e: PartyError) -> Self {
+        SetupError::Party(e)
+    }
+}
+
+/// A fully bootstrapped FL session.
+pub struct DetaSession {
+    /// The active configuration.
+    pub config: DetaConfig,
+    network: Network,
+    parties: Vec<Party>,
+    aggregators: Vec<AggregatorNode>,
+    broker: KeyBroker,
+    latency_model: LatencyModel,
+    next_round: u64,
+    cumulative_latency_s: f64,
+    prev_party_timers: Vec<PartyTimers>,
+    prev_agg_times: Vec<f64>,
+    offline: HashSet<usize>,
+}
+
+impl DetaSession {
+    /// Bootstraps a session: Phase I attestation, mapper/key generation,
+    /// Phase II authentication and registration.
+    ///
+    /// `model_builder` must be deterministic in its RNG; every party's
+    /// model is built from the same fork so replicas start identical.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any aggregator cannot be attested or authenticated, or if
+    /// the configuration is inconsistent.
+    pub fn setup(
+        config: DetaConfig,
+        model_builder: &dyn Fn(&mut DetRng) -> Sequential,
+        party_data: Vec<LabeledData>,
+    ) -> Result<DetaSession, SetupError> {
+        if party_data.len() != config.n_parties {
+            return Err(SetupError::Config("party_data count != n_parties"));
+        }
+        if config.n_aggregators == 0 {
+            return Err(SetupError::Config("need at least one aggregator"));
+        }
+        if !config.transform.partition && config.n_aggregators != 1 {
+            return Err(SetupError::Config(
+                "partitioning disabled requires exactly one aggregator",
+            ));
+        }
+        if let Some(q) = config.participation {
+            if q == 0 || q > config.n_parties {
+                return Err(SetupError::Config("participation quorum out of range"));
+            }
+            if config.paillier.is_some() {
+                // Paillier decoding needs a summand count known to parties
+                // up front; partial participation is plain-path only here.
+                return Err(SetupError::Config(
+                    "partial participation is not supported with Paillier fusion",
+                ));
+            }
+        }
+        let root = DetRng::from_u64(config.seed);
+
+        // --- Phase I: attest and provision every aggregator. ---
+        let sev_rng = root.fork(b"sev");
+        let ras = AmdRas::new(&mut sev_rng.fork(b"ras"));
+        let image = GuestImage::new(b"deta-ovmf-v1".to_vec(), b"deta-aggregator-v1".to_vec());
+        let mut proxy =
+            AttestationProxy::new(ras.root_certs(), image.clone(), sev_rng.fork(b"proxy"));
+        let network = Network::new(config.link);
+        let mut aggregators = Vec::with_capacity(config.n_aggregators);
+        let mut tokens: HashMap<String, VerifyingKey> = HashMap::new();
+        let agg_names: Vec<String> = (0..config.n_aggregators)
+            .map(|j| format!("agg-{j}"))
+            .collect();
+        for (j, name) in agg_names.iter().enumerate() {
+            let mut platform = Platform::genuine(
+                &ras,
+                &format!("EPYC-7642-{j:03}"),
+                &mut sev_rng.fork_indexed(b"platform", j as u64),
+            );
+            let prov = proxy.verify_and_provision(&mut platform, &image)?;
+            tokens.insert(name.clone(), prov.token_key.clone());
+            let role = if j == 0 {
+                AggRole::Initiator {
+                    followers: agg_names[1..].to_vec(),
+                }
+            } else {
+                AggRole::Follower {
+                    initiator: agg_names[0].clone(),
+                }
+            };
+            let mut node = AggregatorNode::new(
+                name,
+                prov.cvm,
+                network.register(name),
+                config.algorithm.build(),
+                role,
+                sev_rng.fork_indexed(b"agg-rng", j as u64),
+            )?;
+            node.set_quorum(config.participation);
+            aggregators.push(node);
+        }
+
+        // --- Shared model mapper and permutation key. ---
+        let model_rng = root.fork(b"model-init");
+        let template = model_builder(&mut model_rng.clone());
+        let n_params = template.param_count();
+        let mapper = ModelMapper::generate(
+            n_params,
+            config.n_aggregators,
+            config.proportions.as_deref(),
+            &mut root.fork(b"mapper"),
+        );
+        let broker = KeyBroker::new(&mut root.fork(b"keybroker"));
+        let transformer = Transformer::new(mapper, broker.permutation_key(), config.transform);
+
+        // --- Optional Paillier fusion material. ---
+        let paillier = config
+            .paillier
+            .as_ref()
+            .map(|pc| PaillierFusion::setup(pc, config.n_parties, &mut root.fork(b"paillier")));
+        if let Some(ref fusion) = paillier {
+            for agg in &mut aggregators {
+                agg.set_paillier_key(fusion.aggregator_key());
+            }
+        }
+
+        // --- Build parties. ---
+        let grad_scale = match config.algorithm {
+            AggKind::GradientSum => 1.0 / config.n_parties as f32,
+            _ => 1.0,
+        };
+        let party_cfg = PartyConfig {
+            local_epochs: config.local_epochs,
+            batch_size: config.batch_size,
+            lr: config.lr,
+            mode: config.mode,
+            n_parties: config.n_parties,
+            grad_scale,
+            ldp: config.ldp,
+        };
+        let mut parties = Vec::with_capacity(config.n_parties);
+        for (i, data) in party_data.into_iter().enumerate() {
+            let name = format!("party-{i}");
+            let model = model_builder(&mut model_rng.clone());
+            let mut party = Party::new(
+                &name,
+                network.register(&name),
+                model,
+                data,
+                transformer.clone(),
+                agg_names.clone(),
+                party_cfg.clone(),
+                root.fork_indexed(b"party-rng", i as u64),
+            );
+            if let Some(ref fusion) = paillier {
+                party.paillier = Some(fusion.party_material());
+            }
+            parties.push(party);
+        }
+
+        // --- Phase II: verify aggregators, register, open channels. ---
+        for p in &mut parties {
+            p.send_hellos(&tokens);
+        }
+        for a in &mut aggregators {
+            a.pump();
+        }
+        for p in &mut parties {
+            p.complete_handshakes()?;
+        }
+        for a in &mut aggregators {
+            a.pump();
+        }
+        for p in &mut parties {
+            if !p.registration_complete() {
+                return Err(SetupError::Party(PartyError::Protocol(
+                    "registration incomplete",
+                )));
+            }
+        }
+
+        let latency_model = if config.cc_protected {
+            LatencyModel::deta_default(config.link)
+        } else {
+            LatencyModel::ffl_default(config.link)
+        };
+        let n_parties = parties.len();
+        let n_aggs = aggregators.len();
+        Ok(DetaSession {
+            config,
+            network,
+            parties,
+            aggregators,
+            broker,
+            latency_model,
+            next_round: 1,
+            cumulative_latency_s: 0.0,
+            prev_party_timers: vec![PartyTimers::default(); n_parties],
+            prev_agg_times: vec![0.0; n_aggs],
+            offline: HashSet::new(),
+        })
+    }
+
+    /// Takes party `i` offline at a round boundary (cross-silo dropout).
+    ///
+    /// The party is deregistered from every aggregator; subsequent rounds
+    /// aggregate over the remaining parties. At least one party must stay
+    /// online.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would leave no online parties, or mid-round.
+    pub fn drop_party(&mut self, i: usize) {
+        assert!(i < self.parties.len(), "no such party");
+        assert!(
+            self.offline.len() + 1 < self.parties.len(),
+            "cannot drop the last online party"
+        );
+        self.offline.insert(i);
+        let name = self.parties[i].name.clone();
+        for a in &mut self.aggregators {
+            a.deregister(&name);
+        }
+    }
+
+    /// Number of currently online parties.
+    pub fn online_parties(&self) -> usize {
+        self.parties.len() - self.offline.len()
+    }
+
+    /// Runs one training round, returning the latency inputs measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol desynchronization (a bug, not an input error).
+    fn run_round(&mut self) -> (f32, RoundInputs, u64, u64) {
+        let round = self.next_round;
+        self.next_round += 1;
+        let tid = self.broker.training_id(round);
+        self.network.reset_stats();
+
+        // Initiator announces the round to followers and parties.
+        self.aggregators[0].begin_round(round, tid);
+        for a in &mut self.aggregators {
+            a.pump();
+        }
+        let s0 = self.network.stats();
+
+        // Select this round's participants (partial participation).
+        let offline = self.offline.clone();
+        let online: Vec<usize> = (0..self.parties.len())
+            .filter(|i| !offline.contains(i))
+            .collect();
+        let participants: std::collections::HashSet<usize> = match self.config.participation {
+            Some(q) if q < online.len() => {
+                let mut pool = online.clone();
+                let mut rng =
+                    DetRng::from_u64(self.config.seed).fork_indexed(b"participation", round);
+                rng.shuffle(&mut pool);
+                pool.into_iter().take(q).collect()
+            }
+            _ => online.iter().copied().collect(),
+        };
+        // Participants train and upload; the rest only synchronize.
+        let mut train_loss_sum = 0.0f32;
+        for (i, p) in self.parties.iter_mut().enumerate() {
+            if offline.contains(&i) {
+                continue;
+            }
+            let started = p.poll_round_start();
+            assert!(started.is_some(), "party missed round start");
+            if participants.contains(&i) {
+                p.run_local_round();
+                train_loss_sum += p.last_train_loss;
+            } else {
+                p.skip_local_round();
+            }
+        }
+        let s1 = self.network.stats();
+
+        // Aggregators aggregate and dispatch; loop until all complete.
+        loop {
+            let done = self.aggregators.iter().all(|a| a.completed_rounds >= round);
+            if done {
+                break;
+            }
+            let mut progress = 0;
+            for a in &mut self.aggregators {
+                progress += a.pump();
+            }
+            assert!(progress > 0, "aggregation deadlock at round {round}");
+        }
+        let s2 = self.network.stats();
+
+        // Parties merge and synchronize.
+        for (i, p) in self.parties.iter_mut().enumerate() {
+            if offline.contains(&i) {
+                continue;
+            }
+            assert!(p.try_finish_round(), "party could not finish round {round}");
+        }
+        // Initiator absorbs follower completion acks.
+        self.aggregators[0].pump();
+
+        // Latency inputs from measured deltas.
+        let mut max_train = 0.0f64;
+        let mut max_transform = 0.0f64;
+        let mut max_crypto = 0.0f64;
+        for (p, prev) in self.parties.iter().zip(self.prev_party_timers.iter_mut()) {
+            // Offline parties contribute zero deltas automatically.
+            max_train = max_train.max(p.timers.train_s - prev.train_s);
+            max_transform = max_transform.max(p.timers.transform_s - prev.transform_s);
+            max_crypto = max_crypto.max(p.timers.crypto_s - prev.crypto_s);
+            *prev = p.timers;
+        }
+        let mut max_agg = 0.0f64;
+        for (a, prev) in self.aggregators.iter().zip(self.prev_agg_times.iter_mut()) {
+            max_agg = max_agg.max(a.aggregate_time_s - *prev);
+            *prev = a.aggregate_time_s;
+        }
+        let upload_total = s1.bytes - s0.bytes;
+        let download_total = s2.bytes - s1.bytes;
+        let online = (self.parties.len() - offline.len()) as u64;
+        let inputs = RoundInputs {
+            max_party_train_s: max_train,
+            max_party_transform_s: max_transform,
+            max_party_crypto_s: max_crypto,
+            upload_bytes_per_party: upload_total / online,
+            download_bytes_per_party: download_total / online,
+            max_aggregate_s: max_agg,
+            n_aggregators: self.aggregators.len(),
+        };
+        (
+            train_loss_sum / participants.len() as f32,
+            inputs,
+            upload_total,
+            download_total,
+        )
+    }
+
+    /// Runs all configured rounds, evaluating on `test` after each.
+    pub fn run(&mut self, test: &LabeledData) -> Vec<RoundMetrics> {
+        let rounds = self.config.rounds;
+        let mut out = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            out.push(self.step(test));
+        }
+        out
+    }
+
+    /// Runs a single round and evaluates.
+    pub fn step(&mut self, test: &LabeledData) -> RoundMetrics {
+        let round = self.next_round;
+        let (train_loss, inputs, up, down) = self.run_round();
+        let latency = self.latency_model.round(&inputs);
+        let round_latency_s = latency.total();
+        self.cumulative_latency_s += round_latency_s;
+        let eval_idx = (0..self.parties.len())
+            .find(|i| !self.offline.contains(i))
+            .expect("at least one online party");
+        let (test_loss, test_accuracy) = self.parties[eval_idx].evaluate(test, 128);
+        RoundMetrics {
+            round,
+            train_loss,
+            test_loss,
+            test_accuracy,
+            latency,
+            round_latency_s,
+            cumulative_latency_s: self.cumulative_latency_s,
+            upload_bytes: up,
+            download_bytes: down,
+        }
+    }
+
+    /// Number of completed rounds.
+    pub fn completed_rounds(&self) -> u64 {
+        self.next_round - 1
+    }
+
+    /// Flat parameters of party `i`'s model replica (for tests asserting
+    /// replica consistency and for the attack harness).
+    pub fn party_params(&self, i: usize) -> Vec<f32> {
+        self.parties[i].model.flat_params()
+    }
+
+    /// Simulates a full breach of aggregator `j`'s CVM, returning the
+    /// attacker's view (paper Section 6's worst-case assumption).
+    pub fn breach_aggregator(&self, j: usize) -> BreachDump {
+        self.aggregators[j].cvm().breach()
+    }
+
+    /// Access to a party (e.g. for the attack harness).
+    pub fn party_mut(&mut self, i: usize) -> &mut Party {
+        &mut self.parties[i]
+    }
+
+    /// The transform configuration in effect.
+    pub fn transform_config(&self) -> TransformConfig {
+        self.config.transform
+    }
+}

@@ -1,0 +1,446 @@
+//! Wire protocol between parties and aggregators.
+//!
+//! A small hand-rolled binary codec (tag byte + length-prefixed fields).
+//! Handshake messages from `deta-transport` travel as raw frames; every
+//! message defined here is carried *inside* a secure-channel record once
+//! the channel is up, except the initial [`Msg::Hello`] wrapper that
+//! bootstraps it.
+
+/// Protocol messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Secure-channel handshake hello (party -> aggregator), carrying the
+    /// raw handshake bytes from `deta-transport`.
+    Hello {
+        /// Raw handshake hello from the initiator.
+        handshake: Vec<u8>,
+    },
+    /// Handshake response (aggregator -> party).
+    HelloReply {
+        /// Raw handshake response.
+        handshake: Vec<u8>,
+    },
+    /// Sealed secure-channel record (either direction).
+    Record {
+        /// AEAD-sealed payload (a serialized inner [`Msg`]).
+        sealed: Vec<u8>,
+    },
+    /// Party registration (inside the channel).
+    Register {
+        /// Party name.
+        party: String,
+        /// Training-data weight (e.g. local example count).
+        weight: f32,
+    },
+    /// Registration acknowledged.
+    RegisterAck,
+    /// Round start announcement (initiator aggregator -> party).
+    RoundStart {
+        /// Round number, starting at 1.
+        round: u64,
+        /// Per-round training identifier for the dynamic shuffle.
+        training_id: [u8; 16],
+    },
+    /// Transformed fragment upload (party -> aggregator).
+    Upload {
+        /// Round number.
+        round: u64,
+        /// The partitioned (and possibly shuffled) fragment.
+        fragment: Vec<f32>,
+    },
+    /// Paillier ciphertext fragment upload (party -> aggregator).
+    UploadEncrypted {
+        /// Round number.
+        round: u64,
+        /// Serialized ciphertexts (big-endian, length-prefixed).
+        ciphertexts: Vec<Vec<u8>>,
+        /// Number of packed plaintext values.
+        value_count: u64,
+    },
+    /// Aggregated fragment download (aggregator -> party).
+    Aggregated {
+        /// Round number.
+        round: u64,
+        /// Aggregated fragment in the same transformed coordinates.
+        fragment: Vec<f32>,
+    },
+    /// Aggregated Paillier ciphertexts (aggregator -> party).
+    AggregatedEncrypted {
+        /// Round number.
+        round: u64,
+        /// Homomorphically summed ciphertexts.
+        ciphertexts: Vec<Vec<u8>>,
+        /// Number of packed plaintext values.
+        value_count: u64,
+        /// Number of party inputs summed (needed to decode offsets).
+        summands: u64,
+    },
+    /// Inter-aggregator synchronization: initiator tells followers the
+    /// round and training id.
+    SyncRound {
+        /// Round number.
+        round: u64,
+        /// Training identifier to broadcast.
+        training_id: [u8; 16],
+    },
+    /// Follower acknowledges a completed round to the initiator.
+    SyncDone {
+        /// Round number.
+        round: u64,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_REPLY: u8 = 2;
+const TAG_RECORD: u8 = 3;
+const TAG_REGISTER: u8 = 4;
+const TAG_REGISTER_ACK: u8 = 5;
+const TAG_ROUND_START: u8 = 6;
+const TAG_UPLOAD: u8 = 7;
+const TAG_AGGREGATED: u8 = 8;
+const TAG_SYNC_ROUND: u8 = 9;
+const TAG_SYNC_DONE: u8 = 10;
+const TAG_UPLOAD_ENC: u8 = 11;
+const TAG_AGGREGATED_ENC: u8 = 12;
+
+/// Codec errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed wire message")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_f32s(out: &mut Vec<u8>, v: &[f32]) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_vec_bytes(out: &mut Vec<u8>, v: &[Vec<u8>]) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for b in v {
+        put_bytes(out, b);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, DecodeError> {
+        let n = self.u32()? as usize;
+        if self.pos + n.checked_mul(4).ok_or(DecodeError)? > self.buf.len() {
+            return Err(DecodeError);
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn vec_bytes(&mut self) -> Result<Vec<Vec<u8>>, DecodeError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(self.bytes()?);
+        }
+        Ok(out)
+    }
+
+    fn array16(&mut self) -> Result<[u8; 16], DecodeError> {
+        Ok(self.take(16)?.try_into().unwrap())
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError)
+        }
+    }
+}
+
+impl Msg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Msg::Hello { handshake } => {
+                out.push(TAG_HELLO);
+                put_bytes(&mut out, handshake);
+            }
+            Msg::HelloReply { handshake } => {
+                out.push(TAG_HELLO_REPLY);
+                put_bytes(&mut out, handshake);
+            }
+            Msg::Record { sealed } => {
+                out.push(TAG_RECORD);
+                put_bytes(&mut out, sealed);
+            }
+            Msg::Register { party, weight } => {
+                out.push(TAG_REGISTER);
+                put_bytes(&mut out, party.as_bytes());
+                out.extend_from_slice(&weight.to_le_bytes());
+            }
+            Msg::RegisterAck => out.push(TAG_REGISTER_ACK),
+            Msg::RoundStart { round, training_id } => {
+                out.push(TAG_ROUND_START);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(training_id);
+            }
+            Msg::Upload { round, fragment } => {
+                out.push(TAG_UPLOAD);
+                out.extend_from_slice(&round.to_le_bytes());
+                put_f32s(&mut out, fragment);
+            }
+            Msg::UploadEncrypted {
+                round,
+                ciphertexts,
+                value_count,
+            } => {
+                out.push(TAG_UPLOAD_ENC);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&value_count.to_le_bytes());
+                put_vec_bytes(&mut out, ciphertexts);
+            }
+            Msg::Aggregated { round, fragment } => {
+                out.push(TAG_AGGREGATED);
+                out.extend_from_slice(&round.to_le_bytes());
+                put_f32s(&mut out, fragment);
+            }
+            Msg::AggregatedEncrypted {
+                round,
+                ciphertexts,
+                value_count,
+                summands,
+            } => {
+                out.push(TAG_AGGREGATED_ENC);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&value_count.to_le_bytes());
+                out.extend_from_slice(&summands.to_le_bytes());
+                put_vec_bytes(&mut out, ciphertexts);
+            }
+            Msg::SyncRound { round, training_id } => {
+                out.push(TAG_SYNC_ROUND);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(training_id);
+            }
+            Msg::SyncDone { round } => {
+                out.push(TAG_SYNC_DONE);
+                out.extend_from_slice(&round.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a message.
+    pub fn decode(buf: &[u8]) -> Result<Msg, DecodeError> {
+        let mut r = Reader::new(buf);
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_HELLO => Msg::Hello {
+                handshake: r.bytes()?,
+            },
+            TAG_HELLO_REPLY => Msg::HelloReply {
+                handshake: r.bytes()?,
+            },
+            TAG_RECORD => Msg::Record { sealed: r.bytes()? },
+            TAG_REGISTER => Msg::Register {
+                party: String::from_utf8(r.bytes()?).map_err(|_| DecodeError)?,
+                weight: r.f32()?,
+            },
+            TAG_REGISTER_ACK => Msg::RegisterAck,
+            TAG_ROUND_START => Msg::RoundStart {
+                round: r.u64()?,
+                training_id: r.array16()?,
+            },
+            TAG_UPLOAD => Msg::Upload {
+                round: r.u64()?,
+                fragment: r.f32s()?,
+            },
+            TAG_UPLOAD_ENC => Msg::UploadEncrypted {
+                round: r.u64()?,
+                value_count: r.u64()?,
+                ciphertexts: r.vec_bytes()?,
+            },
+            TAG_AGGREGATED => Msg::Aggregated {
+                round: r.u64()?,
+                fragment: r.f32s()?,
+            },
+            TAG_AGGREGATED_ENC => Msg::AggregatedEncrypted {
+                round: r.u64()?,
+                value_count: r.u64()?,
+                summands: r.u64()?,
+                ciphertexts: r.vec_bytes()?,
+            },
+            TAG_SYNC_ROUND => Msg::SyncRound {
+                round: r.u64()?,
+                training_id: r.array16()?,
+            },
+            TAG_SYNC_DONE => Msg::SyncDone { round: r.u64()? },
+            _ => return Err(DecodeError),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let bytes = msg.encode();
+        assert_eq!(Msg::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Msg::Hello {
+            handshake: vec![1, 2, 3],
+        });
+        roundtrip(Msg::HelloReply {
+            handshake: vec![4, 5],
+        });
+        roundtrip(Msg::Record {
+            sealed: vec![0xde, 0xad],
+        });
+        roundtrip(Msg::Register {
+            party: "P1".to_string(),
+            weight: 1.5,
+        });
+        roundtrip(Msg::RegisterAck);
+        roundtrip(Msg::RoundStart {
+            round: 7,
+            training_id: [9u8; 16],
+        });
+        roundtrip(Msg::Upload {
+            round: 7,
+            fragment: vec![1.0, -2.5, 3.75],
+        });
+        roundtrip(Msg::UploadEncrypted {
+            round: 2,
+            ciphertexts: vec![vec![1, 2], vec![], vec![3]],
+            value_count: 40,
+        });
+        roundtrip(Msg::Aggregated {
+            round: 7,
+            fragment: vec![],
+        });
+        roundtrip(Msg::AggregatedEncrypted {
+            round: 3,
+            ciphertexts: vec![vec![0xff; 64]],
+            value_count: 16,
+            summands: 4,
+        });
+        roundtrip(Msg::SyncRound {
+            round: 1,
+            training_id: [0u8; 16],
+        });
+        roundtrip(Msg::SyncDone { round: 1 });
+    }
+
+    #[test]
+    fn empty_buffer_rejected() {
+        assert_eq!(Msg::decode(&[]), Err(DecodeError));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(Msg::decode(&[0xAA]), Err(DecodeError));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = Msg::Upload {
+            round: 1,
+            fragment: vec![1.0, 2.0],
+        }
+        .encode();
+        for cut in 1..bytes.len() {
+            assert_eq!(Msg::decode(&bytes[..cut]), Err(DecodeError), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Msg::RegisterAck.encode();
+        bytes.push(0);
+        assert_eq!(Msg::decode(&bytes), Err(DecodeError));
+    }
+
+    #[test]
+    fn bogus_length_rejected() {
+        // Claim a huge f32 vector without the data.
+        let mut bytes = vec![TAG_UPLOAD];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(Msg::decode(&bytes), Err(DecodeError));
+    }
+
+    #[test]
+    fn non_utf8_party_rejected() {
+        let mut bytes = vec![TAG_REGISTER];
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        assert_eq!(Msg::decode(&bytes), Err(DecodeError));
+    }
+
+    #[test]
+    fn fragment_precision_preserved() {
+        let fragment: Vec<f32> = (0..100).map(|i| (i as f32).exp().recip()).collect();
+        let msg = Msg::Upload {
+            round: 1,
+            fragment: fragment.clone(),
+        };
+        match Msg::decode(&msg.encode()).unwrap() {
+            Msg::Upload { fragment: f, .. } => assert_eq!(f, fragment),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

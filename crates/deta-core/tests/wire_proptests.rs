@@ -1,0 +1,88 @@
+//! Property tests for the wire codec and transform pipeline.
+
+use deta_core::mapper::ModelMapper;
+use deta_core::shuffle::RoundPermutation;
+use deta_core::wire::Msg;
+use deta_crypto::DetRng;
+use proptest::prelude::*;
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..128).prop_map(|b| Msg::Hello { handshake: b }),
+        proptest::collection::vec(any::<u8>(), 0..128)
+            .prop_map(|b| Msg::HelloReply { handshake: b }),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|b| Msg::Record { sealed: b }),
+        ("[a-z0-9-]{0,20}", any::<f32>())
+            .prop_map(|(party, weight)| Msg::Register { party, weight }),
+        Just(Msg::RegisterAck),
+        (any::<u64>(), any::<[u8; 16]>())
+            .prop_map(|(round, training_id)| Msg::RoundStart { round, training_id }),
+        (any::<u64>(), proptest::collection::vec(any::<f32>(), 0..64))
+            .prop_map(|(round, fragment)| Msg::Upload { round, fragment }),
+        (any::<u64>(), proptest::collection::vec(any::<f32>(), 0..64))
+            .prop_map(|(round, fragment)| Msg::Aggregated { round, fragment }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..8),
+            any::<u64>()
+        )
+            .prop_map(|(round, ciphertexts, value_count)| Msg::UploadEncrypted {
+                round,
+                ciphertexts,
+                value_count,
+            }),
+        (any::<u64>(), any::<[u8; 16]>())
+            .prop_map(|(round, training_id)| Msg::SyncRound { round, training_id }),
+        any::<u64>().prop_map(|round| Msg::SyncDone { round }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_all_messages(msg in arb_msg()) {
+        // NaN payloads break PartialEq; compare re-encoded bytes instead.
+        let bytes = msg.encode();
+        let decoded = Msg::decode(&bytes).expect("decode");
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Msg::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_rejects_any_truncation(msg in arb_msg()) {
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(Msg::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip(
+        key in any::<[u8; 32]>(),
+        tid in any::<[u8; 16]>(),
+        frag in any::<u32>(),
+        data in proptest::collection::vec(any::<f32>(), 0..200),
+    ) {
+        let p = RoundPermutation::derive(&key, &tid, frag, data.len());
+        let shuffled = p.apply(&data);
+        prop_assert_eq!(p.invert(&shuffled), data);
+    }
+
+    #[test]
+    fn mapper_roundtrip_arbitrary_proportions(
+        n in 1usize..300,
+        seed in any::<u64>(),
+        raw_props in proptest::collection::vec(0.05f32..1.0, 1..5),
+    ) {
+        let k = raw_props.len();
+        let mapper = ModelMapper::generate(n, k, Some(&raw_props), &mut DetRng::from_u64(seed));
+        let update: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        prop_assert_eq!(mapper.merge(&mapper.partition(&update)), update);
+        // Serialization roundtrip too.
+        let back = ModelMapper::from_bytes(&mapper.to_bytes()).unwrap();
+        prop_assert_eq!(back, mapper);
+    }
+}

@@ -1,0 +1,200 @@
+//! ChaCha20-Poly1305 authenticated encryption with associated data
+//! (RFC 8439 construction).
+
+use crate::chacha;
+use crate::ct_eq;
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// AEAD key. Zeroized on drop (best effort).
+#[derive(Clone)]
+pub struct Key(pub [u8; 32]);
+
+impl Drop for Key {
+    fn drop(&mut self) {
+        for b in &mut self.0 {
+            // SAFETY: `b` is a valid, aligned, exclusive reference.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+    }
+}
+
+/// AEAD nonce (96 bits). Must be unique per key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Nonce(pub [u8; 12]);
+
+impl Nonce {
+    /// Builds a nonce from a 64-bit sequence number and a 32-bit channel id.
+    ///
+    /// This is the standard "counter nonce" layout used by the secure
+    /// channels in `deta-transport`.
+    pub fn from_parts(channel: u32, seq: u64) -> Self {
+        let mut n = [0u8; 12];
+        n[..4].copy_from_slice(&channel.to_le_bytes());
+        n[4..].copy_from_slice(&seq.to_le_bytes());
+        Nonce(n)
+    }
+}
+
+/// Errors returned by [`open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// The ciphertext is shorter than an authentication tag.
+    Truncated,
+    /// Authentication failed: the ciphertext or associated data was
+    /// modified, or the key/nonce is wrong.
+    BadTag,
+}
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AeadError::Truncated => write!(f, "ciphertext shorter than tag"),
+            AeadError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// Derives the one-time Poly1305 key from the cipher key and nonce.
+fn poly_key(key: &Key, nonce: &Nonce) -> [u8; 32] {
+    let block = chacha::block(&key.0, 0, &nonce.0);
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block[..32]);
+    pk
+}
+
+/// Computes the RFC 8439 MAC over `aad` and ciphertext with length trailer.
+fn compute_tag(pk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    let mut mac = Poly1305::new(pk);
+    mac.update(aad);
+    mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+    mac.update(ciphertext);
+    mac.update(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+/// Encrypts `plaintext`, authenticating it together with `aad`.
+///
+/// Returns `ciphertext || tag`.
+pub fn seal(key: &Key, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha::xor_stream(&key.0, 1, &nonce.0, &mut out);
+    let pk = poly_key(key, nonce);
+    let tag = compute_tag(&pk, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts and verifies `ciphertext || tag`, returning the plaintext.
+///
+/// Verification happens before decryption output is released; on failure no
+/// plaintext is exposed.
+pub fn open(key: &Key, nonce: &Nonce, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AeadError::Truncated);
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let pk = poly_key(key, nonce);
+    let expected = compute_tag(&pk, aad, ciphertext);
+    if !ct_eq(&expected, tag) {
+        return Err(AeadError::BadTag);
+    }
+    let mut out = ciphertext.to_vec();
+    chacha::xor_stream(&key.0, 1, &nonce.0, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key {
+        Key(core::array::from_fn(|i| i as u8))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = Nonce::from_parts(1, 42);
+        let sealed = seal(&key(), &n, b"header", b"secret payload");
+        let opened = open(&key(), &n, b"header", &sealed).unwrap();
+        assert_eq!(opened, b"secret payload");
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let n = Nonce::from_parts(0, 0);
+        let sealed = seal(&key(), &n, b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&key(), &n, b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let n = Nonce::from_parts(1, 1);
+        let mut sealed = seal(&key(), &n, b"", b"attack at dawn");
+        sealed[3] ^= 1;
+        assert_eq!(open(&key(), &n, b"", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let n = Nonce::from_parts(1, 1);
+        let mut sealed = seal(&key(), &n, b"", b"attack at dawn");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert_eq!(open(&key(), &n, b"", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let n = Nonce::from_parts(1, 1);
+        let sealed = seal(&key(), &n, b"v1", b"payload");
+        assert_eq!(open(&key(), &n, b"v2", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let sealed = seal(&key(), &Nonce::from_parts(1, 1), b"", b"payload");
+        assert_eq!(
+            open(&key(), &Nonce::from_parts(1, 2), b"", &sealed),
+            Err(AeadError::BadTag)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let n = Nonce::from_parts(1, 1);
+        let sealed = seal(&key(), &n, b"", b"payload");
+        let other = Key([0xffu8; 32]);
+        assert_eq!(open(&other, &n, b"", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            open(&key(), &Nonce::from_parts(0, 0), b"", &[0u8; 5]),
+            Err(AeadError::Truncated)
+        );
+    }
+
+    #[test]
+    fn nonce_from_parts_layout() {
+        let n = Nonce::from_parts(0x01020304, 0x1122334455667788);
+        assert_eq!(&n.0[..4], &[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(&n.0[4..], &[0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]);
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext_prefix() {
+        let n = Nonce::from_parts(9, 9);
+        let a = seal(&key(), &n, b"", b"aaaaaaaaaaaaaaaa");
+        let b = seal(&key(), &n, b"", b"aaaaaaaaaaaaaaab");
+        // Same-length plaintexts differing in one byte differ only at that
+        // position in the ciphertext body (stream cipher), but tags differ.
+        assert_eq!(&a[..15], &b[..15]);
+        assert_ne!(&a[a.len() - TAG_LEN..], &b[b.len() - TAG_LEN..]);
+    }
+}

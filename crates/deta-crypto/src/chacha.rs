@@ -1,0 +1,154 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Keystream block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// Applies the ChaCha quarter round to four state words.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k" constants.
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR with the keystream starting at
+/// block `counter`).
+pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    let mut ctr = counter;
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let ks = block(key, ctr, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        ctr = ctr.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 section 2.3.2 block function test vector.
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 0x09, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let out = block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 section 2.4.2 cipher test vector (first 16 bytes).
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut msg = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+                        only one tip for the future, sunscreen would be it."
+            .to_vec();
+        xor_stream(&key, 1, &nonce, &mut msg);
+        assert_eq!(hex(&msg[..16]), "6e2e359a2568f98041ba0728dd0d6981");
+    }
+
+    #[test]
+    fn xor_roundtrip() {
+        let key = [7u8; KEY_LEN];
+        let nonce = [3u8; NONCE_LEN];
+        let original: Vec<u8> = (0..200u8).collect();
+        let mut data = original.clone();
+        xor_stream(&key, 0, &nonce, &mut data);
+        assert_ne!(data, original);
+        xor_stream(&key, 0, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_counters_differ() {
+        let key = [1u8; KEY_LEN];
+        let nonce = [2u8; NONCE_LEN];
+        assert_ne!(block(&key, 0, &nonce), block(&key, 1, &nonce));
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; KEY_LEN];
+        assert_ne!(
+            block(&key, 0, &[0u8; NONCE_LEN]),
+            block(&key, 0, &[1u8; NONCE_LEN])
+        );
+    }
+
+    #[test]
+    fn partial_block_xor() {
+        // Streams crossing block boundaries must be consistent with a single
+        // full-buffer XOR.
+        let key = [9u8; KEY_LEN];
+        let nonce = [4u8; NONCE_LEN];
+        let mut whole = vec![0u8; 150];
+        xor_stream(&key, 5, &nonce, &mut whole);
+        let mut first = vec![0u8; 64];
+        let mut second = vec![0u8; 86];
+        xor_stream(&key, 5, &nonce, &mut first);
+        xor_stream(&key, 6, &nonce, &mut second);
+        assert_eq!(&whole[..64], &first[..]);
+        assert_eq!(&whole[64..], &second[..]);
+    }
+}

@@ -1,0 +1,168 @@
+//! A fixed Schnorr group: the prime-order subgroup of `Z_p*`.
+//!
+//! The parameters are a 256-bit safe prime `p = 2q + 1` (so `q` is a
+//! 255-bit prime) with generator `g = 4`, which generates the order-`q`
+//! subgroup of quadratic residues. They were produced deterministically by
+//! `deta-bignum`'s `gen_safe_prime` example and verified with 32 rounds of
+//! Miller-Rabin plus the subgroup check `g^q = 1 (mod p)`.
+//!
+//! This group backs the Schnorr signatures in [`crate::sign`] and the
+//! Diffie-Hellman exchange in [`crate::dh`]. It plays the role that the
+//! NIST P-256 curve (`prime256v1`) plays in the paper's prototype.
+
+use crate::rng::DetRng;
+use deta_bignum::{prime::random_below, BigUint};
+use std::sync::OnceLock;
+
+/// Hex encoding of the safe prime `p`.
+pub const P_HEX: &str = "d949e7cd15a3a9d0196f7f64282d4a0f10b1847a253f2a9a2ca7d163419237bb";
+/// Hex encoding of the subgroup order `q = (p - 1) / 2`.
+pub const Q_HEX: &str = "6ca4f3e68ad1d4e80cb7bfb21416a5078858c23d129f954d1653e8b1a0c91bdd";
+
+fn from_hex(s: &str) -> BigUint {
+    let bytes: Vec<u8> = (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect();
+    BigUint::from_bytes_be(&bytes)
+}
+
+/// The shared group parameters.
+pub struct Group {
+    /// The field prime.
+    pub p: BigUint,
+    /// The subgroup order.
+    pub q: BigUint,
+    /// The subgroup generator.
+    pub g: BigUint,
+}
+
+/// Returns the process-wide group parameters.
+pub fn group() -> &'static Group {
+    static GROUP: OnceLock<Group> = OnceLock::new();
+    GROUP.get_or_init(|| Group {
+        p: from_hex(P_HEX),
+        q: from_hex(Q_HEX),
+        g: BigUint::from_u64(4),
+    })
+}
+
+impl Group {
+    /// Computes `g^e mod p`.
+    pub fn pow_g(&self, e: &BigUint) -> BigUint {
+        self.g.modpow(e, &self.p)
+    }
+
+    /// Computes `b^e mod p`.
+    pub fn pow(&self, b: &BigUint, e: &BigUint) -> BigUint {
+        b.modpow(e, &self.p)
+    }
+
+    /// Multiplies two group elements.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.mul_mod(b, &self.p)
+    }
+
+    /// Reduces a hash output (or any integer) into a scalar mod `q`.
+    pub fn scalar_from_bytes(&self, bytes: &[u8]) -> BigUint {
+        &BigUint::from_bytes_be(bytes) % &self.q
+    }
+
+    /// Samples a uniformly random non-zero scalar in `[1, q)`.
+    pub fn random_scalar(&self, rng: &mut DetRng) -> BigUint {
+        loop {
+            let s = random_below(rng, &self.q);
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
+    /// Returns `true` if `x` is a valid element of the order-`q` subgroup
+    /// (excluding the identity).
+    pub fn is_valid_element(&self, x: &BigUint) -> bool {
+        !x.is_zero() && !x.is_one() && x < &self.p && x.modpow(&self.q, &self.p).is_one()
+    }
+
+    /// Byte length of a serialized group element.
+    pub fn element_len(&self) -> usize {
+        self.p.bit_len().div_ceil(8)
+    }
+
+    /// Serializes a group element to fixed-width big-endian bytes.
+    pub fn element_to_bytes(&self, x: &BigUint) -> Vec<u8> {
+        x.to_bytes_be_padded(self.element_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_are_consistent() {
+        let g = group();
+        // p = 2q + 1.
+        assert_eq!(g.p, &g.q.shl_bits(1) + &BigUint::one());
+        // Generator has order q.
+        assert!(g.g.modpow(&g.q, &g.p).is_one());
+        assert!(!g.g.modpow(&BigUint::one(), &g.p).is_one());
+        assert_eq!(g.p.bit_len(), 256);
+        assert_eq!(g.q.bit_len(), 255);
+    }
+
+    #[test]
+    fn primality() {
+        let g = group();
+        let mut rng = DetRng::from_u64(0);
+        assert!(deta_bignum::is_probable_prime(&g.p, 16, &mut rng));
+        assert!(deta_bignum::is_probable_prime(&g.q, 16, &mut rng));
+    }
+
+    #[test]
+    fn element_validation() {
+        let g = group();
+        let mut rng = DetRng::from_u64(1);
+        let x = g.random_scalar(&mut rng);
+        let elem = g.pow_g(&x);
+        assert!(g.is_valid_element(&elem));
+        // The identity and values outside the subgroup are rejected.
+        assert!(!g.is_valid_element(&BigUint::one()));
+        assert!(!g.is_valid_element(&BigUint::zero()));
+        assert!(!g.is_valid_element(&g.p));
+        // A non-residue: g generates QRs, so a generator of the full group
+        // (e.g. a non-square) must fail. 2 is a non-residue iff p % 8 in
+        // {3, 5}; just test p - 1 which has order 2.
+        let p_minus_1 = &g.p - &BigUint::one();
+        assert!(!g.is_valid_element(&p_minus_1));
+    }
+
+    #[test]
+    fn exponent_homomorphism() {
+        let g = group();
+        let mut rng = DetRng::from_u64(2);
+        let a = g.random_scalar(&mut rng);
+        let b = g.random_scalar(&mut rng);
+        let lhs = g.mul(&g.pow_g(&a), &g.pow_g(&b));
+        let sum = (&a + &b).rem_ref(&g.q);
+        let rhs = g.pow_g(&sum);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn element_serialization_roundtrip() {
+        let g = group();
+        let mut rng = DetRng::from_u64(3);
+        let elem = g.pow_g(&g.random_scalar(&mut rng));
+        let bytes = g.element_to_bytes(&elem);
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(BigUint::from_bytes_be(&bytes), elem);
+    }
+
+    #[test]
+    fn scalar_from_bytes_reduces() {
+        let g = group();
+        let s = g.scalar_from_bytes(&[0xff; 64]);
+        assert!(s < g.q);
+    }
+}

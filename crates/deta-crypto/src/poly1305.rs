@@ -1,0 +1,265 @@
+//! The Poly1305 one-time authenticator (RFC 8439).
+//!
+//! Implemented with five 26-bit limbs and 64-bit intermediate products,
+//! the classic portable formulation.
+
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// Incremental Poly1305 MAC state.
+pub struct Poly1305 {
+    /// Clamped `r` in 26-bit limbs.
+    r: [u32; 5],
+    /// Accumulator `h` in 26-bit limbs.
+    h: [u32; 5],
+    /// Encrypted nonce `s` (added at finalization).
+    s: [u32; 4],
+    /// Buffered partial block.
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates a MAC state from a 32-byte one-time key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Clamp r per the specification.
+        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+        let r = [
+            t0 & 0x3ffffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x3ffff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x3f03fff,
+            (t3 >> 8) & 0x00fffff,
+        ];
+        let s = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()),
+            u32::from_le_bytes(key[20..24].try_into().unwrap()),
+            u32::from_le_bytes(key[24..28].try_into().unwrap()),
+            u32::from_le_bytes(key[28..32].try_into().unwrap()),
+        ];
+        Poly1305 {
+            r,
+            h: [0; 5],
+            s,
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, 1);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Processes one 16-byte block with the given high bit (1 for full
+    /// blocks, set inside the padded byte for the final partial block).
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap());
+
+        self.h[0] += t0 & 0x3ffffff;
+        self.h[1] += ((t0 >> 26) | (t1 << 6)) & 0x3ffffff;
+        self.h[2] += ((t1 >> 20) | (t2 << 12)) & 0x3ffffff;
+        self.h[3] += ((t2 >> 14) | (t3 << 18)) & 0x3ffffff;
+        self.h[4] += (t3 >> 8) | (hibit << 24);
+
+        // h *= r (mod 2^130 - 5).
+        let [r0, r1, r2, r3, r4] = self.r.map(|v| v as u64);
+        let [h0, h1, h2, h3, h4] = self.h.map(|v| v as u64);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        d0 &= 0x3ffffff;
+        d1 += c;
+        c = d1 >> 26;
+        d1 &= 0x3ffffff;
+        d2 += c;
+        c = d2 >> 26;
+        d2 &= 0x3ffffff;
+        d3 += c;
+        c = d3 >> 26;
+        d3 &= 0x3ffffff;
+        d4 += c;
+        c = d4 >> 26;
+        d4 &= 0x3ffffff;
+        d0 += c * 5;
+        c = d0 >> 26;
+        d0 &= 0x3ffffff;
+        d1 += c;
+
+        self.h = [d0 as u32, d1 as u32, d2 as u32, d3 as u32, d4 as u32];
+    }
+
+    /// Finalizes the MAC and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Pad the final partial block: append 0x01 then zeros, hibit 0.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, 0);
+        }
+        // Fully reduce h.
+        let mut h = self.h;
+        let mut c = h[1] >> 26;
+        h[1] &= 0x3ffffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x3ffffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x3ffffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x3ffffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ffffff;
+        h[1] += c;
+
+        // Compute h + -p = h - (2^130 - 5); select if non-negative. The top
+        // limb is left unmasked so the borrow shows up in its sign bit.
+        let mut g = [0u32; 5];
+        let mut carry = 5u32;
+        for i in 0..4 {
+            let t = h[i].wrapping_add(carry);
+            carry = t >> 26;
+            g[i] = t & 0x3ffffff;
+        }
+        g[4] = h[4].wrapping_add(carry).wrapping_sub(1 << 26);
+        // If the subtraction did not underflow (top bit of g[4] clear in
+        // two's complement), use g; otherwise keep h.
+        let use_g = (g[4] >> 31) == 0;
+        let mut sel = if use_g { g } else { h };
+        sel[4] &= 0x3ffffff;
+
+        // Serialize to 128 bits and add s modulo 2^128.
+        let w0 = sel[0] as u64 | ((sel[1] as u64) << 26) | (((sel[2] as u64) & 0xfff) << 52);
+        let w1 = ((sel[2] as u64) >> 12) | ((sel[3] as u64) << 14) | ((sel[4] as u64) << 40);
+        let s_lo = self.s[0] as u64 | ((self.s[1] as u64) << 32);
+        let s_hi = self.s[2] as u64 | ((self.s[3] as u64) << 32);
+        let (lo, carry) = w0.overflowing_add(s_lo);
+        let hi = w1.wrapping_add(s_hi).wrapping_add(carry as u64);
+        let mut tag = [0u8; TAG_LEN];
+        tag[..8].copy_from_slice(&lo.to_le_bytes());
+        tag[8..].copy_from_slice(&hi.to_le_bytes());
+        tag
+    }
+}
+
+/// One-shot Poly1305 tag of `msg` under `key`.
+pub fn poly1305(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 section 2.5.2.
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            hex(&poly1305(&key, msg)),
+            "a8061dc1305136c6c22b8baf0c0127a9"
+        );
+    }
+
+    #[test]
+    fn empty_message() {
+        // With r = 0 the accumulator stays 0 and the tag equals s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[0xabu8; 16]);
+        assert_eq!(poly1305(&key, b""), [0xabu8; 16]);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key: [u8; 32] = core::array::from_fn(|i| (i * 7 + 1) as u8);
+        let msg: Vec<u8> = (0..123u8).collect();
+        let oneshot = poly1305(&key, &msg);
+        for chunk in [1usize, 5, 15, 16, 17, 40] {
+            let mut p = Poly1305::new(&key);
+            for c in msg.chunks(chunk) {
+                p.update(c);
+            }
+            assert_eq!(p.finalize(), oneshot, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn tag_depends_on_message() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8 + 1);
+        assert_ne!(poly1305(&key, b"hello"), poly1305(&key, b"hellp"));
+        assert_ne!(poly1305(&key, b"hello"), poly1305(&key, b"hello\0"));
+    }
+
+    #[test]
+    fn tag_depends_on_key() {
+        let k1: [u8; 32] = core::array::from_fn(|i| i as u8 + 1);
+        let k2: [u8; 32] = core::array::from_fn(|i| i as u8 + 2);
+        assert_ne!(poly1305(&k1, b"hello"), poly1305(&k2, b"hello"));
+    }
+}

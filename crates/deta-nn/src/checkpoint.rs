@@ -1,0 +1,201 @@
+//! Model checkpointing: serialize flat parameters to a small binary
+//! format with integrity checking.
+//!
+//! FL sessions run for many rounds; operators snapshot the global model
+//! between rounds and restore it after restarts. The format is
+//! deliberately simple: a magic header, version, parameter count, the
+//! little-endian f32 payload, and a SHA-256 trailer over everything
+//! before it.
+
+use crate::Sequential;
+use deta_crypto::sha256::sha256;
+
+const MAGIC: &[u8; 8] = b"DETACKPT";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Wrong magic or truncated header.
+    BadHeader,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Payload length inconsistent with the declared count.
+    BadLength,
+    /// The integrity digest does not match.
+    BadDigest,
+    /// The parameter count does not match the target model.
+    ModelMismatch {
+        /// Parameters in the checkpoint.
+        checkpoint: usize,
+        /// Parameters in the model.
+        model: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadHeader => write!(f, "bad checkpoint header"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadLength => write!(f, "checkpoint length mismatch"),
+            CheckpointError::BadDigest => write!(f, "checkpoint integrity check failed"),
+            CheckpointError::ModelMismatch { checkpoint, model } => {
+                write!(f, "checkpoint has {checkpoint} params, model has {model}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Encodes flat parameters into checkpoint bytes.
+pub fn encode(params: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + 8 + params.len() * 4 + 32);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for &p in params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    let digest = sha256(&out);
+    out.extend_from_slice(&digest);
+    out
+}
+
+/// Decodes checkpoint bytes back into flat parameters.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] for malformed, truncated, or corrupted
+/// input.
+pub fn decode(bytes: &[u8]) -> Result<Vec<f32>, CheckpointError> {
+    if bytes.len() < 8 + 4 + 8 + 32 || &bytes[..8] != MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let payload_end = 20usize
+        .checked_add(count.checked_mul(4).ok_or(CheckpointError::BadLength)?)
+        .ok_or(CheckpointError::BadLength)?;
+    if bytes.len() != payload_end + 32 {
+        return Err(CheckpointError::BadLength);
+    }
+    let digest = sha256(&bytes[..payload_end]);
+    if digest != bytes[payload_end..] {
+        return Err(CheckpointError::BadDigest);
+    }
+    let params = bytes[20..payload_end]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(params)
+}
+
+/// Saves a model's trainable parameters to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save(model: &Sequential, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(&model.flat_params()))
+}
+
+/// Restores a model's trainable parameters from a file.
+///
+/// # Errors
+///
+/// Returns I/O errors or [`CheckpointError`] (boxed) on format problems.
+pub fn load(
+    model: &mut Sequential,
+    path: &std::path::Path,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    let params = decode(&bytes)?;
+    if params.len() != model.param_count() {
+        return Err(Box::new(CheckpointError::ModelMismatch {
+            checkpoint: params.len(),
+            model: model.param_count(),
+        }));
+    }
+    model.set_flat_params(&params);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp;
+    use deta_crypto::DetRng;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let params: Vec<f32> = (0..257).map(|i| (i as f32).sin()).collect();
+        assert_eq!(decode(&encode(&params)).unwrap(), params);
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let mut bytes = encode(&[1.0, 2.0, 3.0]);
+        bytes[25] ^= 1;
+        assert_eq!(decode(&bytes), Err(CheckpointError::BadDigest));
+    }
+
+    #[test]
+    fn corrupted_digest_rejected() {
+        let mut bytes = encode(&[1.0, 2.0, 3.0]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert_eq!(decode(&bytes), Err(CheckpointError::BadDigest));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode(&[1.0, 2.0, 3.0]);
+        for cut in [0usize, 7, 19, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let mut bytes = encode(&[1.0]);
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(CheckpointError::BadHeader));
+        let mut bytes = encode(&[1.0]);
+        bytes[8] = 9;
+        // Digest no longer matches either, but version is checked first.
+        assert_eq!(decode(&bytes), Err(CheckpointError::BadVersion(9)));
+    }
+
+    #[test]
+    fn save_load_model_roundtrip() {
+        let dir = std::env::temp_dir().join("deta-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let mut rng = DetRng::from_u64(1);
+        let model = mlp(&[4, 8, 2], &mut rng);
+        let original = model.flat_params();
+        save(&model, &path).unwrap();
+        let mut other = mlp(&[4, 8, 2], &mut DetRng::from_u64(2));
+        assert_ne!(other.flat_params(), original);
+        load(&mut other, &path).unwrap();
+        assert_eq!(other.flat_params(), original);
+    }
+
+    #[test]
+    fn load_into_wrong_model_rejected() {
+        let dir = std::env::temp_dir().join("deta-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.ckpt");
+        let mut rng = DetRng::from_u64(1);
+        let model = mlp(&[4, 8, 2], &mut rng);
+        save(&model, &path).unwrap();
+        let mut other = mlp(&[4, 9, 2], &mut rng);
+        assert!(load(&mut other, &path).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Softmax cross-entropy loss.
+
+use deta_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch.
+///
+/// `logits` has shape `[batch, classes]`; `labels` holds class indices.
+/// Returns `(loss, grad_logits)` where the gradient is already divided by
+/// the batch size (so downstream gradients are per-batch means).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is out
+/// of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2);
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), batch, "label count mismatch");
+    let probs = logits.softmax_rows();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let gd = grad.data_mut();
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        let p = probs.at2(i, label).max(1e-12);
+        loss -= p.ln();
+        gd[i * classes + label] -= 1.0;
+    }
+    let scale = 1.0 / batch as f32;
+    grad.scale_mut(scale);
+    (loss * scale, grad)
+}
+
+/// Computes classification accuracy of `logits` against `labels`.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), batch);
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * classes..(i + 1) * classes];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_classes() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_low_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.data_mut()[1] = 20.0;
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_high_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.data_mut()[1] = 20.0;
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss > 10.0);
+    }
+
+    #[test]
+    fn gradient_matches_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2]);
+        let probs = logits.softmax_rows();
+        assert!((grad.at2(0, 0) - probs.at2(0, 0)).abs() < 1e-6);
+        assert!((grad.at2(0, 2) - (probs.at2(0, 2) - 1.0)).abs() < 1e-6);
+        // Gradient rows sum to ~0.
+        let s: f32 = grad.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.3], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "logit {i}: {numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-6);
+        assert!((accuracy(&logits, &[1, 0, 1]) - 0.0).abs() < 1e-6);
+        assert!((accuracy(&logits, &[0, 0, 0]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_panics() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

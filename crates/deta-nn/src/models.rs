@@ -1,0 +1,212 @@
+//! The model zoo used by the DeTA evaluation.
+//!
+//! The paper trains: an 8-layer ConvNet on MNIST (Figure 5), a 23-layer
+//! ConvNet on CIFAR-10 (Figure 6), and a VGG-16 transfer model on
+//! RVL-CDIP (Figure 7). These constructors rebuild the same architecture
+//! *shapes* at CPU-simulation scale; image sizes are parameters so the
+//! benchmark harness can trade fidelity for runtime.
+
+use crate::layers::{Conv2d, Linear, MaxPool2d, Relu, Tanh};
+use crate::residual::Residual;
+use crate::Sequential;
+use deta_crypto::DetRng;
+
+/// A plain multi-layer perceptron with Tanh activations.
+///
+/// Used by the gradient-inversion experiments, which need a smooth (twice
+/// differentiable) model as in the DLG paper.
+///
+/// # Panics
+///
+/// Panics if fewer than two dimensions are given.
+pub fn mlp(dims: &[usize], rng: &mut DetRng) -> Sequential {
+    assert!(dims.len() >= 2, "mlp needs at least input and output dims");
+    let mut m = Sequential::new();
+    for (i, w) in dims.windows(2).enumerate() {
+        m = m.push(Linear::new(w[0], w[1], rng));
+        if i + 2 < dims.len() {
+            m = m.push(Tanh::new());
+        }
+    }
+    m
+}
+
+/// The 8-layer MNIST ConvNet from the paper's Figure 5 experiments.
+///
+/// `hw` is the (square) input resolution; channels default to 1.
+pub fn convnet8(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
+    assert!(hw % 4 == 0, "convnet8 needs resolution divisible by 4");
+    let h2 = hw / 2;
+    let h4 = hw / 4;
+    Sequential::new()
+        .push(Conv2d::new(in_c, 8, hw, hw, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2d::new(8, hw, hw))
+        .push(Conv2d::new(8, 16, h2, h2, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2d::new(16, h2, h2))
+        .push(Linear::new(16 * h4 * h4, 64, rng))
+        .push(Relu::new())
+        .push(Linear::new(64, classes, rng))
+}
+
+/// The 23-layer CIFAR-10 ConvNet from the paper's Figure 6 experiments.
+pub fn convnet23(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
+    assert!(hw % 8 == 0, "convnet23 needs resolution divisible by 8");
+    let h2 = hw / 2;
+    let h4 = hw / 4;
+    let h8 = hw / 8;
+    Sequential::new()
+        // Block 1.
+        .push(Conv2d::new(in_c, 16, hw, hw, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(Conv2d::new(16, 16, hw, hw, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2d::new(16, hw, hw))
+        // Block 2.
+        .push(Conv2d::new(16, 32, h2, h2, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(Conv2d::new(32, 32, h2, h2, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2d::new(32, h2, h2))
+        // Block 3.
+        .push(Conv2d::new(32, 64, h4, h4, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(Conv2d::new(64, 64, h4, h4, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2d::new(64, h4, h4))
+        // Head.
+        .push(Linear::new(64 * h8 * h8, 128, rng))
+        .push(Relu::new())
+        .push(Linear::new(128, classes, rng))
+}
+
+/// A VGG-lite transfer model for the RVL-CDIP experiments.
+///
+/// The paper fine-tunes a pre-trained VGG-16 after replacing the last
+/// three fully connected layers. Here the convolutional feature extractor
+/// is *frozen* (simulating the pre-trained backbone: its weights exist but
+/// are excluded from training and from the flat parameter vector), and the
+/// three-layer classifier head is trainable.
+pub fn vgg_lite(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
+    assert!(hw % 4 == 0, "vgg_lite needs resolution divisible by 4");
+    let h2 = hw / 2;
+    let h4 = hw / 4;
+    Sequential::new()
+        // Frozen "pre-trained" feature extractor.
+        .push(Conv2d::new(in_c, 16, hw, hw, 3, 1, 1, rng).freeze())
+        .push(Relu::new())
+        .push(MaxPool2d::new(16, hw, hw))
+        .push(Conv2d::new(16, 32, h2, h2, 3, 1, 1, rng).freeze())
+        .push(Relu::new())
+        .push(MaxPool2d::new(32, h2, h2))
+        // Replaced, trainable 3-layer classifier head.
+        .push(Linear::new(32 * h4 * h4, 128, rng))
+        .push(Relu::new())
+        .push(Linear::new(128, 64, rng))
+        .push(Relu::new())
+        .push(Linear::new(64, classes, rng))
+}
+
+/// A small residual network: stem conv, two residual conv blocks with a
+/// pooling stage between them, and a linear head.
+///
+/// Stands in for the ResNet-18 class of architectures the paper's IG
+/// experiments target, at CPU scale.
+pub fn resnet_lite(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
+    assert!(hw % 2 == 0, "resnet_lite needs even resolution");
+    let h2 = hw / 2;
+    let block = |c: usize, s: usize, rng: &mut DetRng| {
+        Residual::new(
+            Sequential::new()
+                .push(Conv2d::new(c, c, s, s, 3, 1, 1, rng))
+                .push(Tanh::new()),
+        )
+    };
+    Sequential::new()
+        .push(Conv2d::new(in_c, 8, hw, hw, 3, 1, 1, rng))
+        .push(Relu::new())
+        .push(block(8, hw, rng))
+        .push(MaxPool2d::new(8, hw, hw))
+        .push(block(8, h2, rng))
+        .push(Linear::new(8 * h2 * h2, classes, rng))
+}
+
+/// The small LeNet-style smooth ConvNet used in the DLG/iDLG experiments.
+///
+/// Uses Tanh activations and strided convolutions (no pooling), matching
+/// the twice-differentiable architecture the attacks require.
+pub fn lenet_dlg(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
+    assert!(hw % 4 == 0, "lenet_dlg needs resolution divisible by 4");
+    let h2 = hw / 2;
+    let h4 = hw / 4;
+    Sequential::new()
+        .push(Conv2d::new(in_c, 8, hw, hw, 3, 2, 1, rng))
+        .push(Tanh::new())
+        .push(Conv2d::new(8, 8, h2, h2, 3, 2, 1, rng))
+        .push(Tanh::new())
+        .push(Linear::new(8 * h4 * h4, classes, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deta_tensor::Tensor;
+
+    #[test]
+    fn mlp_shapes_and_layers() {
+        let mut rng = DetRng::from_u64(1);
+        let mut m = mlp(&[10, 20, 5], &mut rng);
+        // Linear, Tanh, Linear.
+        assert_eq!(m.len(), 3);
+        let y = m.forward(&Tensor::zeros(&[2, 10]), false);
+        assert_eq!(y.shape(), &[2, 5]);
+        assert_eq!(m.param_count(), 10 * 20 + 20 + 20 * 5 + 5);
+    }
+
+    #[test]
+    fn convnet8_forward_shape() {
+        let mut rng = DetRng::from_u64(2);
+        let mut m = convnet8(1, 28, 10, &mut rng);
+        let y = m.forward(&Tensor::zeros(&[2, 28 * 28]), false);
+        assert_eq!(y.shape(), &[2, 10]);
+        assert!(m.param_count() > 10_000);
+    }
+
+    #[test]
+    fn convnet23_forward_shape() {
+        let mut rng = DetRng::from_u64(3);
+        let mut m = convnet23(3, 16, 10, &mut rng);
+        let y = m.forward(&Tensor::zeros(&[1, 3 * 16 * 16]), false);
+        assert_eq!(y.shape(), &[1, 10]);
+        // The paper's model has 23 layers; ours counts 17 boxed layers
+        // (conv/relu/pool/linear), which is the same depth class.
+        assert!(m.len() >= 15);
+    }
+
+    #[test]
+    fn vgg_lite_freezes_backbone() {
+        let mut rng = DetRng::from_u64(4);
+        let mut m = vgg_lite(3, 16, 16, &mut rng);
+        let y = m.forward(&Tensor::zeros(&[1, 3 * 16 * 16]), false);
+        assert_eq!(y.shape(), &[1, 16]);
+        // Only the head is trainable.
+        let head = 32 * 4 * 4 * 128 + 128 + 128 * 64 + 64 + 64 * 16 + 16;
+        assert_eq!(m.param_count(), head);
+    }
+
+    #[test]
+    fn lenet_dlg_forward_shape() {
+        let mut rng = DetRng::from_u64(5);
+        let mut m = lenet_dlg(3, 16, 100, &mut rng);
+        let y = m.forward(&Tensor::zeros(&[1, 3 * 16 * 16]), false);
+        assert_eq!(y.shape(), &[1, 100]);
+    }
+
+    #[test]
+    fn models_are_deterministic() {
+        let p1 = convnet8(1, 12, 10, &mut DetRng::from_u64(7)).flat_params();
+        let p2 = convnet8(1, 12, 10, &mut DetRng::from_u64(7)).flat_params();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Optimizers.
+
+use crate::Sequential;
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: Option<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: None,
+        }
+    }
+
+    /// Enables momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Sgd {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Applies one update step from the model's accumulated gradients.
+    pub fn step(&mut self, model: &mut Sequential) {
+        let grads = model.flat_grads();
+        if self.momentum == 0.0 {
+            model.apply_flat_grads(&grads, self.lr);
+            return;
+        }
+        let v = self.velocity.get_or_insert_with(|| vec![0.0; grads.len()]);
+        assert_eq!(v.len(), grads.len(), "model size changed mid-training");
+        for (vi, gi) in v.iter_mut().zip(grads.iter()) {
+            *vi = self.momentum * *vi + gi;
+        }
+        let update = v.clone();
+        model.apply_flat_grads(&update, self.lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use deta_crypto::DetRng;
+    use deta_tensor::Tensor;
+
+    fn setup() -> Sequential {
+        let mut rng = DetRng::from_u64(1);
+        Sequential::new().push(Linear::new(2, 1, &mut rng))
+    }
+
+    fn run_one_step(model: &mut Sequential, opt: &mut Sgd) {
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = model.forward(&x, true);
+        model.zero_grad();
+        model.backward(&Tensor::full(y.shape(), 1.0));
+        opt.step(model);
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut model = setup();
+        let mut opt = Sgd::new(0.1);
+        let before = model.flat_params();
+        run_one_step(&mut model, &mut opt);
+        let after = model.flat_params();
+        // Gradient of sum(y) w.r.t. W is x = (1, 1), w.r.t. b is 1.
+        assert!((before[0] - 0.1 - after[0]).abs() < 1e-6);
+        assert!((before[2] - 0.1 - after[2]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut m1 = setup();
+        let mut m2 = setup();
+        let mut plain = Sgd::new(0.1);
+        let mut momentum = Sgd::new(0.1).with_momentum(0.9);
+        for _ in 0..3 {
+            run_one_step(&mut m1, &mut plain);
+            run_one_step(&mut m2, &mut momentum);
+        }
+        // With constant gradients, momentum moves strictly farther.
+        let p1 = m1.flat_params();
+        let p2 = m2.flat_params();
+        assert!(p2[0] < p1[0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! im2col/col2im lowering for 2-D convolution.
+//!
+//! `deta-nn` implements convolution as `im2col` followed by a matrix
+//! product, with `col2im` scattering gradients back in the backward pass.
+//! All tensors use NCHW layout.
+
+use crate::Tensor;
+
+/// Convolution geometry for a single spatial configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel size (square kernels).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height after convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Number of columns in the im2col matrix (output positions).
+    pub fn cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Number of rows in the im2col matrix (patch size).
+    pub fn rows(&self) -> usize {
+        self.in_c * self.k * self.k
+    }
+}
+
+/// Lowers one image `[C, H, W]` (flattened) to a patch matrix
+/// `[C*k*k, out_h*out_w]`.
+///
+/// # Panics
+///
+/// Panics if `input.numel()` does not match the geometry.
+pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
+    assert_eq!(
+        input.numel(),
+        g.in_c * g.in_h * g.in_w,
+        "input size mismatch"
+    );
+    let (out_h, out_w) = (g.out_h(), g.out_w());
+    let cols = out_h * out_w;
+    let mut out = vec![0.0f32; g.rows() * cols];
+    let data = input.data();
+    for c in 0..g.in_c {
+        for ky in 0..g.k {
+            for kx in 0..g.k {
+                let row = (c * g.k + ky) * g.k + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        let col = oy * out_w + ox;
+                        let v = if iy >= 0
+                            && (iy as usize) < g.in_h
+                            && ix >= 0
+                            && (ix as usize) < g.in_w
+                        {
+                            data[(c * g.in_h + iy as usize) * g.in_w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * cols + col] = v;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[g.rows(), cols])
+}
+
+/// Scatters a patch-matrix gradient `[C*k*k, out_h*out_w]` back to an image
+/// gradient `[C, H, W]` (flattened), accumulating overlapping patches.
+///
+/// This is the exact adjoint of [`im2col`].
+///
+/// # Panics
+///
+/// Panics if `cols.shape()` does not match the geometry.
+pub fn col2im(cols_mat: &Tensor, g: &ConvGeom) -> Tensor {
+    assert_eq!(
+        cols_mat.shape(),
+        &[g.rows(), g.cols()],
+        "cols shape mismatch"
+    );
+    let (out_h, out_w) = (g.out_h(), g.out_w());
+    let cols = out_h * out_w;
+    let mut out = vec![0.0f32; g.in_c * g.in_h * g.in_w];
+    let data = cols_mat.data();
+    for c in 0..g.in_c {
+        for ky in 0..g.k {
+            for kx in 0..g.k {
+                let row = (c * g.k + ky) * g.k + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy as usize >= g.in_h {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix < 0 || ix as usize >= g.in_w {
+                            continue;
+                        }
+                        let col = oy * out_w + ox;
+                        out[(c * g.in_h + iy as usize) * g.in_w + ix as usize] +=
+                            data[row * cols + col];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[g.in_c * g.in_h * g.in_w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deta_crypto::DetRng;
+
+    #[test]
+    fn geometry() {
+        let g = ConvGeom {
+            in_c: 3,
+            in_h: 8,
+            in_w: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(g.out_h(), 8);
+        assert_eq!(g.out_w(), 8);
+        assert_eq!(g.rows(), 27);
+        let g2 = ConvGeom {
+            stride: 2,
+            pad: 0,
+            ..g
+        };
+        assert_eq!(g2.out_h(), 3);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is just a reshape.
+        let g = ConvGeom {
+            in_c: 2,
+            in_h: 2,
+            in_w: 2,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[8]);
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.shape(), &[2, 4]);
+        assert_eq!(cols.data(), input.data());
+    }
+
+    #[test]
+    fn im2col_simple_3x3() {
+        // Single channel 3x3 image, 2x2 kernel, stride 1, no pad.
+        let g = ConvGeom {
+            in_c: 1,
+            in_h: 3,
+            in_w: 3,
+            k: 2,
+            stride: 1,
+            pad: 0,
+        };
+        #[rustfmt::skip]
+        let input = Tensor::from_vec(vec![
+            1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0,
+            7.0, 8.0, 9.0,
+        ], &[9]);
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.shape(), &[4, 4]);
+        // Patches (top-left origin), column order = output scan order.
+        assert_eq!(cols.data()[0..4], [1.0, 2.0, 4.0, 5.0]); // kernel (0,0)
+        assert_eq!(cols.data()[4..8], [2.0, 3.0, 5.0, 6.0]); // kernel (0,1)
+        assert_eq!(cols.data()[8..12], [4.0, 5.0, 7.0, 8.0]); // kernel (1,0)
+        assert_eq!(cols.data()[12..16], [5.0, 6.0, 8.0, 9.0]); // kernel (1,1)
+    }
+
+    #[test]
+    fn padding_zeros() {
+        let g = ConvGeom {
+            in_c: 1,
+            in_h: 2,
+            in_w: 2,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.shape(), &[9, 4]);
+        // Kernel position (0,0) at output (0,0) reads the padded corner.
+        assert_eq!(cols.data()[0], 0.0);
+        // Kernel center at output (0,0) reads pixel (0,0).
+        let center_row = 4; // ky=1, kx=1
+        assert_eq!(cols.data()[center_row * 4], 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y: the defining
+        // property of the adjoint, which is exactly what backprop needs.
+        let g = ConvGeom {
+            in_c: 2,
+            in_h: 5,
+            in_w: 4,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let mut rng = DetRng::from_u64(7);
+        let x = Tensor::randn(&[g.in_c * g.in_h * g.in_w], 1.0, &mut rng);
+        let y = Tensor::randn(&[g.rows(), g.cols()], 1.0, &mut rng);
+        let lhs: f32 = im2col(&x, &g)
+            .data()
+            .iter()
+            .zip(y.data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, &g).data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // Direct convolution vs im2col + matmul on a small case.
+        let g = ConvGeom {
+            in_c: 1,
+            in_h: 4,
+            in_w: 4,
+            k: 3,
+            stride: 1,
+            pad: 0,
+        };
+        let mut rng = DetRng::from_u64(9);
+        let input = Tensor::randn(&[16], 1.0, &mut rng);
+        let kernel = Tensor::randn(&[1, 9], 1.0, &mut rng);
+        let cols = im2col(&input, &g);
+        let out = kernel.matmul(&cols); // [1, 4]
+                                        // Direct computation.
+        for oy in 0..2 {
+            for ox in 0..2 {
+                let mut acc = 0.0f32;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += kernel.data()[ky * 3 + kx] * input.data()[(oy + ky) * 4 + (ox + kx)];
+                    }
+                }
+                let got = out.data()[oy * 2 + ox];
+                assert!((acc - got).abs() < 1e-5, "({oy},{ox}): {acc} vs {got}");
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: a complete DeTA federated-learning session in ~40 lines.
+//!
+//! Four parties train an MNIST-like classifier through three SEV-protected
+//! aggregators with partitioning and shuffling on, and the run is compared
+//! against the centralized FFL baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deta::core::baseline::run_ffl;
+use deta::core::{DetaConfig, DetaSession};
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::convnet8;
+
+fn main() {
+    // Synthetic MNIST-shaped data (see deta-datasets for why synthetic).
+    let spec = DatasetSpec::mnist_like().at_resolution(12);
+    let train = spec.generate(800, 1);
+    let test = spec.generate(200, 2);
+    let shards = iid_partition(&train, 4, 3);
+
+    let mut config = DetaConfig::deta(4, 6);
+    config.local_epochs = 2;
+    config.lr = 0.25;
+    config.seed = 42;
+
+    let dim_hw = 12;
+    let classes = spec.classes;
+    let builder = move |rng: &mut deta::crypto::DetRng| convnet8(1, dim_hw, classes, rng);
+
+    println!("== DeTA: 4 parties, 3 SEV aggregators, partition + shuffle ==");
+    let mut session = DetaSession::setup(config.clone(), &builder, shards.clone()).expect("setup");
+    for m in session.run(&test) {
+        println!(
+            "round {:2}  loss {:.4}  acc {:5.1}%  latency {:6.2}s (cum {:6.2}s)",
+            m.round,
+            m.test_loss,
+            m.test_accuracy * 100.0,
+            m.round_latency_s,
+            m.cumulative_latency_s
+        );
+    }
+
+    println!("\n== FFL baseline: 1 central aggregator, no transform ==");
+    let metrics = run_ffl(config, &builder, shards, &test).expect("baseline");
+    for m in &metrics {
+        println!(
+            "round {:2}  loss {:.4}  acc {:5.1}%  latency {:6.2}s (cum {:6.2}s)",
+            m.round,
+            m.test_loss,
+            m.test_accuracy * 100.0,
+            m.round_latency_s,
+            m.cumulative_latency_s
+        );
+    }
+    println!(
+        "\nSame accuracy trajectory, modest latency overhead: that is the paper's utility claim."
+    );
+}

@@ -1,0 +1,106 @@
+//! What does a breached aggregator actually leak? (Paper Section 6's
+//! worst-case scenario, end-to-end through a real session.)
+
+use deta::core::aggregator::parse_breached_memory;
+use deta::core::{DetaConfig, DetaSession, SyncMode, TransformConfig};
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::mlp;
+
+fn session(transform: TransformConfig, n_aggs: usize) -> (DetaSession, usize) {
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(80, 1);
+    let shards = iid_partition(&train, 2, 2);
+    let mut cfg = DetaConfig::deta(2, 1);
+    cfg.n_aggregators = n_aggs;
+    cfg.transform = transform;
+    cfg.mode = SyncMode::FedSgd;
+    cfg.seed = 5;
+    let dim = spec.dim();
+    let classes = spec.classes;
+    let s = DetaSession::setup(cfg, &move |rng| mlp(&[dim, 12, classes], rng), shards).unwrap();
+    let n_params = mlp(&[dim, 12, classes], &mut deta::crypto::DetRng::from_u64(0)).param_count();
+    (s, n_params)
+}
+
+#[test]
+fn breach_leaks_only_a_fragment() {
+    let (mut s, n_params) = session(TransformConfig::full(), 3);
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let test = spec.generate(20, 9);
+    s.step(&test);
+    let dump = s.breach_aggregator(0);
+    let records = parse_breached_memory(&dump.memory);
+    assert_eq!(records.len(), 2, "one fragment per party");
+    for (party, round, fragment) in &records {
+        assert!(party.starts_with("party-"));
+        assert_eq!(*round, 1);
+        // Equal proportions over 3 aggregators: about a third each.
+        let frac = fragment.len() as f64 / n_params as f64;
+        assert!(
+            (0.25..0.42).contains(&frac),
+            "fragment holds {frac} of the update"
+        );
+    }
+}
+
+#[test]
+fn union_of_all_breaches_recovers_multiset_but_not_order() {
+    let (mut s, n_params) = session(TransformConfig::full(), 3);
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let test = spec.generate(20, 9);
+    s.step(&test);
+    // Collect party-0's fragments from every breached aggregator: even
+    // with ALL CC environments compromised, the attacker holds the right
+    // multiset of values but in transformed order.
+    let mut pieces: Vec<Vec<f32>> = Vec::new();
+    for j in 0..3 {
+        let dump = s.breach_aggregator(j);
+        for (party, _, frag) in parse_breached_memory(&dump.memory) {
+            if party == "party-0" {
+                pieces.push(frag);
+            }
+        }
+    }
+    let total: usize = pieces.iter().map(|p| p.len()).sum();
+    assert_eq!(total, n_params, "all fragments together cover the update");
+    // No piece is a contiguous slice of... we cannot know the true update
+    // here directly, but we can at least assert the pieces are disjoint
+    // in size terms and non-trivially scrambled: consecutive values in a
+    // shuffled fragment should not be monotone the way backprop gradients
+    // of adjacent weights often are. We settle for a weaker structural
+    // check: fragments differ across aggregators.
+    assert!(pieces.windows(2).all(|w| w[0] != w[1]));
+}
+
+#[test]
+fn breach_of_central_baseline_leaks_everything() {
+    // The contrast case: under FFL (single aggregator, no transform), one
+    // breach yields the complete, in-order update.
+    let (mut s, n_params) = session(TransformConfig::none(), 1);
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let test = spec.generate(20, 9);
+    s.step(&test);
+    let dump = s.breach_aggregator(0);
+    let records = parse_breached_memory(&dump.memory);
+    assert_eq!(records.len(), 2);
+    for (_, _, fragment) in &records {
+        assert_eq!(fragment.len(), n_params, "central aggregator holds it all");
+    }
+}
+
+#[test]
+fn shuffled_fragments_differ_across_rounds() {
+    // The dynamic per-round permutation means a breached aggregator sees
+    // differently-ordered data each round even for similar updates.
+    let (mut s, _) = session(TransformConfig::full(), 2);
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let test = spec.generate(20, 9);
+    s.step(&test);
+    let r1 = parse_breached_memory(&s.breach_aggregator(0).memory);
+    s.step(&test);
+    let r2 = parse_breached_memory(&s.breach_aggregator(0).memory);
+    let f1 = &r1.iter().find(|(p, _, _)| p == "party-0").unwrap().2;
+    let f2 = &r2.iter().find(|(p, _, _)| p == "party-0").unwrap().2;
+    assert_eq!(f1.len(), f2.len());
+    assert_ne!(f1, f2);
+}

@@ -1,0 +1,121 @@
+//! The paper's central utility claim: DeTA's partitioning and shuffling
+//! are *exactly transparent* to coordinate-wise aggregation — same final
+//! model, same convergence, as the centralized FFL baseline.
+
+use deta::core::{AggKind, DetaConfig, DetaSession, SyncMode};
+use deta::crypto::DetRng;
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::mlp;
+use deta::nn::train::LabeledData;
+
+fn data(n: usize) -> (Vec<LabeledData>, LabeledData, usize, usize) {
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(n, 1);
+    let test = spec.generate(80, 2);
+    (iid_partition(&train, 4, 3), test, spec.dim(), spec.classes)
+}
+
+fn run(config: DetaConfig) -> (Vec<f32>, Vec<f32>) {
+    let (shards, test, dim, classes) = data(200);
+    let mut session =
+        DetaSession::setup(config, &move |rng| mlp(&[dim, 24, classes], rng), shards).unwrap();
+    let metrics = session.run(&test);
+    let acc: Vec<f32> = metrics.iter().map(|m| m.test_accuracy).collect();
+    (session.party_params(0), acc)
+}
+
+#[test]
+fn deta_equals_ffl_exactly_with_iterative_averaging() {
+    let mut deta_cfg = DetaConfig::deta(4, 3);
+    deta_cfg.seed = 42;
+    let mut ffl_cfg = DetaConfig::ffl_baseline(4, 3);
+    ffl_cfg.seed = 42;
+    let (deta_params, deta_acc) = run(deta_cfg);
+    let (ffl_params, ffl_acc) = run(ffl_cfg);
+    // Bit-exact: partitioning and shuffling move f32 values losslessly,
+    // and per-coordinate aggregation order is identical.
+    assert_eq!(deta_params, ffl_params);
+    assert_eq!(deta_acc, ffl_acc);
+}
+
+#[test]
+fn deta_equals_ffl_with_coordinate_median() {
+    let mut deta_cfg = DetaConfig::deta(4, 2);
+    deta_cfg.algorithm = AggKind::CoordinateMedian;
+    deta_cfg.seed = 7;
+    let mut ffl_cfg = DetaConfig::ffl_baseline(4, 2);
+    ffl_cfg.algorithm = AggKind::CoordinateMedian;
+    ffl_cfg.seed = 7;
+    let (deta_params, _) = run(deta_cfg);
+    let (ffl_params, _) = run(ffl_cfg);
+    assert_eq!(deta_params, ffl_params);
+}
+
+#[test]
+fn deta_equals_ffl_with_fedsgd() {
+    let mut deta_cfg = DetaConfig::deta(4, 3);
+    deta_cfg.mode = SyncMode::FedSgd;
+    deta_cfg.seed = 9;
+    let mut ffl_cfg = DetaConfig::ffl_baseline(4, 3);
+    ffl_cfg.mode = SyncMode::FedSgd;
+    ffl_cfg.seed = 9;
+    let (deta_params, _) = run(deta_cfg);
+    let (ffl_params, _) = run(ffl_cfg);
+    assert_eq!(deta_params, ffl_params);
+}
+
+#[test]
+fn shuffle_on_off_does_not_change_results() {
+    let mut with = DetaConfig::deta(4, 2);
+    with.seed = 11;
+    let mut without = DetaConfig::deta(4, 2);
+    without.seed = 11;
+    without.transform = deta::core::TransformConfig::partition_only();
+    let (p1, _) = run(with);
+    let (p2, _) = run(without);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn unequal_proportions_do_not_change_results() {
+    let mut equal = DetaConfig::deta(4, 2);
+    equal.seed = 13;
+    let mut skewed = DetaConfig::deta(4, 2);
+    skewed.seed = 13;
+    skewed.proportions = Some(vec![0.6, 0.3, 0.1]);
+    let (p1, _) = run(equal);
+    let (p2, _) = run(skewed);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn deta_accuracy_improves_over_rounds() {
+    let mut cfg = DetaConfig::deta(4, 5);
+    cfg.seed = 17;
+    cfg.local_epochs = 2;
+    cfg.lr = 0.3;
+    let (_, acc) = run(cfg);
+    assert!(
+        acc.last().unwrap() > &0.5,
+        "model should learn under DeTA, acc={acc:?}"
+    );
+    assert!(acc.last().unwrap() >= &acc[0]);
+}
+
+#[test]
+fn all_party_replicas_stay_identical() {
+    let (shards, test, dim, classes) = data(120);
+    let mut cfg = DetaConfig::deta(4, 2);
+    cfg.seed = 23;
+    let mut session = DetaSession::setup(
+        cfg,
+        &move |rng: &mut DetRng| mlp(&[dim, 16, classes], rng),
+        shards,
+    )
+    .unwrap();
+    session.run(&test);
+    let p0 = session.party_params(0);
+    for i in 1..4 {
+        assert_eq!(session.party_params(i), p0, "party {i} diverged");
+    }
+}

@@ -1,0 +1,92 @@
+//! Why the shuffle must be *dynamic* (re-derived each round).
+//!
+//! Paper Section 4.2: "The permutation changes dynamically at each
+//! training round." A static permutation would let an attacker who
+//! breached an aggregator correlate fragment slots *across rounds* —
+//! consecutive gradients of the same parameter are strongly correlated,
+//! so slot-wise correlation over a few rounds re-identifies the
+//! permutation's structure. These tests quantify that: slot-wise
+//! cross-round correlation is high under a static permutation and
+//! vanishes under the dynamic one.
+
+use deta::core::shuffle::RoundPermutation;
+use deta::crypto::DetRng;
+
+/// Simulates `rounds` consecutive gradients of the same model: each
+/// parameter's gradient drifts slowly (high temporal autocorrelation),
+/// which is what real training produces.
+fn gradient_series(n: usize, rounds: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = DetRng::from_u64(seed);
+    let mut current: Vec<f32> = (0..n).map(|_| rng.next_gaussian() as f32).collect();
+    let mut out = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        out.push(current.clone());
+        for v in &mut current {
+            *v = 0.95 * *v + 0.05 * rng.next_gaussian() as f32;
+        }
+    }
+    out
+}
+
+/// Mean slot-wise correlation between consecutive (shuffled) rounds: for
+/// each slot, how similar is the value at round t to round t+1?
+fn slotwise_corr(shuffled: &[Vec<f32>]) -> f64 {
+    let n = shuffled[0].len();
+    let mut num = 0.0f64;
+    let mut da = 0.0f64;
+    let mut db = 0.0f64;
+    for t in 0..shuffled.len() - 1 {
+        for i in 0..n {
+            let a = shuffled[t][i] as f64;
+            let b = shuffled[t + 1][i] as f64;
+            num += a * b;
+            da += a * a;
+            db += b * b;
+        }
+    }
+    num / (da.sqrt() * db.sqrt()).max(1e-12)
+}
+
+#[test]
+fn static_permutation_leaks_cross_round_structure() {
+    let key = [7u8; 32];
+    let static_tid = [1u8; 16];
+    let series = gradient_series(400, 6, 1);
+    let shuffled: Vec<Vec<f32>> = series
+        .iter()
+        .map(|g| RoundPermutation::derive(&key, &static_tid, 0, g.len()).apply(g))
+        .collect();
+    let corr = slotwise_corr(&shuffled);
+    assert!(
+        corr > 0.8,
+        "static shuffling should preserve slot correlation, got {corr}"
+    );
+}
+
+#[test]
+fn dynamic_permutation_destroys_cross_round_structure() {
+    let key = [7u8; 32];
+    let series = gradient_series(400, 6, 1);
+    let shuffled: Vec<Vec<f32>> = series
+        .iter()
+        .enumerate()
+        .map(|(round, g)| {
+            // The per-round training id re-derives the permutation.
+            let tid = [(round + 1) as u8; 16];
+            RoundPermutation::derive(&key, &tid, 0, g.len()).apply(g)
+        })
+        .collect();
+    let corr = slotwise_corr(&shuffled);
+    assert!(
+        corr.abs() < 0.15,
+        "dynamic shuffling should destroy slot correlation, got {corr}"
+    );
+}
+
+#[test]
+fn unshuffled_series_is_the_reference() {
+    // Sanity: without any shuffle, correlation is near 0.95 by design.
+    let series = gradient_series(400, 6, 1);
+    let corr = slotwise_corr(&series);
+    assert!(corr > 0.9, "reference correlation {corr}");
+}

@@ -1,0 +1,183 @@
+//! Property tests for the coordinate-wise invariance at the heart of
+//! DeTA: for any updates, any mapper, any permutation key, aggregating
+//! transformed fragments and inverting equals aggregating in the clear.
+
+use deta::core::agg::{AggKind, Aggregation};
+use deta::core::mapper::ModelMapper;
+use deta::core::shuffle::RoundPermutation;
+use deta::core::transform::{TransformConfig, Transformer};
+use deta::crypto::DetRng;
+use proptest::prelude::*;
+
+/// Aggregates through the DeTA pipeline: transform every party's update,
+/// aggregate each fragment independently, then inverse-transform.
+fn aggregate_via_deta(
+    updates: &[Vec<f32>],
+    weights: &[f32],
+    alg: &dyn Aggregation,
+    n_aggs: usize,
+    seed: u64,
+    shuffle: bool,
+) -> Vec<f32> {
+    let n = updates[0].len();
+    let mapper = ModelMapper::generate(n, n_aggs, None, &mut DetRng::from_u64(seed));
+    let cfg = if shuffle {
+        TransformConfig::full()
+    } else {
+        TransformConfig::partition_only()
+    };
+    let t = Transformer::new(mapper, [seed as u8; 32], cfg);
+    let tid = [1u8; 16];
+    let per_party: Vec<Vec<Vec<f32>>> = updates.iter().map(|u| t.transform(u, &tid)).collect();
+    let mut agg_fragments = Vec::with_capacity(n_aggs);
+    for j in 0..n_aggs {
+        let inputs: Vec<Vec<f32>> = per_party.iter().map(|f| f[j].clone()).collect();
+        agg_fragments.push(alg.aggregate(&inputs, weights));
+    }
+    t.inverse(&agg_fragments, &tid)
+}
+
+fn updates_strategy() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<f32>)> {
+    // 2-5 parties, 8-60 parameters, finite values, positive weights.
+    (2usize..=5, 8usize..=60).prop_flat_map(|(parties, n)| {
+        let update = proptest::collection::vec(-100.0f32..100.0, n);
+        let updates = proptest::collection::vec(update, parties);
+        let weights = proptest::collection::vec(0.1f32..10.0, parties);
+        (updates, weights)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn averaging_invariant(
+        (updates, weights) in updates_strategy(),
+        n_aggs in 1usize..=4,
+        seed in 0u64..1000,
+        shuffle in any::<bool>(),
+    ) {
+        let alg = AggKind::IterativeAveraging.build();
+        let plain = alg.aggregate(&updates, &weights);
+        let via = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, seed, shuffle);
+        prop_assert_eq!(plain, via);
+    }
+
+    #[test]
+    fn sum_invariant(
+        (updates, weights) in updates_strategy(),
+        n_aggs in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let alg = AggKind::GradientSum.build();
+        let plain = alg.aggregate(&updates, &weights);
+        let via = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, seed, true);
+        prop_assert_eq!(plain, via);
+    }
+
+    #[test]
+    fn median_invariant(
+        (updates, weights) in updates_strategy(),
+        n_aggs in 1usize..=4,
+        seed in 0u64..1000,
+        shuffle in any::<bool>(),
+    ) {
+        let alg = AggKind::CoordinateMedian.build();
+        let plain = alg.aggregate(&updates, &weights);
+        let via = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, seed, shuffle);
+        prop_assert_eq!(plain, via);
+    }
+
+    #[test]
+    fn trimmed_mean_invariant(
+        (updates, weights) in updates_strategy(),
+        n_aggs in 1usize..=4,
+        seed in 0u64..1000,
+        shuffle in any::<bool>(),
+    ) {
+        let trim = (updates.len() - 1) / 2;
+        let alg = AggKind::TrimmedMean { trim }.build();
+        let plain = alg.aggregate(&updates, &weights);
+        let via = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, seed, shuffle);
+        prop_assert_eq!(plain, via);
+    }
+
+    #[test]
+    fn permutation_preserves_l2_distances(
+        a in proptest::collection::vec(-50.0f32..50.0, 4..40),
+        seed in 0u64..1000,
+    ) {
+        // The property FLAME/Krum rely on: shuffling is an isometry.
+        let b: Vec<f32> = a.iter().map(|v| v * 0.5 + 1.0).collect();
+        let key = [seed as u8; 32];
+        let p = RoundPermutation::derive(&key, &[2u8; 16], 0, a.len());
+        let d = |x: &[f32], y: &[f32]| -> f64 {
+            x.iter().zip(y).map(|(u, v)| ((u - v) as f64).powi(2)).sum()
+        };
+        let before = d(&a, &b);
+        let after = d(&p.apply(&a), &p.apply(&b));
+        prop_assert!((before - after).abs() < 1e-6 * before.max(1.0));
+    }
+
+    #[test]
+    fn mapper_partition_is_a_partition(
+        n in 1usize..200,
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let k = k.min(n);
+        let mapper = ModelMapper::generate(n, k, None, &mut DetRng::from_u64(seed));
+        let update: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let frags = mapper.partition(&update);
+        // Every element appears exactly once across fragments.
+        let mut all: Vec<f32> = frags.into_iter().flatten().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(all, update);
+    }
+}
+
+#[test]
+fn krum_still_rejects_outliers_per_fragment() {
+    // Krum is not bit-identical under partitioning (selection happens per
+    // fragment), but the paper's claim is that outlier elimination is
+    // preserved. Verify: a poisoned update never survives into any
+    // aggregated fragment.
+    let mut rng = DetRng::from_u64(5);
+    let honest: Vec<Vec<f32>> = (0..4)
+        .map(|_| (0..40).map(|_| rng.next_gaussian() as f32 * 0.1).collect())
+        .collect();
+    let mut updates = honest;
+    updates.push(vec![1e6; 40]); // Byzantine party.
+    let weights = vec![1.0; 5];
+    let alg = AggKind::Krum { f: 1 }.build();
+    for n_aggs in [1usize, 2, 3] {
+        let out = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, 9, true);
+        assert!(
+            out.iter().all(|&v| v.abs() < 10.0),
+            "poison leaked through {n_aggs}-way Krum"
+        );
+    }
+}
+
+#[test]
+fn flame_still_rejects_outliers_per_fragment() {
+    let mut rng = DetRng::from_u64(6);
+    let honest: Vec<Vec<f32>> = (0..5)
+        .map(|_| {
+            (0..30)
+                .map(|_| 1.0 + rng.next_gaussian() as f32 * 0.05)
+                .collect()
+        })
+        .collect();
+    let mut updates = honest;
+    updates.push(vec![-100.0; 30]);
+    let weights = vec![1.0; 6];
+    let alg = AggKind::FlameLite.build();
+    for n_aggs in [1usize, 2, 3] {
+        let out = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, 10, true);
+        assert!(
+            out.iter().all(|&v| (0.0..=2.0).contains(&v)),
+            "poison influenced {n_aggs}-way FLAME aggregate"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end encrypted fusion: a full DeTA session where aggregators sum
+//! Paillier ciphertexts and never see plaintext updates.
+
+use deta::core::aggregator::parse_breached_memory;
+use deta::core::paillier_fusion::PaillierFusionConfig;
+use deta::core::{DetaConfig, DetaSession};
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::mlp;
+use deta::nn::train::LabeledData;
+
+fn data() -> (Vec<LabeledData>, LabeledData, usize, usize) {
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(80, 1);
+    let test = spec.generate(40, 2);
+    (iid_partition(&train, 2, 3), test, spec.dim(), spec.classes)
+}
+
+fn config(paillier: bool) -> DetaConfig {
+    let mut cfg = DetaConfig::deta(2, 2);
+    cfg.seed = 71;
+    cfg.local_epochs = 1;
+    cfg.lr = 0.2;
+    if paillier {
+        cfg.paillier = Some(PaillierFusionConfig {
+            n_bits: 256,
+            clip: 4.0,
+            value_bits: 20,
+        });
+    }
+    cfg
+}
+
+#[test]
+fn paillier_session_matches_plain_within_quantization() {
+    let (shards, test, dim, classes) = data();
+    let run = |paillier: bool| {
+        let mut session = DetaSession::setup(
+            config(paillier),
+            &move |rng| mlp(&[dim, 12, classes], rng),
+            shards.clone(),
+        )
+        .unwrap();
+        session.run(&test);
+        session.party_params(0)
+    };
+    let plain = run(false);
+    let encrypted = run(true);
+    assert_eq!(plain.len(), encrypted.len());
+    // Fixed-point packing quantizes at ~clip / 2^value_bits per value per
+    // round; two rounds stay well under this tolerance.
+    let max_err = plain
+        .iter()
+        .zip(encrypted.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_err < 1e-3,
+        "encrypted aggregation drifted from plain: max err {max_err}"
+    );
+    assert!(max_err > 0.0, "quantization should be observable");
+}
+
+#[test]
+fn paillier_replicas_stay_identical() {
+    let (shards, test, dim, classes) = data();
+    let mut session = DetaSession::setup(
+        config(true),
+        &move |rng| mlp(&[dim, 12, classes], rng),
+        shards,
+    )
+    .unwrap();
+    let metrics = session.run(&test);
+    assert_eq!(metrics.len(), 2);
+    assert_eq!(session.party_params(0), session.party_params(1));
+}
+
+#[test]
+fn paillier_breach_reveals_no_plain_fragments() {
+    // Under encrypted fusion a breached aggregator holds ciphertexts, not
+    // the plaintext fragment records the plain path stores.
+    let (shards, test, dim, classes) = data();
+    let mut session = DetaSession::setup(
+        config(true),
+        &move |rng| mlp(&[dim, 12, classes], rng),
+        shards,
+    )
+    .unwrap();
+    session.step(&test);
+    let dump = session.breach_aggregator(0);
+    assert!(
+        parse_breached_memory(&dump.memory).is_empty(),
+        "plaintext fragments found under Paillier fusion"
+    );
+}

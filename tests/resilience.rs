@@ -1,0 +1,183 @@
+//! Resilience and composition features: party dropout mid-training and
+//! local differential privacy layered under DeTA's transformations.
+
+use deta::core::dp::LdpConfig;
+use deta::core::{DetaConfig, DetaSession};
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::mlp;
+use deta::nn::train::LabeledData;
+
+fn data() -> (Vec<LabeledData>, LabeledData, usize, usize) {
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(240, 1);
+    let test = spec.generate(80, 2);
+    (iid_partition(&train, 4, 3), test, spec.dim(), spec.classes)
+}
+
+#[test]
+fn training_survives_party_dropout() {
+    let (shards, test, dim, classes) = data();
+    let mut cfg = DetaConfig::deta(4, 2);
+    cfg.seed = 31;
+    let mut session =
+        DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards).unwrap();
+    // Two rounds with everyone, then party 2 goes offline.
+    let m1 = session.step(&test);
+    let m2 = session.step(&test);
+    session.drop_party(2);
+    assert_eq!(session.online_parties(), 3);
+    let m3 = session.step(&test);
+    let m4 = session.step(&test);
+    assert_eq!(m4.round, 4);
+    // Training continues to make progress.
+    assert!(
+        m4.test_loss < m1.test_loss * 1.1,
+        "{} vs {}",
+        m4.test_loss,
+        m1.test_loss
+    );
+    let _ = (m2, m3);
+    // Remaining replicas stay identical.
+    let p0 = session.party_params(0);
+    assert_eq!(session.party_params(1), p0);
+    assert_eq!(session.party_params(3), p0);
+}
+
+#[test]
+fn multiple_dropouts_leave_a_working_session() {
+    let (shards, test, dim, classes) = data();
+    let mut cfg = DetaConfig::deta(4, 1);
+    cfg.seed = 32;
+    let mut session =
+        DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards).unwrap();
+    session.step(&test);
+    session.drop_party(0);
+    session.drop_party(3);
+    assert_eq!(session.online_parties(), 2);
+    let m = session.step(&test);
+    assert_eq!(m.round, 2);
+    assert_eq!(session.party_params(1), session.party_params(2));
+}
+
+#[test]
+#[should_panic]
+fn cannot_drop_everyone() {
+    let (shards, _test, dim, classes) = data();
+    let mut cfg = DetaConfig::deta(4, 1);
+    cfg.seed = 33;
+    let mut session =
+        DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards).unwrap();
+    session.drop_party(0);
+    session.drop_party(1);
+    session.drop_party(2);
+    session.drop_party(3);
+}
+
+#[test]
+fn partial_participation_trains_and_stays_consistent() {
+    // Only 2 of 4 parties train each round; everyone synchronizes.
+    let (shards, test, dim, classes) = data();
+    let mut cfg = DetaConfig::deta(4, 4);
+    cfg.seed = 36;
+    cfg.participation = Some(2);
+    cfg.local_epochs = 2;
+    cfg.lr = 0.3;
+    let mut session =
+        DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards).unwrap();
+    let metrics = session.run(&test);
+    assert_eq!(metrics.last().unwrap().round, 4);
+    // All replicas, including per-round non-participants, are identical.
+    let p0 = session.party_params(0);
+    for i in 1..4 {
+        assert_eq!(session.party_params(i), p0, "party {i} desynced");
+    }
+    // Learning still progresses with half the parties per round.
+    assert!(
+        metrics.last().unwrap().test_accuracy > metrics[0].test_accuracy,
+        "{metrics:?}"
+    );
+}
+
+#[test]
+fn participation_quorum_of_everyone_matches_full() {
+    // quorum == n_parties must behave exactly like full participation.
+    let (shards, test, dim, classes) = data();
+    let run = |participation| {
+        let mut cfg = DetaConfig::deta(4, 2);
+        cfg.seed = 37;
+        cfg.participation = participation;
+        let mut session = DetaSession::setup(
+            cfg,
+            &move |rng| mlp(&[dim, 16, classes], rng),
+            shards.clone(),
+        )
+        .unwrap();
+        session.run(&test);
+        session.party_params(0)
+    };
+    assert_eq!(run(None), run(Some(4)));
+}
+
+#[test]
+fn ldp_composes_with_deta() {
+    let (shards, test, dim, classes) = data();
+    let mut cfg = DetaConfig::deta(4, 3);
+    cfg.seed = 34;
+    cfg.local_epochs = 2;
+    cfg.lr = 0.3;
+    // A very loose per-round budget. The paper (Section 8.1) notes that
+    // "achieving LDP comes at the cost of utility loss as every
+    // participant must add enough noise to ensure DP in isolation" —
+    // at this model scale a budget loose enough to keep learning intact
+    // is large, which is exactly that observation.
+    cfg.ldp = Some(LdpConfig {
+        epsilon: 300.0,
+        delta: 1e-5,
+        clip_norm: 1.0,
+    });
+    let mut session =
+        DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards).unwrap();
+    let metrics = session.run(&test);
+    // Replica consistency holds: all parties add IDENTICAL noise only to
+    // their own uploads, and the aggregate is shared.
+    let p0 = session.party_params(0);
+    for i in 1..4 {
+        assert_eq!(session.party_params(i), p0);
+    }
+    // Learning still happens under a loose epsilon.
+    assert!(
+        metrics.last().unwrap().test_accuracy > 0.3,
+        "acc={}",
+        metrics.last().unwrap().test_accuracy
+    );
+}
+
+#[test]
+fn tight_ldp_budget_costs_accuracy() {
+    // The classic DP utility trade-off: a very tight epsilon must hurt.
+    let (shards, test, dim, classes) = data();
+    let run = |ldp| {
+        let mut cfg = DetaConfig::deta(4, 3);
+        cfg.seed = 35;
+        cfg.local_epochs = 2;
+        cfg.lr = 0.3;
+        cfg.ldp = ldp;
+        let mut session = DetaSession::setup(
+            cfg,
+            &move |rng| mlp(&[dim, 16, classes], rng),
+            shards.clone(),
+        )
+        .unwrap();
+        session.run(&test).last().unwrap().test_accuracy
+    };
+    let clean = run(None);
+    let noisy = run(Some(LdpConfig {
+        epsilon: 0.05,
+        delta: 1e-6,
+        clip_norm: 1.0,
+    }));
+    assert!(
+        noisy < clean - 0.1,
+        "tight DP should cost accuracy: clean={clean} noisy={noisy}"
+    );
+}

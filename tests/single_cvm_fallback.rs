@@ -1,0 +1,79 @@
+//! The single-CVM fallback mode (paper Section 4.2, "Applicable
+//! Aggregation Algorithms"): for algorithms that need a global model view
+//! (the paper's FLTrust example), users can run one CC-protected
+//! aggregator with partitioning and shuffling turned off — trading the
+//! decentralization layers for algorithm compatibility while keeping the
+//! attestation and enclave protections.
+
+use deta::core::aggregator::parse_breached_memory;
+use deta::core::{DetaConfig, DetaSession, TransformConfig};
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::mlp;
+
+#[test]
+fn single_cvm_mode_trains_with_cc_protection() {
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(160, 1);
+    let test = spec.generate(60, 2);
+    let shards = iid_partition(&train, 2, 3);
+    let dim = spec.dim();
+    let classes = spec.classes;
+
+    // One attested aggregator, no transform — but unlike the FFL
+    // baseline, CC protection stays on.
+    let mut cfg = DetaConfig::deta(2, 3);
+    cfg.n_aggregators = 1;
+    cfg.transform = TransformConfig::none();
+    cfg.cc_protected = true;
+    cfg.seed = 44;
+    cfg.lr = 0.3;
+    let mut session =
+        DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards).unwrap();
+    let metrics = session.run(&test);
+    assert_eq!(metrics.len(), 3);
+    // CC overhead is charged (unlike the baseline).
+    assert!(metrics[0].latency.cc_overhead_s > 0.0);
+    // Training works normally.
+    assert!(metrics[2].test_loss < metrics[0].test_loss * 1.05);
+    assert_eq!(session.party_params(0), session.party_params(1));
+}
+
+#[test]
+fn single_cvm_mode_exposes_full_updates_on_breach() {
+    // The documented trade-off: without partitioning/shuffling, a breach
+    // of the single CVM yields complete in-order updates — the user chose
+    // algorithm compatibility over the defense-in-depth layers.
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(80, 1);
+    let test = spec.generate(40, 2);
+    let shards = iid_partition(&train, 2, 3);
+    let dim = spec.dim();
+    let classes = spec.classes;
+    let n_params = mlp(&[dim, 16, classes], &mut deta::crypto::DetRng::from_u64(0)).param_count();
+
+    let mut cfg = DetaConfig::deta(2, 1);
+    cfg.n_aggregators = 1;
+    cfg.transform = TransformConfig::none();
+    cfg.seed = 45;
+    let mut session =
+        DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards).unwrap();
+    session.step(&test);
+    let records = parse_breached_memory(&session.breach_aggregator(0).memory);
+    assert_eq!(records.len(), 2);
+    for (_, _, fragment) in records {
+        assert_eq!(fragment.len(), n_params);
+    }
+}
+
+#[test]
+fn setup_rejects_inconsistent_fallback_configs() {
+    // Disabling partitioning with multiple aggregators is contradictory.
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let shards = iid_partition(&spec.generate(40, 1), 2, 3);
+    let dim = spec.dim();
+    let classes = spec.classes;
+    let mut cfg = DetaConfig::deta(2, 1);
+    cfg.transform = TransformConfig::none();
+    cfg.n_aggregators = 3;
+    assert!(DetaSession::setup(cfg, &move |rng| mlp(&[dim, 8, classes], rng), shards,).is_err());
+}

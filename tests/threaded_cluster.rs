@@ -1,0 +1,164 @@
+//! End-to-end FL rounds against aggregators running as real OS threads.
+//!
+//! The synchronous `DetaSession` is the reproducible-experiments path;
+//! this test exercises the deployment-shaped path: each aggregator is an
+//! independent service thread sleeping on its endpoint, the operator
+//! triggers rounds by messaging the initiator, and parties poll until
+//! their aggregated fragments arrive.
+
+use deta::core::agg::AggKind;
+use deta::core::aggregator::{AggRole, AggregatorNode};
+use deta::core::cluster::ThreadedAggregators;
+use deta::core::keybroker::KeyBroker;
+use deta::core::mapper::ModelMapper;
+use deta::core::party::{Party, PartyConfig};
+use deta::core::proxy::AttestationProxy;
+use deta::core::session::SyncMode;
+use deta::core::transform::{TransformConfig, Transformer};
+use deta::core::wire::Msg;
+use deta::crypto::DetRng;
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::mlp;
+use deta::sev_sim::{AmdRas, GuestImage, Platform};
+use deta::transport::{LinkModel, Network};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+#[test]
+fn rounds_complete_against_threaded_aggregators() {
+    let rng = DetRng::from_u64(61);
+    let ras = AmdRas::new(&mut rng.fork(b"ras"));
+    let image = GuestImage::new(b"ovmf".to_vec(), b"deta-agg".to_vec());
+    let mut proxy = AttestationProxy::new(ras.root_certs(), image.clone(), rng.fork(b"ap"));
+    let net = Network::new(LinkModel::lan());
+
+    // Three attested aggregators.
+    let agg_names: Vec<String> = (0..3).map(|j| format!("agg-{j}")).collect();
+    let mut nodes = Vec::new();
+    let mut tokens = HashMap::new();
+    for (j, name) in agg_names.iter().enumerate() {
+        let mut platform = Platform::genuine(
+            &ras,
+            &format!("chip-{j}"),
+            &mut rng.fork_indexed(b"plat", j as u64),
+        );
+        let prov = proxy.verify_and_provision(&mut platform, &image).unwrap();
+        tokens.insert(name.clone(), prov.token_key.clone());
+        let role = if j == 0 {
+            AggRole::Initiator {
+                followers: agg_names[1..].to_vec(),
+            }
+        } else {
+            AggRole::Follower {
+                initiator: agg_names[0].clone(),
+            }
+        };
+        nodes.push(
+            AggregatorNode::new(
+                name,
+                prov.cvm,
+                net.register(name),
+                AggKind::IterativeAveraging.build(),
+                role,
+                rng.fork_indexed(b"agg", j as u64),
+            )
+            .unwrap(),
+        );
+    }
+
+    // Two parties with identical model replicas.
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(80, 1);
+    let shards = iid_partition(&train, 2, 2);
+    let dim = spec.dim();
+    let classes = spec.classes;
+    let broker = KeyBroker::new(&mut rng.fork(b"broker"));
+    let n_params = mlp(&[dim, 12, classes], &mut DetRng::from_u64(99)).param_count();
+    let mapper = ModelMapper::generate(n_params, 3, None, &mut rng.fork(b"mapper"));
+    let transformer = Transformer::new(mapper, broker.permutation_key(), TransformConfig::full());
+    let mut parties: Vec<Party> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, data)| {
+            Party::new(
+                &format!("party-{i}"),
+                net.register(&format!("party-{i}")),
+                mlp(&[dim, 12, classes], &mut DetRng::from_u64(99)),
+                data,
+                transformer.clone(),
+                agg_names.clone(),
+                PartyConfig {
+                    local_epochs: 1,
+                    batch_size: 16,
+                    lr: 0.2,
+                    mode: SyncMode::FedAvg,
+                    n_parties: 2,
+                    grad_scale: 1.0,
+                    ldp: None,
+                },
+                rng.fork_indexed(b"party", i as u64),
+            )
+        })
+        .collect();
+
+    // Spin up the service threads, then run Phase II against them live.
+    let cluster = ThreadedAggregators::spawn(nodes);
+    assert_eq!(cluster.len(), 3);
+    let operator = net.register("operator");
+    for p in &mut parties {
+        p.send_hellos(&tokens);
+    }
+    let wait = |cond: &mut dyn FnMut(&mut Vec<Party>) -> bool, parties: &mut Vec<Party>| {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !cond(parties) {
+            assert!(Instant::now() < deadline, "threaded cluster timed out");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    wait(
+        &mut |ps: &mut Vec<Party>| ps.iter_mut().all(|p| p.complete_handshakes().is_ok()),
+        &mut parties,
+    );
+    wait(
+        &mut |ps: &mut Vec<Party>| ps.iter_mut().all(|p| p.registration_complete()),
+        &mut parties,
+    );
+
+    // Two operator-triggered rounds.
+    for round in 1u64..=2 {
+        let tid = broker.training_id(round);
+        operator
+            .send(
+                "agg-0",
+                Msg::SyncRound {
+                    round,
+                    training_id: tid,
+                }
+                .encode(),
+            )
+            .unwrap();
+        wait(
+            &mut |ps: &mut Vec<Party>| {
+                ps.iter_mut()
+                    .all(|p| p.poll_round_start() == Some((round, tid)))
+            },
+            &mut parties,
+        );
+        for p in &mut parties {
+            p.run_local_round();
+        }
+        wait(
+            &mut |ps: &mut Vec<Party>| ps.iter_mut().all(|p| p.try_finish_round()),
+            &mut parties,
+        );
+    }
+
+    // Clean shutdown returns the nodes with both rounds completed.
+    let nodes = cluster.shutdown();
+    for node in &nodes {
+        assert!(node.completed_rounds >= 2, "{} lagged", node.name);
+    }
+    // Replicas converged identically despite concurrent aggregation.
+    let p0 = parties[0].model.flat_params();
+    assert_eq!(parties[1].model.flat_params(), p0);
+}
