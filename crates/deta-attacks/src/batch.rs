@@ -96,7 +96,7 @@ pub fn batch_mean_gradient(
         }
     }
     inputs.extend(params.iter().map(|&v| v as f64));
-    inputs.extend(std::iter::repeat(0.0).take(model.param_count()));
+    inputs.extend(std::iter::repeat_n(0.0, model.param_count()));
     ev.eval(&bt.tape, &inputs);
     bt.mean_grads.iter().map(|&g| ev.value(g) as f32).collect()
 }
@@ -153,7 +153,7 @@ pub fn run_batch_dlg(
             let grad: Vec<f64> = opt_grads.iter().map(|&g| ev.value(g)).collect();
             (value, grad)
         });
-        if best.as_ref().map_or(true, |(bfx, _)| fx < *bfx) {
+        if best.as_ref().is_none_or(|(bfx, _)| fx < *bfx) {
             best = Some((fx, vars));
         }
     }

@@ -94,7 +94,7 @@ fn run_dlg_inner(
         let out = run_dlg_once(model, params, view, &sub, fixed_label);
         if best
             .as_ref()
-            .map_or(true, |b| out.final_objective < b.final_objective)
+            .is_none_or(|b| out.final_objective < b.final_objective)
         {
             best = Some(out);
         }

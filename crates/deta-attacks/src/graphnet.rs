@@ -146,7 +146,7 @@ impl ConvSpec {
 
         // Strided convolution (stride 2, pad 1) with Tanh.
         let mut feat: Vec<Var> = Vec::with_capacity(features);
-        for oc in 0..self.out_c {
+        for (oc, &bias) in conv_b.iter().enumerate().take(self.out_c) {
             for oy in 0..out_hw {
                 for ox in 0..out_hw {
                     let mut terms: Vec<Var> = Vec::with_capacity(self.in_c * k * k);
@@ -168,7 +168,7 @@ impl ConvSpec {
                         }
                     }
                     let s = tape.sum(&terms);
-                    let z = tape.add(s, conv_b[oc]);
+                    let z = tape.add(s, bias);
                     feat.push(tape.tanh(z));
                 }
             }

@@ -127,7 +127,7 @@ pub fn run_ig(
         let dummy_grad: Vec<f32> = at.grads.iter().map(|&g| ev.value(g) as f32).collect();
         let cos = cosine_distance(&dummy_grad, &view.visible);
         let xf: Vec<f32> = x.iter().map(|&v| v as f32).collect();
-        if best.as_ref().map_or(true, |(b, _)| cos < *b) {
+        if best.as_ref().is_none_or(|(b, _)| cos < *b) {
             best = Some((cos, xf));
         }
     }

@@ -6,7 +6,7 @@
 //! on top of partitioning, and (b) per-round transform cost grows mildly
 //! with the aggregator count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deta_bench::timing::BenchGroup;
 use deta_core::mapper::ModelMapper;
 use deta_core::transform::{TransformConfig, Transformer};
 use deta_core::{DetaConfig, DetaSession};
@@ -22,8 +22,8 @@ fn update(n: usize) -> Vec<f32> {
 
 /// Shuffle on/off at fixed aggregator count: the marginal cost of the
 /// second defense layer.
-fn bench_shuffle_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation-shuffle");
+fn bench_shuffle_ablation() {
+    let mut g = BenchGroup::new("ablation-shuffle");
     let u = update(UPDATE_LEN);
     let tid = [1u8; 16];
     for (name, cfg) in [
@@ -32,34 +32,30 @@ fn bench_shuffle_ablation(c: &mut Criterion) {
     ] {
         let mapper = ModelMapper::generate(UPDATE_LEN, 3, None, &mut DetRng::from_u64(1));
         let t = Transformer::new(mapper, [7u8; 32], cfg);
-        g.bench_function(BenchmarkId::new("transform 100k", name), |b| {
-            b.iter(|| t.transform(&u, &tid))
-        });
+        g.bench(&format!("transform 100k/{name}"), || t.transform(&u, &tid));
     }
     g.finish();
 }
 
 /// Aggregator-count sweep: transform cost vs. decentralization degree.
-fn bench_aggregator_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation-aggregators");
+fn bench_aggregator_sweep() {
+    let mut g = BenchGroup::new("ablation-aggregators");
     let u = update(UPDATE_LEN);
     let tid = [1u8; 16];
     for k in [1usize, 2, 3, 4, 6, 8] {
         let mapper = ModelMapper::generate(UPDATE_LEN, k, None, &mut DetRng::from_u64(1));
         let t = Transformer::new(mapper, [7u8; 32], TransformConfig::full());
-        g.bench_function(BenchmarkId::new("transform+inverse 100k", k), |b| {
-            b.iter(|| {
-                let frags = t.transform(&u, &tid);
-                t.inverse(&frags, &tid)
-            })
+        g.bench(&format!("transform+inverse 100k/{k}"), || {
+            let frags = t.transform(&u, &tid);
+            t.inverse(&frags, &tid)
         });
     }
     g.finish();
 }
 
 /// Skewed partition proportions: does an uneven mapper cost more?
-fn bench_proportion_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation-proportions");
+fn bench_proportion_sweep() {
+    let mut g = BenchGroup::new("ablation-proportions");
     let u = update(UPDATE_LEN);
     let tid = [1u8; 16];
     for (name, props) in [
@@ -69,17 +65,15 @@ fn bench_proportion_sweep(c: &mut Criterion) {
     ] {
         let mapper = ModelMapper::generate(UPDATE_LEN, 3, Some(&props), &mut DetRng::from_u64(1));
         let t = Transformer::new(mapper, [7u8; 32], TransformConfig::full());
-        g.bench_function(BenchmarkId::new("transform 100k", name), |b| {
-            b.iter(|| t.transform(&u, &tid))
-        });
+        g.bench(&format!("transform 100k/{name}"), || t.transform(&u, &tid));
     }
     g.finish();
 }
 
 /// End-to-end round latency for a small session, FFL vs. DeTA with 1-4
 /// aggregators.
-fn bench_round_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation-e2e-round");
+fn bench_round_end_to_end() {
+    let mut g = BenchGroup::new("ablation-e2e-round");
     g.sample_size(10);
     let spec = DatasetSpec::mnist_like().at_resolution(8);
     let dim = spec.dim();
@@ -98,31 +92,26 @@ fn bench_round_end_to_end(c: &mut Criterion) {
         ("deta-3agg", 3, TransformConfig::full()),
         ("deta-4agg", 4, TransformConfig::full()),
     ] {
-        g.bench_function(BenchmarkId::new("train round", name), |b| {
-            b.iter_batched(
-                || {
-                    let train = spec.generate(120, 1);
-                    let shards = iid_partition(&train, 2, 3);
-                    let mut cfg = DetaConfig::deta(2, 1);
-                    cfg.n_aggregators = n_aggs;
-                    cfg.transform = transform;
-                    cfg.seed = 9;
-                    DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards)
-                        .unwrap()
-                },
-                |mut session| session.step(&test),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_batched(
+            &format!("train round/{name}"),
+            || {
+                let train = spec.generate(120, 1);
+                let shards = iid_partition(&train, 2, 3);
+                let mut cfg = DetaConfig::deta(2, 1);
+                cfg.n_aggregators = n_aggs;
+                cfg.transform = transform;
+                cfg.seed = 9;
+                DetaSession::setup(cfg, &move |rng| mlp(&[dim, 16, classes], rng), shards).unwrap()
+            },
+            |mut session| session.step(&test),
+        );
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_shuffle_ablation,
-    bench_aggregator_sweep,
-    bench_proportion_sweep,
-    bench_round_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_shuffle_ablation();
+    bench_aggregator_sweep();
+    bench_proportion_sweep();
+    bench_round_end_to_end();
+}

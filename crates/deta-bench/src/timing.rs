@@ -1,0 +1,187 @@
+//! A minimal, dependency-free benchmark timer.
+//!
+//! The workspace builds fully offline, so the criterion harness is not
+//! available; this module provides the small subset the DeTA benches
+//! need: named groups, per-benchmark sample counts, element/byte
+//! throughput reporting, and batched iteration with untimed setup.
+//! Results are printed as one line per benchmark (median over samples,
+//! with min and mean for dispersion).
+//!
+//! Timing methodology: each sample is one timed call of the benched
+//! closure after a fixed warm-up. The median is robust to scheduler
+//! noise, which is adequate for the relative comparisons the paper's
+//! ablations make (shuffle on/off, aggregator-count sweeps).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Work items processed per benched call.
+    Elements(u64),
+    /// Payload bytes processed per benched call.
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchGroup {
+    /// Creates a group; benchmarks print as `group/label`.
+    pub fn new(name: &str) -> BenchGroup {
+        BenchGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Sets how many timed samples to take per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` directly: warm-up, then `sample_size` timed calls.
+    pub fn bench<T>(&mut self, label: &str, mut f: impl FnMut() -> T) {
+        let warmup = (self.sample_size / 4).clamp(1, 5);
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        self.report(label, &samples);
+    }
+
+    /// Times `f` on fresh state from `setup`; setup time is excluded.
+    pub fn bench_batched<S, T>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        black_box(f(setup()));
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let state = setup();
+            let t0 = Instant::now();
+            black_box(f(state));
+            samples.push(t0.elapsed());
+        }
+        self.report(label, &samples);
+    }
+
+    fn report(&self, label: &str, samples: &[Duration]) {
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let mut line = format!(
+            "{}/{label}: median {} (min {}, mean {}, n={})",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(mean),
+            sorted.len(),
+        );
+        if let Some(t) = self.throughput {
+            let secs = median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(", {} elem/s", fmt_rate(n as f64 / secs)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(", {}B/s", fmt_rate(n as f64 / secs)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (a blank separator line, mirroring criterion's API).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} G", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} M", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} k", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = BenchGroup::new("self-test");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        g.bench("noop", || calls += 1);
+        // Warm-up (1) + samples (3).
+        assert_eq!(calls, 4);
+        g.finish();
+    }
+
+    #[test]
+    fn bench_batched_excludes_setup() {
+        let mut g = BenchGroup::new("self-test");
+        g.sample_size(2);
+        let mut setups = 0u32;
+        g.bench_batched(
+            "batched",
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+        );
+        // One warm-up setup + two sample setups.
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -135,7 +135,7 @@ impl BigUint {
 
     /// Returns `true` if the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns the number of significant bits (zero has zero bits).

@@ -102,7 +102,7 @@ impl MontgomeryCtx {
     }
 
     /// Converts out of Montgomery form.
-    fn from_mont(&self, a: &[u64]) -> BigUint {
+    fn to_uint(&self, a: &[u64]) -> BigUint {
         let mut one = vec![0u64; self.s()];
         one[0] = 1;
         let mut out = BigUint {
@@ -139,7 +139,7 @@ impl MontgomeryCtx {
                 acc = self.mont_mul(&acc, &base_m);
             }
         }
-        self.from_mont(&acc)
+        self.to_uint(&acc)
     }
 }
 

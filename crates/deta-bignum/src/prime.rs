@@ -27,7 +27,7 @@ pub fn random_below<R: RandomSource + ?Sized>(rng: &mut R, bound: &BigUint) -> B
     assert!(!bound.is_zero(), "random_below with zero bound");
     let bits = bound.bit_len();
     let limbs = bits.div_ceil(64);
-    let top_mask = if bits % 64 == 0 {
+    let top_mask = if bits.is_multiple_of(64) {
         u64::MAX
     } else {
         (1u64 << (bits % 64)) - 1

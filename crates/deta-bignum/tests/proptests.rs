@@ -1,78 +1,117 @@
 //! Property-based tests for `BigUint` arithmetic invariants.
 
 use deta_bignum::BigUint;
-use proptest::prelude::*;
+use deta_proptest::{cases, Gen};
 
-/// Strategy producing a `BigUint` from arbitrary big-endian bytes.
-fn biguint() -> impl Strategy<Value = BigUint> {
-    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|b| BigUint::from_bytes_be(&b))
+/// Draws a `BigUint` from up to 40 arbitrary big-endian bytes.
+fn biguint(g: &mut Gen) -> BigUint {
+    BigUint::from_bytes_be(&g.bytes(0, 40))
 }
 
-/// Strategy producing a non-zero `BigUint`.
-fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
-    biguint().prop_map(|n| if n.is_zero() { BigUint::one() } else { n })
+/// Draws a non-zero `BigUint`.
+fn biguint_nonzero(g: &mut Gen) -> BigUint {
+    let n = biguint(g);
+    if n.is_zero() {
+        BigUint::one()
+    } else {
+        n
+    }
 }
 
-proptest! {
-    #[test]
-    fn add_commutes(a in biguint(), b in biguint()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-    }
+#[test]
+fn add_commutes() {
+    cases("add_commutes", 256, |g| {
+        let (a, b) = (biguint(g), biguint(g));
+        assert_eq!(&a + &b, &b + &a);
+    });
+}
 
-    #[test]
-    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-    }
+#[test]
+fn add_associates() {
+    cases("add_associates", 256, |g| {
+        let (a, b, c) = (biguint(g), biguint(g), biguint(g));
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    });
+}
 
-    #[test]
-    fn add_sub_roundtrip(a in biguint(), b in biguint()) {
+#[test]
+fn add_sub_roundtrip() {
+    cases("add_sub_roundtrip", 256, |g| {
+        let (a, b) = (biguint(g), biguint(g));
         let s = &a + &b;
-        prop_assert_eq!(&s - &b, a);
-    }
+        assert_eq!(&s - &b, a);
+    });
+}
 
-    #[test]
-    fn mul_commutes(a in biguint(), b in biguint()) {
-        prop_assert_eq!(&a * &b, &b * &a);
-    }
+#[test]
+fn mul_commutes() {
+    cases("mul_commutes", 256, |g| {
+        let (a, b) = (biguint(g), biguint(g));
+        assert_eq!(&a * &b, &b * &a);
+    });
+}
 
-    #[test]
-    fn mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
+#[test]
+fn mul_distributes() {
+    cases("mul_distributes", 256, |g| {
+        let (a, b, c) = (biguint(g), biguint(g), biguint(g));
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    });
+}
 
-    #[test]
-    fn div_rem_identity(a in biguint(), d in biguint_nonzero()) {
+#[test]
+fn div_rem_identity() {
+    cases("div_rem_identity", 256, |g| {
+        let (a, d) = (biguint(g), biguint_nonzero(g));
         let (q, r) = a.div_rem(&d);
-        prop_assert!(r < d);
-        prop_assert_eq!(&(&q * &d) + &r, a);
-    }
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, a);
+    });
+}
 
-    #[test]
-    fn bytes_roundtrip(a in biguint()) {
-        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
-    }
+#[test]
+fn bytes_roundtrip() {
+    cases("bytes_roundtrip", 256, |g| {
+        let a = biguint(g);
+        assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    });
+}
 
-    #[test]
-    fn shift_roundtrip(a in biguint(), s in 0usize..200) {
-        prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
-    }
+#[test]
+fn shift_roundtrip() {
+    cases("shift_roundtrip", 256, |g| {
+        let a = biguint(g);
+        let s = g.usize_in(0, 200);
+        assert_eq!(a.shl_bits(s).shr_bits(s), a);
+    });
+}
 
-    #[test]
-    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
-        let g = a.gcd(&b);
-        prop_assert!((&a % &g).is_zero());
-        prop_assert!((&b % &g).is_zero());
-    }
+#[test]
+fn gcd_divides_both() {
+    cases("gcd_divides_both", 128, |g| {
+        let (a, b) = (biguint_nonzero(g), biguint_nonzero(g));
+        let gg = a.gcd(&b);
+        assert!((&a % &gg).is_zero());
+        assert!((&b % &gg).is_zero());
+    });
+}
 
-    #[test]
-    fn gcd_lcm_product(a in biguint_nonzero(), b in biguint_nonzero()) {
-        let g = a.gcd(&b);
+#[test]
+fn gcd_lcm_product() {
+    cases("gcd_lcm_product", 128, |g| {
+        let (a, b) = (biguint_nonzero(g), biguint_nonzero(g));
+        let gg = a.gcd(&b);
         let l = a.lcm(&b);
-        prop_assert_eq!(&g * &l, &a * &b);
-    }
+        assert_eq!(&gg * &l, &a * &b);
+    });
+}
 
-    #[test]
-    fn modpow_matches_naive(a in 0u64..1000, e in 0u64..20, m in 2u64..10_000) {
+#[test]
+fn modpow_matches_naive() {
+    cases("modpow_matches_naive", 256, |g| {
+        let a = g.u64_in(0, 1000);
+        let e = g.u64_in(0, 20);
+        let m = g.u64_in(2, 10_000);
         let expected = {
             let mut acc: u128 = 1;
             for _ in 0..e {
@@ -80,25 +119,28 @@ proptest! {
             }
             acc as u64
         };
-        let got = BigUint::from_u64(a).modpow(
-            &BigUint::from_u64(e),
-            &BigUint::from_u64(m),
-        );
-        prop_assert_eq!(got, BigUint::from_u64(expected));
-    }
+        let got = BigUint::from_u64(a).modpow(&BigUint::from_u64(e), &BigUint::from_u64(m));
+        assert_eq!(got, BigUint::from_u64(expected));
+    });
+}
 
-    #[test]
-    fn modinv_is_inverse(a in biguint_nonzero(), m in biguint_nonzero()) {
+#[test]
+fn modinv_is_inverse() {
+    cases("modinv_is_inverse", 256, |g| {
+        let (a, m) = (biguint_nonzero(g), biguint_nonzero(g));
         if let Some(inv) = a.modinv(&m) {
-            prop_assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+            assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
         }
-    }
+    });
+}
 
-    #[test]
-    fn ordering_consistent_with_sub(a in biguint(), b in biguint()) {
+#[test]
+fn ordering_consistent_with_sub() {
+    cases("ordering_consistent_with_sub", 256, |g| {
+        let (a, b) = (biguint(g), biguint(g));
         match a.cmp(&b) {
-            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
-            _ => prop_assert!(a.checked_sub(&b).is_some()),
+            std::cmp::Ordering::Less => assert!(a.checked_sub(&b).is_none()),
+            _ => assert!(a.checked_sub(&b).is_some()),
         }
-    }
+    });
 }

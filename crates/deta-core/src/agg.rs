@@ -153,7 +153,7 @@ impl Aggregation for CoordinateMedian {
             for (p, input) in inputs.iter().enumerate() {
                 column[p] = input[c];
             }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            column.sort_by(f32::total_cmp);
             let median = if n % 2 == 1 {
                 column[n / 2]
             } else {
@@ -193,7 +193,7 @@ impl Aggregation for Krum {
                 .filter(|&j| j != i)
                 .map(|j| sq_dist(&inputs[i], &inputs[j]))
                 .collect();
-            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            dists.sort_by(f64::total_cmp);
             let score: f64 = dists.iter().take(k).sum();
             if score < best_score {
                 best_score = score;
@@ -229,7 +229,7 @@ impl Aggregation for FlameLite {
         // Cosine distance of each update to the reference.
         let dists: Vec<f64> = inputs.iter().map(|u| cosine_distance(u, &median)).collect();
         let mut sorted = dists.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let med_dist = sorted[n / 2];
         // Accept updates within twice the median distance (plus epsilon
         // for the all-identical case).
@@ -238,7 +238,7 @@ impl Aggregation for FlameLite {
         // Clip accepted updates to the median L2 norm.
         let norms: Vec<f64> = accepted.iter().map(|&i| l2(&inputs[i])).collect();
         let mut sorted_norms = norms.clone();
-        sorted_norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted_norms.sort_by(f64::total_cmp);
         let clip = sorted_norms[sorted_norms.len() / 2].max(1e-12);
         let mut out = vec![0.0f64; len];
         for (&i, &norm) in accepted.iter().zip(norms.iter()) {
@@ -280,7 +280,7 @@ impl Aggregation for TrimmedMean {
             for (p, input) in inputs.iter().enumerate() {
                 column[p] = input[c];
             }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            column.sort_by(f32::total_cmp);
             let sum: f64 = column[self.trim..n - self.trim]
                 .iter()
                 .map(|&v| v as f64)

@@ -47,6 +47,8 @@ pub enum AggError {
     MissingToken,
     /// The token secret bytes are not a valid signing key.
     BadToken,
+    /// A round-coordination call was made on the wrong role.
+    NotInitiator,
 }
 
 impl std::fmt::Display for AggError {
@@ -54,6 +56,7 @@ impl std::fmt::Display for AggError {
         match self {
             AggError::MissingToken => write!(f, "CVM has no provisioned auth token"),
             AggError::BadToken => write!(f, "provisioned auth token is invalid"),
+            AggError::NotInitiator => write!(f, "round coordination requires the initiator role"),
         }
     }
 }
@@ -168,23 +171,25 @@ impl AggregatorNode {
 
     /// Initiator only: announces a round to all parties and followers.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when called on a follower.
-    pub fn begin_round(&mut self, round: u64, training_id: [u8; 16]) {
+    /// Fails with [`AggError::NotInitiator`] on a follower (a protocol
+    /// misuse the caller must surface, not a crash).
+    pub fn begin_round(&mut self, round: u64, training_id: [u8; 16]) -> Result<(), AggError> {
         let followers = match &self.role {
             AggRole::Initiator { followers } => followers.clone(),
-            AggRole::Follower { .. } => panic!("begin_round on a follower"),
+            AggRole::Follower { .. } => return Err(AggError::NotInitiator),
         };
         for f in &followers {
-            let _ = self
-                .endpoint
-                .send(f, Msg::SyncRound { round, training_id }.encode());
+            if let Ok(frame) = (Msg::SyncRound { round, training_id }).encode() {
+                let _ = self.endpoint.send(f, frame);
+            }
         }
         let parties: Vec<String> = self.registered.keys().cloned().collect();
         for p in parties {
             self.send_sealed(&p, &Msg::RoundStart { round, training_id });
         }
+        Ok(())
     }
 
     /// Initiator only: number of follower round-completion acks received
@@ -219,8 +224,13 @@ impl AggregatorNode {
         let Some(chan) = self.channels.get_mut(to) else {
             return;
         };
-        let sealed = chan.seal_msg(&msg.encode());
-        let _ = self.endpoint.send(to, Msg::Record { sealed }.encode());
+        let Ok(plain) = msg.encode() else {
+            return;
+        };
+        let sealed = chan.seal_msg(&plain);
+        if let Ok(frame) = (Msg::Record { sealed }).encode() {
+            let _ = self.endpoint.send(to, frame);
+        }
     }
 
     fn handle(&mut self, from: &str, payload: &[u8]) {
@@ -232,9 +242,9 @@ impl AggregatorNode {
                 // Phase II: sign the handshake transcript with the token.
                 if let Ok((resp, chan)) = secure::respond(&handshake, &self.token, &mut self.rng) {
                     self.channels.insert(from.to_string(), chan);
-                    let _ = self
-                        .endpoint
-                        .send(from, Msg::HelloReply { handshake: resp }.encode());
+                    if let Ok(frame) = (Msg::HelloReply { handshake: resp }).encode() {
+                        let _ = self.endpoint.send(from, frame);
+                    }
                 }
             }
             Msg::Record { sealed } => {
@@ -255,7 +265,7 @@ impl AggregatorNode {
                 // do until uploads arrive. On the initiator this message
                 // is the operator's round trigger: fan it out.
                 if matches!(self.role, AggRole::Initiator { .. }) {
-                    self.begin_round(round, training_id);
+                    let _ = self.begin_round(round, training_id);
                 }
             }
             Msg::SyncDone { round } => {
@@ -310,7 +320,9 @@ impl AggregatorNode {
         if n == 0 || self.pending.get(&round).map_or(0, |m| m.len()) < expected {
             return;
         }
-        let uploads = self.pending.remove(&round).unwrap();
+        let Some(uploads) = self.pending.remove(&round) else {
+            return;
+        };
         // Deterministic party order: sorted by name.
         let mut names: Vec<&String> = uploads.keys().collect();
         names.sort();
@@ -325,15 +337,21 @@ impl AggregatorNode {
         let mut mem = Vec::new();
         for (name, input) in names.iter().zip(inputs.iter()) {
             let name_bytes = name.as_bytes();
-            mem.extend_from_slice(&(name_bytes.len() as u32).to_le_bytes());
-            mem.extend_from_slice(name_bytes);
             let msg = Msg::Upload {
                 round,
                 fragment: input.clone(),
-            }
-            .encode();
-            mem.extend_from_slice(&(msg.len() as u32).to_le_bytes());
-            mem.extend_from_slice(&msg);
+            };
+            let (Ok(name_len), Ok(encoded)) = (u32::try_from(name_bytes.len()), msg.encode())
+            else {
+                continue;
+            };
+            let Ok(msg_len) = u32::try_from(encoded.len()) else {
+                continue;
+            };
+            mem.extend_from_slice(&name_len.to_le_bytes());
+            mem.extend_from_slice(name_bytes);
+            mem.extend_from_slice(&msg_len.to_le_bytes());
+            mem.extend_from_slice(&encoded);
         }
         self.cvm.guest().write(&mem);
         let t0 = Instant::now();
@@ -368,7 +386,9 @@ impl AggregatorNode {
         let Some(pk) = self.paillier_pk.clone() else {
             return;
         };
-        let uploads = self.pending_enc.remove(&round).unwrap();
+        let Some(uploads) = self.pending_enc.remove(&round) else {
+            return;
+        };
         let mut names: Vec<&String> = uploads.keys().collect();
         names.sort();
         let value_count = uploads[names[0]].1;
@@ -404,9 +424,9 @@ impl AggregatorNode {
 
     fn notify_initiator(&mut self, round: u64) {
         if let AggRole::Follower { initiator } = &self.role {
-            let _ = self
-                .endpoint
-                .send(&initiator.clone(), Msg::SyncDone { round }.encode());
+            if let Ok(frame) = (Msg::SyncDone { round }).encode() {
+                let _ = self.endpoint.send(&initiator.clone(), frame);
+            }
         }
     }
 }
@@ -421,8 +441,10 @@ pub fn parse_breached_memory(memory: &[u8]) -> Vec<(String, u64, Vec<f32>)> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     let read_u32 = |buf: &[u8], pos: usize| -> Option<usize> {
-        buf.get(pos..pos + 4)
-            .map(|b| u32::from_le_bytes(b.try_into().unwrap()) as usize)
+        let b = buf.get(pos..pos + 4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Some(u32::from_le_bytes(a) as usize)
     };
     while pos + 4 <= memory.len() {
         let Some(name_len) = read_u32(memory, pos) else {

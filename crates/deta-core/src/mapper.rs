@@ -75,7 +75,7 @@ impl ModelMapper {
             .enumerate()
             .map(|(j, &p)| (p * n_params as f64 - sizes[j] as f64, j))
             .collect();
-        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        remainders.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut ri = 0;
         while assigned < n_params {
             sizes[remainders[ri % remainders.len()].1] += 1;
@@ -85,7 +85,7 @@ impl ModelMapper {
         // Random interleaving with exact counts.
         let mut assignment: Vec<u16> = Vec::with_capacity(n_params);
         for (j, &s) in sizes.iter().enumerate() {
-            assignment.extend(std::iter::repeat(j as u16).take(s));
+            assignment.extend(std::iter::repeat_n(j as u16, s));
         }
         rng.shuffle(&mut assignment);
         Self::from_assignment(assignment)
@@ -182,7 +182,7 @@ impl ModelMapper {
     ///
     /// Returns `None` for odd-length input.
     pub fn from_bytes(bytes: &[u8]) -> Option<ModelMapper> {
-        if bytes.len() % 2 != 0 {
+        if !bytes.len().is_multiple_of(2) {
             return None;
         }
         let assignment: Vec<u16> = bytes

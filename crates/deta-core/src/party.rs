@@ -178,13 +178,12 @@ impl Party {
     pub fn send_hellos(&mut self, tokens: &HashMap<String, VerifyingKey>) {
         for agg in self.aggregators.clone() {
             let hs = HandshakeInitiator::new(&mut self.rng);
-            let _ = self.endpoint.send(
-                &agg,
-                Msg::Hello {
-                    handshake: hs.hello().to_vec(),
-                }
-                .encode(),
-            );
+            let hello = Msg::Hello {
+                handshake: hs.hello().to_vec(),
+            };
+            if let Ok(frame) = hello.encode() {
+                let _ = self.endpoint.send(&agg, frame);
+            }
             self.pending_handshakes.insert(agg.clone(), hs);
             if let Some(k) = tokens.get(&agg) {
                 self.expected_tokens.insert(agg, k.clone());
@@ -254,11 +253,14 @@ impl Party {
     /// Runs the local training step for the announced round and uploads
     /// transformed fragments.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no round is active.
-    pub fn run_local_round(&mut self) {
-        let (round, tid) = self.current_round.expect("no active round");
+    /// Fails if no round is active or required Paillier material is
+    /// missing.
+    pub fn run_local_round(&mut self) -> Result<(), PartyError> {
+        let Some((round, tid)) = self.current_round else {
+            return Err(PartyError::Protocol("no active round"));
+        };
         self.round_base = self.model.flat_params();
         let t0 = Instant::now();
         let update: Vec<f32> = match self.cfg.mode {
@@ -318,7 +320,7 @@ impl Party {
         let fragments = self.transformer.transform(&update, &tid);
         self.timers.transform_s += t1.elapsed().as_secs_f64();
         if self.paillier.is_some() {
-            self.upload_encrypted(round, &fragments);
+            self.upload_encrypted(round, &fragments)?;
         } else {
             for (j, frag) in fragments.into_iter().enumerate() {
                 let agg = self.aggregators[j].clone();
@@ -331,25 +333,31 @@ impl Party {
                 );
             }
         }
+        Ok(())
     }
 
     /// Skips local training for the announced round (partial
     /// participation): the party still synchronizes with the aggregated
     /// result when it arrives.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no round is active.
-    pub fn skip_local_round(&mut self) {
-        let _ = self.current_round.expect("no active round");
+    /// Fails if no round is active.
+    pub fn skip_local_round(&mut self) -> Result<(), PartyError> {
+        if self.current_round.is_none() {
+            return Err(PartyError::Protocol("no active round"));
+        }
         self.round_base = self.model.flat_params();
+        Ok(())
     }
 
-    fn upload_encrypted(&mut self, round: u64, fragments: &[Vec<f32>]) {
+    fn upload_encrypted(&mut self, round: u64, fragments: &[Vec<f32>]) -> Result<(), PartyError> {
         let t0 = Instant::now();
         let mut encrypted: Vec<(String, Vec<Vec<u8>>, u64)> = Vec::new();
         {
-            let p = self.paillier.as_ref().expect("paillier material");
+            let Some(p) = self.paillier.as_ref() else {
+                return Err(PartyError::Protocol("paillier material missing"));
+            };
             for (j, frag) in fragments.iter().enumerate() {
                 let cts = p.codec.encrypt_vector(&p.keys.public, frag, &mut self.rng);
                 let ser: Vec<Vec<u8>> = cts.iter().map(|c| c.0.to_bytes_be()).collect();
@@ -367,6 +375,7 @@ impl Party {
                 },
             );
         }
+        Ok(())
     }
 
     /// Collects aggregated fragments; when all have arrived, reverses the
@@ -410,7 +419,11 @@ impl Party {
         let mut fragments: Vec<Vec<f32>> = Vec::with_capacity(self.aggregators.len());
         let t0 = Instant::now();
         {
-            let p = self.paillier.as_ref().expect("paillier material");
+            let Some(p) = self.paillier.as_ref() else {
+                // Unreachable: callers gate on `paillier.is_some()`. Keep
+                // the round pending rather than panicking on a bad state.
+                return;
+            };
             for a in &self.aggregators {
                 let (cts, value_count, summands) = &self.collected_enc[a];
                 let sums = p.codec.decrypt_sum(
@@ -474,13 +487,12 @@ impl Party {
                 Msg::RoundStart { round, training_id } => {
                     self.current_round = Some((round, training_id));
                 }
-                Msg::Aggregated { round, fragment } => {
+                Msg::Aggregated { round, fragment }
                     // Guard against stale deliveries: only the active
                     // round's aggregates count.
-                    if self.current_round.map(|(r, _)| r) == Some(round) {
+                    if self.current_round.map(|(r, _)| r) == Some(round) => {
                         self.collected.insert(msg.from.clone(), fragment);
                     }
-                }
                 Msg::AggregatedEncrypted {
                     round,
                     ciphertexts,
@@ -506,8 +518,13 @@ impl Party {
         let Some(chan) = self.channels.get_mut(to) else {
             return;
         };
-        let sealed = chan.seal_msg(&msg.encode());
-        let _ = self.endpoint.send(to, Msg::Record { sealed }.encode());
+        let Ok(plain) = msg.encode() else {
+            return;
+        };
+        let sealed = chan.seal_msg(&plain);
+        if let Ok(frame) = (Msg::Record { sealed }).encode() {
+            let _ = self.endpoint.send(to, frame);
+        }
     }
 
     /// Evaluates the current model on a dataset.

@@ -419,7 +419,9 @@ impl DetaSession {
         self.network.reset_stats();
 
         // Initiator announces the round to followers and parties.
-        self.aggregators[0].begin_round(round, tid);
+        self.aggregators[0]
+            .begin_round(round, tid)
+            .expect("initiator announces the round");
         for a in &mut self.aggregators {
             a.pump();
         }
@@ -449,10 +451,10 @@ impl DetaSession {
             let started = p.poll_round_start();
             assert!(started.is_some(), "party missed round start");
             if participants.contains(&i) {
-                p.run_local_round();
+                p.run_local_round().expect("party runs announced round");
                 train_loss_sum += p.last_train_loss;
             } else {
-                p.skip_local_round();
+                p.skip_local_round().expect("party skips announced round");
             }
         }
         let s1 = self.network.stats();

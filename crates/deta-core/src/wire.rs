@@ -5,6 +5,11 @@
 //! message defined here is carried *inside* a secure-channel record once
 //! the channel is up, except the initial [`Msg::Hello`] wrapper that
 //! bootstraps it.
+//!
+//! Both directions are total: [`Msg::decode`] never panics on malformed
+//! input (attacker-controlled bytes reach it directly), and
+//! [`Msg::encode`] reports oversized fields instead of silently
+//! truncating their length prefixes.
 
 /// Protocol messages.
 #[derive(Clone, Debug, PartialEq)]
@@ -103,7 +108,7 @@ const TAG_SYNC_DONE: u8 = 10;
 const TAG_UPLOAD_ENC: u8 = 11;
 const TAG_AGGREGATED_ENC: u8 = 12;
 
-/// Codec errors.
+/// Decode errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecodeError;
 
@@ -115,23 +120,44 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
-    out.extend_from_slice(b);
+/// Encode errors: a variable-length field exceeds the u32 length prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError;
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire message field exceeds u32 length prefix")
+    }
 }
 
-fn put_f32s(out: &mut Vec<u8>, v: &[f32]) {
-    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+impl std::error::Error for EncodeError {}
+
+fn put_len(out: &mut Vec<u8>, len: usize) -> Result<(), EncodeError> {
+    let len = u32::try_from(len).map_err(|_| EncodeError)?;
+    out.extend_from_slice(&len.to_le_bytes());
+    Ok(())
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) -> Result<(), EncodeError> {
+    put_len(out, b.len())?;
+    out.extend_from_slice(b);
+    Ok(())
+}
+
+fn put_f32s(out: &mut Vec<u8>, v: &[f32]) -> Result<(), EncodeError> {
+    put_len(out, v.len())?;
     for &x in v {
         out.extend_from_slice(&x.to_le_bytes());
     }
+    Ok(())
 }
 
-fn put_vec_bytes(out: &mut Vec<u8>, v: &[Vec<u8>]) {
-    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+fn put_vec_bytes(out: &mut Vec<u8>, v: &[Vec<u8>]) -> Result<(), EncodeError> {
+    put_len(out, v.len())?;
     for b in v {
-        put_bytes(out, b);
+        put_bytes(out, b)?;
     }
+    Ok(())
 }
 
 struct Reader<'a> {
@@ -153,20 +179,28 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Reads a fixed-size array; length is guaranteed by `take`.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f32(&mut self) -> Result<f32, DecodeError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.array()?))
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
@@ -192,7 +226,7 @@ impl<'a> Reader<'a> {
     }
 
     fn array16(&mut self) -> Result<[u8; 16], DecodeError> {
-        Ok(self.take(16)?.try_into().unwrap())
+        self.array()
     }
 
     fn finish(self) -> Result<(), DecodeError> {
@@ -206,24 +240,29 @@ impl<'a> Reader<'a> {
 
 impl Msg {
     /// Serializes the message.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Fails (instead of truncating a length prefix) when a field holds
+    /// 2^32 or more elements — unreachable for protocol-conforming
+    /// senders but kept total so no caller can construct a frame that
+    /// decodes to something else.
+    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
         let mut out = Vec::new();
         match self {
             Msg::Hello { handshake } => {
                 out.push(TAG_HELLO);
-                put_bytes(&mut out, handshake);
+                put_bytes(&mut out, handshake)?;
             }
             Msg::HelloReply { handshake } => {
                 out.push(TAG_HELLO_REPLY);
-                put_bytes(&mut out, handshake);
+                put_bytes(&mut out, handshake)?;
             }
             Msg::Record { sealed } => {
                 out.push(TAG_RECORD);
-                put_bytes(&mut out, sealed);
+                put_bytes(&mut out, sealed)?;
             }
             Msg::Register { party, weight } => {
                 out.push(TAG_REGISTER);
-                put_bytes(&mut out, party.as_bytes());
+                put_bytes(&mut out, party.as_bytes())?;
                 out.extend_from_slice(&weight.to_le_bytes());
             }
             Msg::RegisterAck => out.push(TAG_REGISTER_ACK),
@@ -235,7 +274,7 @@ impl Msg {
             Msg::Upload { round, fragment } => {
                 out.push(TAG_UPLOAD);
                 out.extend_from_slice(&round.to_le_bytes());
-                put_f32s(&mut out, fragment);
+                put_f32s(&mut out, fragment)?;
             }
             Msg::UploadEncrypted {
                 round,
@@ -245,12 +284,12 @@ impl Msg {
                 out.push(TAG_UPLOAD_ENC);
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(&value_count.to_le_bytes());
-                put_vec_bytes(&mut out, ciphertexts);
+                put_vec_bytes(&mut out, ciphertexts)?;
             }
             Msg::Aggregated { round, fragment } => {
                 out.push(TAG_AGGREGATED);
                 out.extend_from_slice(&round.to_le_bytes());
-                put_f32s(&mut out, fragment);
+                put_f32s(&mut out, fragment)?;
             }
             Msg::AggregatedEncrypted {
                 round,
@@ -262,7 +301,7 @@ impl Msg {
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(&value_count.to_le_bytes());
                 out.extend_from_slice(&summands.to_le_bytes());
-                put_vec_bytes(&mut out, ciphertexts);
+                put_vec_bytes(&mut out, ciphertexts)?;
             }
             Msg::SyncRound { round, training_id } => {
                 out.push(TAG_SYNC_ROUND);
@@ -274,7 +313,7 @@ impl Msg {
                 out.extend_from_slice(&round.to_le_bytes());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Parses a message.
@@ -334,7 +373,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(msg: Msg) {
-        let bytes = msg.encode();
+        let bytes = msg.encode().unwrap();
         assert_eq!(Msg::decode(&bytes), Ok(msg));
     }
 
@@ -400,7 +439,8 @@ mod tests {
             round: 1,
             fragment: vec![1.0, 2.0],
         }
-        .encode();
+        .encode()
+        .unwrap();
         for cut in 1..bytes.len() {
             assert_eq!(Msg::decode(&bytes[..cut]), Err(DecodeError), "cut at {cut}");
         }
@@ -408,7 +448,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut bytes = Msg::RegisterAck.encode();
+        let mut bytes = Msg::RegisterAck.encode().unwrap();
         bytes.push(0);
         assert_eq!(Msg::decode(&bytes), Err(DecodeError));
     }
@@ -438,7 +478,7 @@ mod tests {
             round: 1,
             fragment: fragment.clone(),
         };
-        match Msg::decode(&msg.encode()).unwrap() {
+        match Msg::decode(&msg.encode().unwrap()).unwrap() {
             Msg::Upload { fragment: f, .. } => assert_eq!(f, fragment),
             _ => panic!("wrong variant"),
         }

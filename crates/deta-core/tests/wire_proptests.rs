@@ -4,85 +4,104 @@ use deta_core::mapper::ModelMapper;
 use deta_core::shuffle::RoundPermutation;
 use deta_core::wire::Msg;
 use deta_crypto::DetRng;
-use proptest::prelude::*;
+use deta_proptest::{cases, Gen};
 
-fn arb_msg() -> impl Strategy<Value = Msg> {
-    prop_oneof![
-        proptest::collection::vec(any::<u8>(), 0..128).prop_map(|b| Msg::Hello { handshake: b }),
-        proptest::collection::vec(any::<u8>(), 0..128)
-            .prop_map(|b| Msg::HelloReply { handshake: b }),
-        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|b| Msg::Record { sealed: b }),
-        ("[a-z0-9-]{0,20}", any::<f32>())
-            .prop_map(|(party, weight)| Msg::Register { party, weight }),
-        Just(Msg::RegisterAck),
-        (any::<u64>(), any::<[u8; 16]>())
-            .prop_map(|(round, training_id)| Msg::RoundStart { round, training_id }),
-        (any::<u64>(), proptest::collection::vec(any::<f32>(), 0..64))
-            .prop_map(|(round, fragment)| Msg::Upload { round, fragment }),
-        (any::<u64>(), proptest::collection::vec(any::<f32>(), 0..64))
-            .prop_map(|(round, fragment)| Msg::Aggregated { round, fragment }),
-        (
-            any::<u64>(),
-            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..8),
-            any::<u64>()
-        )
-            .prop_map(|(round, ciphertexts, value_count)| Msg::UploadEncrypted {
-                round,
-                ciphertexts,
-                value_count,
-            }),
-        (any::<u64>(), any::<[u8; 16]>())
-            .prop_map(|(round, training_id)| Msg::SyncRound { round, training_id }),
-        any::<u64>().prop_map(|round| Msg::SyncDone { round }),
-    ]
+fn arb_msg(g: &mut Gen) -> Msg {
+    match g.usize_in(0, 11) {
+        0 => Msg::Hello {
+            handshake: g.bytes(0, 128),
+        },
+        1 => Msg::HelloReply {
+            handshake: g.bytes(0, 128),
+        },
+        2 => Msg::Record {
+            sealed: g.bytes(0, 256),
+        },
+        3 => Msg::Register {
+            party: g.string_of("abcdefghijklmnopqrstuvwxyz0123456789-", 0, 21),
+            weight: g.f32_any(),
+        },
+        4 => Msg::RegisterAck,
+        5 => Msg::RoundStart {
+            round: g.u64(),
+            training_id: g.array::<16>(),
+        },
+        6 => Msg::Upload {
+            round: g.u64(),
+            fragment: g.vec_of(0, 64, Gen::f32_any),
+        },
+        7 => Msg::Aggregated {
+            round: g.u64(),
+            fragment: g.vec_of(0, 64, Gen::f32_any),
+        },
+        8 => Msg::UploadEncrypted {
+            round: g.u64(),
+            ciphertexts: g.vec_of(0, 8, |g| g.bytes(0, 32)),
+            value_count: g.u64(),
+        },
+        9 => Msg::SyncRound {
+            round: g.u64(),
+            training_id: g.array::<16>(),
+        },
+        _ => Msg::SyncDone { round: g.u64() },
+    }
 }
 
-proptest! {
-    #[test]
-    fn codec_roundtrips_all_messages(msg in arb_msg()) {
+#[test]
+fn codec_roundtrips_all_messages() {
+    cases("codec_roundtrips_all_messages", 256, |g| {
+        let msg = arb_msg(g);
         // NaN payloads break PartialEq; compare re-encoded bytes instead.
-        let bytes = msg.encode();
+        let bytes = msg.encode().expect("encode");
         let decoded = Msg::decode(&bytes).expect("decode");
-        prop_assert_eq!(decoded.encode(), bytes);
-    }
+        assert_eq!(decoded.encode().expect("re-encode"), bytes);
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decoder_never_panics_on_garbage() {
+    cases("decoder_never_panics_on_garbage", 256, |g| {
+        let bytes = g.bytes(0, 256);
         let _ = Msg::decode(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn decoder_rejects_any_truncation(msg in arb_msg()) {
-        let bytes = msg.encode();
+#[test]
+fn decoder_rejects_any_truncation() {
+    cases("decoder_rejects_any_truncation", 128, |g| {
+        let bytes = arb_msg(g).encode().expect("encode");
         for cut in 0..bytes.len() {
-            prop_assert!(Msg::decode(&bytes[..cut]).is_err(), "cut={cut}");
+            assert!(Msg::decode(&bytes[..cut]).is_err(), "cut={cut}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn permutation_roundtrip(
-        key in any::<[u8; 32]>(),
-        tid in any::<[u8; 16]>(),
-        frag in any::<u32>(),
-        data in proptest::collection::vec(any::<f32>(), 0..200),
-    ) {
+#[test]
+fn permutation_roundtrip() {
+    cases("permutation_roundtrip", 256, |g| {
+        let key = g.array::<32>();
+        let tid = g.array::<16>();
+        let frag = g.u32();
+        let data = g.vec_of(0, 200, Gen::f32_any);
         let p = RoundPermutation::derive(&key, &tid, frag, data.len());
         let shuffled = p.apply(&data);
-        prop_assert_eq!(p.invert(&shuffled), data);
-    }
+        // NaNs are not PartialEq-reflexive; compare bit patterns.
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&p.invert(&shuffled)), bits(&data));
+    });
+}
 
-    #[test]
-    fn mapper_roundtrip_arbitrary_proportions(
-        n in 1usize..300,
-        seed in any::<u64>(),
-        raw_props in proptest::collection::vec(0.05f32..1.0, 1..5),
-    ) {
+#[test]
+fn mapper_roundtrip_arbitrary_proportions() {
+    cases("mapper_roundtrip_arbitrary_proportions", 128, |g| {
+        let n = g.usize_in(1, 300);
+        let raw_props = g.vec_of(1, 5, |g| g.f32_in(0.05, 1.0));
         let k = raw_props.len();
-        let mapper = ModelMapper::generate(n, k, Some(&raw_props), &mut DetRng::from_u64(seed));
+        let mapper = ModelMapper::generate(n, k, Some(&raw_props), &mut DetRng::from_u64(g.u64()));
         let update: Vec<f32> = (0..n).map(|i| i as f32).collect();
-        prop_assert_eq!(mapper.merge(&mapper.partition(&update)), update);
+        assert_eq!(mapper.merge(&mapper.partition(&update)), update);
         // Serialization roundtrip too.
         let back = ModelMapper::from_bytes(&mapper.to_bytes()).unwrap();
-        prop_assert_eq!(back, mapper);
-    }
+        assert_eq!(back, mapper);
+    });
 }

@@ -169,7 +169,9 @@ impl VerifyingKey {
         };
         let r = g.mul(&g.pow_g(&sig.s), &g.pow(&self.y, &neg_e));
         let e = challenge(g, &r, &self.y, msg);
-        e == sig.e
+        // Constant-time over fixed-width encodings: the comparison must
+        // not leak how many leading scalar bytes of a forgery matched.
+        crate::ct_eq(&e.to_bytes_be_padded(32), &sig.e.to_bytes_be_padded(32))
     }
 }
 

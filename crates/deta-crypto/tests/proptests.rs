@@ -3,108 +3,117 @@
 use deta_crypto::dh::EphemeralSecret;
 use deta_crypto::sha256::{hkdf, hmac_sha256, sha256};
 use deta_crypto::{open, seal, AeadKey, DetRng, Nonce, Signature, SigningKey};
-use proptest::prelude::*;
+use deta_proptest::{cases, Gen};
 
-proptest! {
-    #[test]
-    fn sha256_is_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn sha256_is_deterministic_and_sensitive() {
+    cases("sha256_is_deterministic_and_sensitive", 128, |g| {
+        let data = g.bytes(0, 512);
         let a = sha256(&data);
         let b = sha256(&data);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         if !data.is_empty() {
             let mut flipped = data.clone();
             flipped[0] ^= 1;
-            prop_assert_ne!(sha256(&flipped), a);
+            assert_ne!(sha256(&flipped), a);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hmac_keys_separate(msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn hmac_keys_separate() {
+    cases("hmac_keys_separate", 128, |g| {
+        let msg = g.bytes(0, 128);
         let a = hmac_sha256(b"key-a", &msg);
         let b = hmac_sha256(b"key-b", &msg);
-        prop_assert_ne!(a, b);
-    }
+        assert_ne!(a, b);
+    });
+}
 
-    #[test]
-    fn hkdf_prefix_property(
-        salt in proptest::collection::vec(any::<u8>(), 0..32),
-        ikm in proptest::collection::vec(any::<u8>(), 1..64),
-        short in 1usize..32,
-        extra in 1usize..32,
-    ) {
+#[test]
+fn hkdf_prefix_property() {
+    cases("hkdf_prefix_property", 128, |g| {
+        let salt = g.bytes(0, 32);
+        let ikm = g.bytes(1, 64);
+        let short = g.usize_in(1, 32);
+        let extra = g.usize_in(1, 32);
         let long = hkdf(&salt, &ikm, b"ctx", short + extra);
         let shorter = hkdf(&salt, &ikm, b"ctx", short);
-        prop_assert_eq!(&long[..short], &shorter[..]);
-    }
+        assert_eq!(&long[..short], &shorter[..]);
+    });
+}
 
-    #[test]
-    fn aead_roundtrip(
-        key in any::<[u8; 32]>(),
-        chan in any::<u32>(),
-        seq in any::<u64>(),
-        aad in proptest::collection::vec(any::<u8>(), 0..64),
-        msg in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
-        let k = AeadKey(key);
-        let n = Nonce::from_parts(chan, seq);
+#[test]
+fn aead_roundtrip() {
+    cases("aead_roundtrip", 128, |g| {
+        let k = AeadKey(g.array::<32>());
+        let n = Nonce::from_parts(g.u32(), g.u64());
+        let aad = g.bytes(0, 64);
+        let msg = g.bytes(0, 512);
         let sealed = seal(&k, &n, &aad, &msg);
-        prop_assert_eq!(open(&k, &n, &aad, &sealed).unwrap(), msg);
-    }
+        assert_eq!(open(&k, &n, &aad, &sealed).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn aead_tamper_detected(
-        key in any::<[u8; 32]>(),
-        msg in proptest::collection::vec(any::<u8>(), 1..128),
-        flip in any::<usize>(),
-    ) {
-        let k = AeadKey(key);
+#[test]
+fn aead_tamper_detected() {
+    cases("aead_tamper_detected", 128, |g| {
+        let k = AeadKey(g.array::<32>());
+        let msg = g.bytes(1, 128);
         let n = Nonce::from_parts(0, 0);
         let mut sealed = seal(&k, &n, b"", &msg);
-        let idx = flip % sealed.len();
+        let idx = g.usize_in(0, sealed.len());
         sealed[idx] ^= 0x5a;
-        prop_assert!(open(&k, &n, b"", &sealed).is_err());
-    }
+        assert!(open(&k, &n, b"", &sealed).is_err());
+    });
+}
 
-    #[test]
-    fn signatures_verify_and_bind_message(
-        seed in any::<u64>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        let sk = SigningKey::generate(&mut DetRng::from_u64(seed));
+#[test]
+fn signatures_verify_and_bind_message() {
+    cases("signatures_verify_and_bind_message", 48, |g| {
+        let sk = SigningKey::generate(&mut DetRng::from_u64(g.u64()));
         let vk = sk.verifying_key();
+        let msg = g.bytes(0, 256);
         let sig = sk.sign(&msg);
-        prop_assert!(vk.verify(&msg, &sig));
+        assert!(vk.verify(&msg, &sig));
         let mut other = msg.clone();
         other.push(0);
-        prop_assert!(!vk.verify(&other, &sig));
-    }
+        assert!(!vk.verify(&other, &sig));
+    });
+}
 
-    #[test]
-    fn signature_serialization_total(
-        seed in any::<u64>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
-        let sk = SigningKey::generate(&mut DetRng::from_u64(seed));
-        let sig = sk.sign(&msg);
+#[test]
+fn signature_serialization_total() {
+    cases("signature_serialization_total", 48, |g| {
+        let sk = SigningKey::generate(&mut DetRng::from_u64(g.u64()));
+        let sig = sk.sign(&g.bytes(0, 64));
         let back = Signature::from_bytes(&sig.to_bytes()).unwrap();
-        prop_assert_eq!(back, sig);
-    }
+        assert_eq!(back, sig);
+    });
+}
 
-    #[test]
-    fn dh_agreement_symmetric(a_seed in any::<u64>(), b_seed in any::<u64>(), ctx in proptest::collection::vec(any::<u8>(), 0..32)) {
+#[test]
+fn dh_agreement_symmetric() {
+    cases("dh_agreement_symmetric", 48, |g| {
+        let a_seed = g.u64();
+        let b_seed = g.u64();
+        let ctx = g.bytes(0, 32);
         let alice = EphemeralSecret::generate(&mut DetRng::from_u64(a_seed));
         let bob = EphemeralSecret::generate(&mut DetRng::from_u64(b_seed.wrapping_add(1) | 1));
         let pa = alice.public_key();
         let pb = bob.public_key();
         let ka = alice.agree(&pb, &ctx).unwrap();
         let kb = bob.agree(&pa, &ctx).unwrap();
-        prop_assert_eq!(ka, kb);
-    }
+        assert_eq!(ka, kb);
+    });
+}
 
-    #[test]
-    fn rng_gen_range_uniformish(seed in any::<u64>(), bound in 1u64..50) {
+#[test]
+fn rng_gen_range_uniformish() {
+    cases("rng_gen_range_uniformish", 24, |g| {
         // Every residue must be reachable and none wildly overrepresented.
-        let mut rng = DetRng::from_u64(seed);
+        let mut rng = DetRng::from_u64(g.u64());
+        let bound = g.u64_in(1, 50);
         let n = 2000usize;
         let mut counts = vec![0usize; bound as usize];
         for _ in 0..n {
@@ -112,19 +121,26 @@ proptest! {
         }
         let expected = n as f64 / bound as f64;
         for (i, &c) in counts.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 (c as f64) < expected * 2.0 + 30.0,
                 "residue {i} overrepresented: {c} vs {expected}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_forks_are_independent(seed in any::<u64>(), l1 in any::<u8>(), l2 in any::<u8>()) {
-        prop_assume!(l1 != l2);
+#[test]
+fn rng_forks_are_independent() {
+    cases("rng_forks_are_independent", 128, |g| {
+        let seed = g.u64();
+        let l1 = g.u8();
+        let mut l2 = g.u8();
+        if l1 == l2 {
+            l2 = l2.wrapping_add(1);
+        }
         let root = DetRng::from_u64(seed);
         let a = root.fork(&[l1]).next_u64();
         let b = root.fork(&[l2]).next_u64();
-        prop_assert_ne!(a, b);
-    }
+        assert_ne!(a, b);
+    });
 }

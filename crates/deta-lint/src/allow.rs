@@ -1,0 +1,182 @@
+//! Hand-rolled parser for `lint-allow.toml`.
+//!
+//! The file is a flat list of `[[allow]]` tables with exactly four
+//! string keys: `rule`, `path`, `identifier`, `reason`. Keeping the
+//! grammar this small lets the linter stay dependency-free while still
+//! reading a file that standard TOML tooling can edit.
+
+use crate::rules::Violation;
+
+/// One justified suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule name the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// The offending identifier at the site.
+    pub identifier: String,
+    /// One-line justification (must be non-empty).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry covers `v`.
+    pub fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule && self.path == v.path && self.identifier == v.ident
+    }
+}
+
+/// Maximum number of entries; a growing allowlist means the rules are
+/// wrong or the code is — either way it needs a human decision.
+pub const MAX_ALLOW_ENTRIES: usize = 10;
+
+/// Parses the allowlist text.
+///
+/// # Errors
+///
+/// Malformed lines, unknown keys, missing fields, empty reasons, and
+/// more than [`MAX_ALLOW_ENTRIES`] entries are all hard errors: a lint
+/// suppression file must never be silently misread.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<[Option<String>; 4]> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push([None, None, None, None]);
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint-allow.toml:{}: expected `key = \"value\"`",
+                lineno + 1
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if !(value.starts_with('"') && value.ends_with('"') && value.len() >= 2) {
+            return Err(format!(
+                "lint-allow.toml:{}: value for `{key}` must be a quoted string",
+                lineno + 1
+            ));
+        }
+        let value = value[1..value.len() - 1].to_string();
+        let Some(entry) = entries.last_mut() else {
+            return Err(format!(
+                "lint-allow.toml:{}: `{key}` outside an [[allow]] table",
+                lineno + 1
+            ));
+        };
+        let slot = match key {
+            "rule" => 0,
+            "path" => 1,
+            "identifier" => 2,
+            "reason" => 3,
+            other => {
+                return Err(format!(
+                    "lint-allow.toml:{}: unknown key `{other}`",
+                    lineno + 1
+                ))
+            }
+        };
+        if entry[slot].is_some() {
+            return Err(format!(
+                "lint-allow.toml:{}: duplicate key `{key}`",
+                lineno + 1
+            ));
+        }
+        entry[slot] = Some(value);
+    }
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, [rule, path, identifier, reason]) in entries.into_iter().enumerate() {
+        let missing = |field: &str| format!("allow entry #{}: missing `{field}`", i + 1);
+        let entry = AllowEntry {
+            rule: rule.ok_or_else(|| missing("rule"))?,
+            path: path.ok_or_else(|| missing("path"))?,
+            identifier: identifier.ok_or_else(|| missing("identifier"))?,
+            reason: reason.ok_or_else(|| missing("reason"))?,
+        };
+        if entry.reason.trim().is_empty() {
+            return Err(format!("allow entry #{}: reason must not be empty", i + 1));
+        }
+        out.push(entry);
+    }
+    if out.len() > MAX_ALLOW_ENTRIES {
+        return Err(format!(
+            "lint-allow.toml has {} entries; at most {MAX_ALLOW_ENTRIES} justified \
+             suppressions are permitted",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# Suppressions for deta-lint.
+[[allow]]
+rule = "no-panic-in-aggregation"
+path = "crates/deta-core/src/wire.rs"
+identifier = "unwrap"
+reason = "example"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let entries = parse_allowlist(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "no-panic-in-aggregation");
+        assert_eq!(entries[0].identifier, "unwrap");
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_are_fine() {
+        assert!(parse_allowlist("").unwrap().is_empty());
+        assert!(parse_allowlist("# nothing here\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn matches_violation() {
+        let entries = parse_allowlist(SAMPLE).unwrap();
+        let v = Violation {
+            rule: "no-panic-in-aggregation",
+            path: "crates/deta-core/src/wire.rs".into(),
+            line: 3,
+            ident: "unwrap".into(),
+            message: String::new(),
+        };
+        assert!(entries[0].matches(&v));
+        let other = Violation {
+            ident: "expect".into(),
+            ..v
+        };
+        assert!(!entries[0].matches(&other));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let bad = "[[allow]]\nrule = \"r\"\npath = \"p\"\nidentifier = \"i\"\n";
+        assert!(parse_allowlist(bad).is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let bad = "[[allow]]\nrule = \"r\"\nline = \"12\"\n";
+        assert!(parse_allowlist(bad).is_err());
+    }
+
+    #[test]
+    fn entry_cap_is_enforced() {
+        let one = "[[allow]]\nrule = \"r\"\npath = \"p\"\nidentifier = \"i\"\nreason = \"x\"\n";
+        let many = one.repeat(MAX_ALLOW_ENTRIES + 1);
+        let err = parse_allowlist(&many).unwrap_err();
+        assert!(err.contains("at most"));
+        assert!(parse_allowlist(&one.repeat(MAX_ALLOW_ENTRIES)).is_ok());
+    }
+}

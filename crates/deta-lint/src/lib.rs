@@ -1,0 +1,168 @@
+//! deta-lint: a dependency-free static analyzer enforcing DeTA's
+//! threat-model invariants across the workspace.
+//!
+//! The DeTA design rests on code-level properties no type system checks:
+//! secrets must not reach logs, authentication comparisons must be
+//! constant-time, permutation-critical code must iterate
+//! deterministically, protocol hot paths must not panic on attacker
+//! input, and wire serialization must not truncate. This crate encodes
+//! those properties as five rules over a hand-rolled token stream (see
+//! [`lex`]) and resolves findings against a checked-in
+//! `lint-allow.toml` of justified suppressions (see [`allow`]).
+//!
+//! Run it as `cargo run -p deta-lint`; `tests/lint_clean.rs` at the
+//! workspace root enforces a clean report in `cargo test`.
+
+pub mod allow;
+pub mod lex;
+pub mod rules;
+
+pub use allow::{parse_allowlist, AllowEntry, MAX_ALLOW_ENTRIES};
+pub use rules::{check_source, check_tokens, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that matched nothing (stale suppressions are
+    /// reported so the list cannot rot).
+    pub stale_allows: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of violations suppressed by the allowlist.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// True when nothing is wrong: no violations and no stale entries.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_allows.is_empty()
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        for e in &self.stale_allows {
+            writeln!(
+                f,
+                "stale allowlist entry: rule `{}` path `{}` identifier `{}` matches nothing",
+                e.rule, e.path, e.identifier
+            )?;
+        }
+        write!(
+            f,
+            "{} file(s) scanned, {} violation(s), {} suppressed, {} stale allow(s)",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed,
+            self.stale_allows.len()
+        )
+    }
+}
+
+/// Lints every workspace source file under `root`.
+///
+/// Scans `src/` of the root package and of each `crates/*` member;
+/// `tests/`, `benches/`, and `target/` are out of scope by construction
+/// (the rules govern shipped code, and unit tests inside `src/` are
+/// excluded by [`lex::strip_test_regions`]).
+///
+/// # Errors
+///
+/// Fails on unreadable files or a malformed `lint-allow.toml`.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let allow_path = root.join("lint-allow.toml");
+    let allows = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("cannot read {}: {e}", allow_path.display())),
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut members: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs_files(&member.join("src"), &mut files);
+        }
+    }
+
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    let mut used = vec![false; allows.len()];
+    for file in &files {
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let rel = relative_path(root, file);
+        for v in check_source(&rel, &src) {
+            let allowed = allows.iter().enumerate().find(|(_, a)| a.matches(&v));
+            if let Some((idx, _)) = allowed {
+                used[idx] = true;
+                report.suppressed += 1;
+            } else {
+                report.violations.push(v);
+            }
+        }
+    }
+    report.stale_allows = allows
+        .into_iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(a, _)| a)
+        .collect();
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` in sorted order.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative path with forward slashes (the rules' and the
+/// allowlist's path convention, stable across platforms).
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/w");
+        let file = Path::new("/w/crates/deta-core/src/wire.rs");
+        assert_eq!(relative_path(root, file), "crates/deta-core/src/wire.rs");
+    }
+}

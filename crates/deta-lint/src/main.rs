@@ -1,0 +1,57 @@
+//! The `deta-lint` binary: lints the workspace and exits non-zero on
+//! any unsuppressed violation or stale allowlist entry.
+//!
+//! Usage: `cargo run -p deta-lint [workspace-root]`. Without an
+//! argument the workspace root is found by walking up from the current
+//! directory to the first `Cargo.toml` declaring `[workspace]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("deta-lint: no workspace root found (pass it as an argument)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match deta_lint::run_lint(&root) {
+        Ok(report) => {
+            println!("{report}");
+            if report.files_scanned == 0 {
+                // A clean report over zero files is a mispointed root,
+                // not a clean workspace.
+                eprintln!("deta-lint: no .rs files found under {}", root.display());
+                return ExitCode::FAILURE;
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("deta-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! The five DeTA threat-model rules.
+//!
+//! Each rule is a standalone function from `(workspace-relative path,
+//! token stream)` to violations, so the fixture tests can exercise every
+//! rule in isolation. Paths use forward slashes relative to the
+//! workspace root (e.g. `crates/deta-core/src/wire.rs`).
+
+use crate::lex::{Tok, TokKind};
+
+/// One rule finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (stable, used as the allowlist key).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The offending identifier (allowlist key).
+    pub ident: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} ({})",
+            self.path, self.line, self.rule, self.message, self.ident
+        )
+    }
+}
+
+/// Runs every rule over one already-tokenized, test-stripped file.
+pub fn check_tokens(path: &str, toks: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    out.extend(no_secret_debug(path, toks));
+    out.extend(no_variable_time_eq(path, toks));
+    out.extend(deterministic_iteration(path, toks));
+    out.extend(no_panic_in_aggregation(path, toks));
+    out.extend(no_truncating_cast(path, toks));
+    out
+}
+
+/// Convenience entry point: tokenize `src`, strip test regions, check.
+pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
+    let toks = crate::lex::strip_test_regions(crate::lex::tokenize(src));
+    check_tokens(path, &toks)
+}
+
+/// Splits an identifier into lowercase words at `_` and camel-case
+/// boundaries: `SigningKey` -> ["signing", "key"].
+fn words(ident: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in ident.chars() {
+        if c == '_' {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        } else if c.is_uppercase() && !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+            cur.push(c.to_ascii_lowercase());
+        } else {
+            cur.push(c.to_ascii_lowercase());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn has_word(ident: &str, set: &[&str]) -> bool {
+    words(ident).iter().any(|w| set.contains(&w.as_str()))
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: no-secret-debug
+// ---------------------------------------------------------------------
+
+/// Words that mark a struct *name* as holding secret material.
+const SECRET_NAME_WORDS: &[&str] = &["secret", "signing", "private", "seed", "sk"];
+/// Words that mark a *field* as secret when its type is raw bytes.
+const SECRET_FIELD_WORDS: &[&str] = &["secret", "seed", "key", "sk", "token", "private", "signing"];
+
+/// Secret-bearing structs must not `derive(Debug)`: key/seed bytes would
+/// flow into logs and breach dumps. Write a redacting manual impl (see
+/// `deta_paillier::PrivateKey`) instead. Applies to every source file.
+pub fn no_secret_debug(path: &str, toks: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = toks.len();
+    let mut i = 0;
+    while i < n {
+        // Find #[derive( .. Debug .. )].
+        if !(toks[i].is_punct('#')
+            && i + 2 < n
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].ident() == Some("derive"))
+        {
+            i += 1;
+            continue;
+        }
+        let close = balanced_end(toks, i + 3, '(', ')');
+        let derives_debug = toks[i + 3..close]
+            .iter()
+            .any(|t| t.ident() == Some("Debug"));
+        // Move past the attribute's closing `]`.
+        let mut j = close;
+        if j < n && toks[j].is_punct(']') {
+            j += 1;
+        }
+        i = j;
+        if !derives_debug {
+            continue;
+        }
+        // Skip further attributes / visibility to reach `struct Name`.
+        while j < n {
+            if toks[j].is_punct('#') && j + 1 < n && toks[j + 1].is_punct('[') {
+                j = balanced_end(toks, j + 1, '[', ']');
+                if j < n && toks[j].is_punct(']') {
+                    j += 1;
+                }
+            } else if toks[j].ident() == Some("pub") {
+                j += 1;
+                if j < n && toks[j].is_punct('(') {
+                    j = balanced_end(toks, j, '(', ')');
+                }
+            } else {
+                break;
+            }
+        }
+        if j + 1 >= n || toks[j].ident() != Some("struct") {
+            continue;
+        }
+        let Some(name) = toks[j + 1].ident() else {
+            continue;
+        };
+        let line = toks[j + 1].line;
+        if has_word(name, SECRET_NAME_WORDS) {
+            out.push(Violation {
+                rule: "no-secret-debug",
+                path: path.to_string(),
+                line,
+                ident: name.to_string(),
+                message: format!(
+                    "struct `{name}` holds secret material but derives Debug; \
+                     write a redacting manual impl"
+                ),
+            });
+            continue;
+        }
+        // Inspect fields: a secret-named field of raw-byte type also
+        // makes the derive dangerous.
+        let mut k = j + 2;
+        // Generics: skip `<...>` by angle-depth counting.
+        if k < n && toks[k].is_punct('<') {
+            let mut depth = 0i32;
+            while k < n {
+                if toks[k].is_punct('<') {
+                    depth += 1;
+                } else if toks[k].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+        }
+        if k < n && toks[k].is_punct('{') {
+            let body_end = balanced_end(toks, k, '{', '}');
+            out.extend(check_named_fields(path, name, toks, k + 1, body_end));
+        } else if k < n && toks[k].is_punct('(') {
+            let body_end = balanced_end(toks, k, '(', ')');
+            if has_word(name, SECRET_FIELD_WORDS)
+                && !has_word(name, &["public", "verifying", "pub"])
+                && type_is_raw_bytes(&toks[k + 1..body_end])
+            {
+                out.push(Violation {
+                    rule: "no-secret-debug",
+                    path: path.to_string(),
+                    line,
+                    ident: name.to_string(),
+                    message: format!("tuple struct `{name}` wraps raw key bytes but derives Debug"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks named fields in `toks[start..end]` (inside the struct braces).
+fn check_named_fields(
+    path: &str,
+    struct_name: &str,
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut i = start;
+    let mut depth = 0i32;
+    while i + 1 < end {
+        match &toks[i].kind {
+            TokKind::Punct(c) if "([{<".contains(*c) => depth += 1,
+            TokKind::Punct(c) if ")]}>".contains(*c) => depth -= 1,
+            TokKind::Ident(field) if depth == 0 && toks[i + 1].is_punct(':') && field != "pub" => {
+                // Type tokens run to the next top-level comma.
+                let mut t = i + 2;
+                let mut tdepth = 0i32;
+                let ty_start = t;
+                while t < end {
+                    match &toks[t].kind {
+                        TokKind::Punct(c) if "([{<".contains(*c) => tdepth += 1,
+                        TokKind::Punct(c) if ")]}>".contains(*c) => tdepth -= 1,
+                        TokKind::Punct(',') if tdepth == 0 => break,
+                        _ => {}
+                    }
+                    t += 1;
+                }
+                if has_word(field, SECRET_FIELD_WORDS) && type_is_raw_bytes(&toks[ty_start..t]) {
+                    out.push(Violation {
+                        rule: "no-secret-debug",
+                        path: path.to_string(),
+                        line: toks[i].line,
+                        ident: field.clone(),
+                        message: format!(
+                            "field `{field}` of `{struct_name}` holds raw key bytes \
+                             but the struct derives Debug"
+                        ),
+                    });
+                }
+                i = t;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True if a type token sequence is a raw byte container: `[u8; N]` or
+/// `Vec<u8>` (possibly behind `pub`).
+fn type_is_raw_bytes(ty: &[Tok]) -> bool {
+    let sig: Vec<&Tok> = ty.iter().filter(|t| t.ident() != Some("pub")).collect();
+    if sig.len() >= 2 && sig[0].is_punct('[') && sig[1].ident() == Some("u8") {
+        return true;
+    }
+    sig.len() >= 3
+        && sig[0].ident() == Some("Vec")
+        && sig[1].is_punct('<')
+        && sig[2].ident() == Some("u8")
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: no-variable-time-eq
+// ---------------------------------------------------------------------
+
+/// Identifier words that mark a comparison as authentication-relevant.
+const AUTH_WORDS: &[&str] = &[
+    "sig",
+    "signature",
+    "tag",
+    "mac",
+    "hmac",
+    "digest",
+    "measurement",
+    "token",
+];
+/// Window idents that mark a comparison as structural, not secret.
+const EQ_SUPPRESS: &[&str] = &["len", "is_empty", "count", "capacity"];
+
+fn rule2_in_scope(path: &str) -> bool {
+    path.starts_with("crates/deta-crypto/src/")
+        || path.starts_with("crates/deta-transport/src/")
+        || path.starts_with("crates/deta-sev-sim/src/")
+        || path == "crates/deta-core/src/proxy.rs"
+        || path == "crates/deta-core/src/aggregator.rs"
+}
+
+/// `==`/`!=` on signatures, MAC tags, digests, or measurements leaks how
+/// many leading bytes matched; authentication comparisons must use
+/// `deta_crypto::ct_eq`.
+pub fn no_variable_time_eq(path: &str, toks: &[Tok]) -> Vec<Violation> {
+    if !rule2_in_scope(path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let n = toks.len();
+    for i in 0..n.saturating_sub(1) {
+        let eq = (toks[i].is_punct('=') && toks[i + 1].is_punct('=')
+            // Not the tail of <=, >=, !=, ==, or a compound assign.
+            && !(i > 0
+                && matches!(&toks[i - 1].kind,
+                    TokKind::Punct(c) if "<>!=+-*/%&|^".contains(*c))))
+            || (toks[i].is_punct('!') && toks[i + 1].is_punct('='));
+        if !eq {
+            continue;
+        }
+        let lo = i.saturating_sub(6);
+        let hi = (i + 8).min(n);
+        let window = &toks[lo..hi];
+        if window
+            .iter()
+            .any(|t| t.ident().is_some_and(|id| has_word(id, EQ_SUPPRESS)))
+        {
+            continue;
+        }
+        let trigger = window
+            .iter()
+            .find(|t| t.ident().is_some_and(|id| has_word(id, AUTH_WORDS)));
+        if let Some(t) = trigger {
+            let ident = t.ident().unwrap_or_default().to_string();
+            out.push(Violation {
+                rule: "no-variable-time-eq",
+                path: path.to_string(),
+                line: toks[i].line,
+                ident: ident.clone(),
+                message: format!(
+                    "`==`/`!=` near `{ident}` compares authentication material \
+                     in variable time; use deta_crypto::ct_eq"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: deterministic-iteration
+// ---------------------------------------------------------------------
+
+const RULE3_FILES: &[&str] = &[
+    "mapper.rs",
+    "shuffle.rs",
+    "wire.rs",
+    "transform.rs",
+    "keybroker.rs",
+];
+
+fn rule3_in_scope(path: &str) -> bool {
+    path.contains("/src/") && RULE3_FILES.iter().any(|f| path.ends_with(&format!("/{f}")))
+}
+
+/// Permutation derivation, partition layout, and wire encoding must be
+/// bit-reproducible across every party and aggregator; `HashMap` /
+/// `HashSet` iteration order is randomized per process and silently
+/// breaks `Trans`/`Trans^-1` symmetry. Use `BTreeMap` or vectors.
+pub fn deterministic_iteration(path: &str, toks: &[Tok]) -> Vec<Violation> {
+    if !rule3_in_scope(path) {
+        return Vec::new();
+    }
+    toks.iter()
+        .filter(|t| matches!(t.ident(), Some("HashMap" | "HashSet")))
+        .map(|t| {
+            let ident = t.ident().unwrap_or_default().to_string();
+            Violation {
+                rule: "deterministic-iteration",
+                path: path.to_string(),
+                line: t.line,
+                ident: ident.clone(),
+                message: format!(
+                    "`{ident}` in permutation-critical code has nondeterministic \
+                     iteration order; use BTreeMap/BTreeSet or a Vec"
+                ),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: no-panic-in-aggregation
+// ---------------------------------------------------------------------
+
+const RULE4_FILES: &[&str] = &[
+    "crates/deta-core/src/agg.rs",
+    "crates/deta-core/src/aggregator.rs",
+    "crates/deta-core/src/party.rs",
+    "crates/deta-core/src/proxy.rs",
+    "crates/deta-core/src/mapper.rs",
+    "crates/deta-core/src/wire.rs",
+];
+
+fn rule4_in_scope(path: &str) -> bool {
+    RULE4_FILES.contains(&path) || path.starts_with("crates/deta-transport/src/")
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// A panic in an aggregator, party, proxy, or transport hot path is a
+/// remote denial-of-service: any peer (or byzantine party) that can
+/// reach the code path can take the node down. Protocol code must return
+/// errors; `assert!` of internal invariants is allowed.
+pub fn no_panic_in_aggregation(path: &str, toks: &[Tok]) -> Vec<Violation> {
+    if !rule4_in_scope(path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let n = toks.len();
+    for i in 0..n {
+        let Some(id) = toks[i].ident() else { continue };
+        let method_call = (id == "unwrap" || id == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && i + 1 < n
+            && toks[i + 1].is_punct('(');
+        let macro_call = PANIC_MACROS.contains(&id) && i + 1 < n && toks[i + 1].is_punct('!');
+        if method_call || macro_call {
+            out.push(Violation {
+                rule: "no-panic-in-aggregation",
+                path: path.to_string(),
+                line: toks[i].line,
+                ident: id.to_string(),
+                message: format!(
+                    "`{id}` can panic in a protocol hot path (remote DoS); \
+                     return an error instead"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: no-truncating-cast
+// ---------------------------------------------------------------------
+
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn rule5_in_scope(path: &str) -> bool {
+    path.ends_with("/src/wire.rs")
+}
+
+/// `as` casts to narrow integers silently truncate; on the wire that
+/// corrupts length prefixes and frame layout (a 4 GiB payload whose
+/// `len as u32` wraps decodes as a different message). Use `try_from`.
+pub fn no_truncating_cast(path: &str, toks: &[Tok]) -> Vec<Violation> {
+    if !rule5_in_scope(path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let n = toks.len();
+    for i in 0..n.saturating_sub(1) {
+        if toks[i].ident() != Some("as") {
+            continue;
+        }
+        let Some(ty) = toks[i + 1].ident() else {
+            continue;
+        };
+        if NARROW_TYPES.contains(&ty) {
+            out.push(Violation {
+                rule: "no-truncating-cast",
+                path: path.to_string(),
+                line: toks[i].line,
+                ident: ty.to_string(),
+                message: format!(
+                    "`as {ty}` silently truncates in wire serialization; \
+                     use {ty}::try_from and propagate the error"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Shared balanced-delimiter scan (forwarded to the lexer's helper
+/// semantics, local to avoid exposing lexer internals).
+fn balanced_end(toks: &[Tok], i: usize, open: char, close: char) -> usize {
+    let n = toks.len();
+    let mut depth = 0usize;
+    let mut j = i;
+    // Allow being called either at the opening punct or just before it.
+    while j < n && !toks[j].is_punct(open) {
+        if j > i + 2 {
+            return j;
+        }
+        j += 1;
+    }
+    while j < n {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    n
+}

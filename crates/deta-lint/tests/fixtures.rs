@@ -1,0 +1,260 @@
+//! One positive and one negative fixture per rule: deleting (or
+//! breaking) any rule implementation fails at least one test here.
+
+use deta_lint::check_source;
+
+fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = check_source(path, src).iter().map(|v| v.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// -------------------------------------------------------------------
+// Rule 1: no-secret-debug
+// -------------------------------------------------------------------
+
+#[test]
+fn secret_struct_with_debug_derive_is_flagged() {
+    let src = r#"
+#[derive(Clone, Debug)]
+pub struct SigningKey {
+    x: BigUint,
+}
+"#;
+    let v = check_source("crates/deta-crypto/src/sign.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "no-secret-debug" && v.ident == "SigningKey"));
+}
+
+#[test]
+fn secret_field_of_byte_type_is_flagged() {
+    let src = r#"
+#[derive(Debug)]
+pub struct Channel {
+    pub name: String,
+    send_key: [u8; 32],
+}
+"#;
+    let v = check_source("crates/deta-transport/src/secure.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "no-secret-debug" && v.ident == "send_key"));
+}
+
+#[test]
+fn secret_tuple_struct_wrapping_bytes_is_flagged() {
+    let src = "#[derive(Debug)]\npub struct AeadKey(pub [u8; 32]);\n";
+    let v = check_source("crates/deta-crypto/src/aead.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "no-secret-debug" && v.ident == "AeadKey"));
+}
+
+#[test]
+fn public_key_debug_and_manual_impls_are_fine() {
+    let src = r#"
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyingKey {
+    pub y: BigUint,
+}
+
+pub struct SigningKey {
+    x: BigUint,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SigningKey").finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug)]
+pub struct Frame {
+    pub header: Vec<u8>,
+}
+"#;
+    assert!(rules_hit("crates/deta-crypto/src/sign.rs", src).is_empty());
+}
+
+// -------------------------------------------------------------------
+// Rule 2: no-variable-time-eq
+// -------------------------------------------------------------------
+
+#[test]
+fn tag_equality_is_flagged() {
+    let src = r#"
+pub fn open(expected_tag: &[u8], tag: &[u8]) -> bool {
+    if expected_tag == tag {
+        return true;
+    }
+    false
+}
+"#;
+    let v = check_source("crates/deta-crypto/src/aead.rs", src);
+    assert!(v.iter().any(|v| v.rule == "no-variable-time-eq"));
+}
+
+#[test]
+fn measurement_inequality_is_flagged() {
+    let src = "fn verify(want: [u8; 32], m: &Report) -> bool { want != m.measurement }\n";
+    let v = check_source("crates/deta-sev-sim/src/lib.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "no-variable-time-eq" && v.ident == "measurement"));
+}
+
+#[test]
+fn length_checks_and_out_of_scope_files_are_fine() {
+    // `len` in the window marks a structural comparison.
+    let src = "fn f(sig: &[u8]) -> bool { sig.len() == 64 }\n";
+    assert!(rules_hit("crates/deta-crypto/src/sign.rs", src).is_empty());
+    // ct_eq'd comparison has no == token at all.
+    let src2 = "fn f(tag: &[u8], e: &[u8]) -> bool { ct_eq(tag, e) }\n";
+    assert!(rules_hit("crates/deta-crypto/src/aead.rs", src2).is_empty());
+    // The same tag comparison outside the auth scope is not this rule's
+    // business (e.g. dataset code comparing label tags).
+    let src3 = "fn f(tag: u32, other: u32) -> bool { tag == other }\n";
+    assert!(rules_hit("crates/deta-datasets/src/lib.rs", src3).is_empty());
+}
+
+// -------------------------------------------------------------------
+// Rule 3: deterministic-iteration
+// -------------------------------------------------------------------
+
+#[test]
+fn hashmap_in_mapper_is_flagged() {
+    let src = "use std::collections::HashMap;\npub struct M { parts: HashMap<u32, u32> }\n";
+    let v = check_source("crates/deta-core/src/mapper.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "deterministic-iteration" && v.ident == "HashMap"));
+}
+
+#[test]
+fn hashset_in_shuffle_is_flagged() {
+    let src = "use std::collections::HashSet;\n";
+    let v = check_source("crates/deta-core/src/shuffle.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "deterministic-iteration" && v.ident == "HashSet"));
+}
+
+#[test]
+fn btreemap_in_scope_and_hashmap_out_of_scope_are_fine() {
+    let src = "use std::collections::BTreeMap;\npub struct M { parts: BTreeMap<u32, u32> }\n";
+    assert!(rules_hit("crates/deta-core/src/mapper.rs", src).is_empty());
+    // party.rs is allowed to use HashMap (its iteration never feeds the
+    // permutation).
+    let src2 = "use std::collections::HashMap;\n";
+    assert!(rules_hit("crates/deta-core/src/party.rs", src2).is_empty());
+}
+
+// -------------------------------------------------------------------
+// Rule 4: no-panic-in-aggregation
+// -------------------------------------------------------------------
+
+#[test]
+fn unwrap_in_aggregator_is_flagged() {
+    let src = "pub fn pump(&mut self) { let x = self.pending.remove(&r).unwrap(); }\n";
+    let v = check_source("crates/deta-core/src/aggregator.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "no-panic-in-aggregation" && v.ident == "unwrap"));
+}
+
+#[test]
+fn expect_and_panic_macros_are_flagged() {
+    let src = r#"
+pub fn handle(&mut self) {
+    let r = self.current.expect("no round");
+    match r {
+        0 => panic!("zero"),
+        _ => unreachable!(),
+    }
+}
+"#;
+    let v = check_source("crates/deta-core/src/party.rs", src);
+    let idents: Vec<&str> = v
+        .iter()
+        .filter(|v| v.rule == "no-panic-in-aggregation")
+        .map(|v| v.ident.as_str())
+        .collect();
+    assert!(idents.contains(&"expect"));
+    assert!(idents.contains(&"panic"));
+    assert!(idents.contains(&"unreachable"));
+}
+
+#[test]
+fn test_code_asserts_and_nonpanicking_variants_are_fine() {
+    // unwrap inside #[cfg(test)] mod tests is excluded.
+    let src = r#"
+pub fn live() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u32> = None;
+        x.unwrap();
+        panic!("fine in tests");
+    }
+}
+"#;
+    assert!(rules_hit("crates/deta-core/src/aggregator.rs", src).is_empty());
+    // assert! states internal invariants and stays allowed.
+    let src2 = "pub fn f(n: usize) { assert!(n > 0, \"need parties\"); }\n";
+    assert!(rules_hit("crates/deta-core/src/party.rs", src2).is_empty());
+    // unwrap_or_else is the sanctioned poison-recovery idiom.
+    let src3 =
+        "fn lock(m: &Mutex<u32>) { m.lock().unwrap_or_else(std::sync::PoisonError::into_inner); }\n";
+    assert!(rules_hit("crates/deta-transport/src/lib.rs", src3).is_empty());
+    // Out-of-scope files may unwrap.
+    let src4 = "pub fn f() { x.unwrap(); }\n";
+    assert!(rules_hit("crates/deta-core/src/session.rs", src4).is_empty());
+}
+
+// -------------------------------------------------------------------
+// Rule 5: no-truncating-cast
+// -------------------------------------------------------------------
+
+#[test]
+fn narrowing_cast_in_wire_is_flagged() {
+    let src = "fn put_len(out: &mut Vec<u8>, len: usize) { let n = len as u32; }\n";
+    let v = check_source("crates/deta-core/src/wire.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "no-truncating-cast" && v.ident == "u32"));
+}
+
+#[test]
+fn widening_casts_try_from_and_other_files_are_fine() {
+    let src = "fn get(n: u32) -> usize { n as usize }\nfn put(n: u32) -> u64 { n as u64 }\n";
+    assert!(rules_hit("crates/deta-core/src/wire.rs", src).is_empty());
+    let src2 = "fn put_len(len: usize) -> Result<u32, E> { u32::try_from(len).map_err(E::from) }\n";
+    assert!(rules_hit("crates/deta-core/src/wire.rs", src2).is_empty());
+    // Numeric work elsewhere may narrow deliberately.
+    let src3 = "fn quantize(x: f32) -> u8 { (x * 255.0) as u8 }\n";
+    assert!(rules_hit("crates/deta-tensor/src/lib.rs", src3).is_empty());
+}
+
+// -------------------------------------------------------------------
+// Cross-cutting: literals and comments can never trigger rules.
+// -------------------------------------------------------------------
+
+#[test]
+fn rule_tokens_inside_literals_and_comments_are_inert() {
+    let src = r##"
+// A comment mentioning x.unwrap() and panic!().
+/* block comment: measurement == forged */
+pub fn doc() -> &'static str {
+    "call .unwrap() or compare tag == expected"
+}
+pub fn raw() -> &'static str {
+    r#"HashMap iteration, len as u32, expect("boom")"#
+}
+"##;
+    assert!(rules_hit("crates/deta-core/src/wire.rs", src).is_empty());
+    assert!(rules_hit("crates/deta-core/src/aggregator.rs", src).is_empty());
+    assert!(rules_hit("crates/deta-crypto/src/aead.rs", src).is_empty());
+}

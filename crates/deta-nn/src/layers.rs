@@ -228,8 +228,8 @@ impl Layer for Conv2d {
             // db += row sums of gy.
             {
                 let gbd = self.gb.data_mut();
-                for c in 0..self.out_c {
-                    gbd[c] += gy.data()[c * cols_n..(c + 1) * cols_n].iter().sum::<f32>();
+                for (c, g) in gbd.iter_mut().enumerate().take(self.out_c) {
+                    *g += gy.data()[c * cols_n..(c + 1) * cols_n].iter().sum::<f32>();
                 }
             }
             // dCols = W^T gy; dX = col2im(dCols).
@@ -387,7 +387,10 @@ impl MaxPool2d {
     ///
     /// Panics if `h` or `w` is odd.
     pub fn new(c: usize, h: usize, w: usize) -> MaxPool2d {
-        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2d requires even H and W");
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "MaxPool2d requires even H and W"
+        );
         MaxPool2d {
             c,
             h,
@@ -489,7 +492,10 @@ impl AvgPool2d {
     ///
     /// Panics if `h` or `w` is odd.
     pub fn new(c: usize, h: usize, w: usize) -> AvgPool2d {
-        assert!(h % 2 == 0 && w % 2 == 0, "AvgPool2d requires even H and W");
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "AvgPool2d requires even H and W"
+        );
         AvgPool2d { c, h, w }
     }
 

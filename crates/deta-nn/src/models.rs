@@ -35,7 +35,10 @@ pub fn mlp(dims: &[usize], rng: &mut DetRng) -> Sequential {
 ///
 /// `hw` is the (square) input resolution; channels default to 1.
 pub fn convnet8(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
-    assert!(hw % 4 == 0, "convnet8 needs resolution divisible by 4");
+    assert!(
+        hw.is_multiple_of(4),
+        "convnet8 needs resolution divisible by 4"
+    );
     let h2 = hw / 2;
     let h4 = hw / 4;
     Sequential::new()
@@ -52,7 +55,10 @@ pub fn convnet8(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Seq
 
 /// The 23-layer CIFAR-10 ConvNet from the paper's Figure 6 experiments.
 pub fn convnet23(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
-    assert!(hw % 8 == 0, "convnet23 needs resolution divisible by 8");
+    assert!(
+        hw.is_multiple_of(8),
+        "convnet23 needs resolution divisible by 8"
+    );
     let h2 = hw / 2;
     let h4 = hw / 4;
     let h8 = hw / 8;
@@ -89,7 +95,10 @@ pub fn convnet23(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Se
 /// are excluded from training and from the flat parameter vector), and the
 /// three-layer classifier head is trainable.
 pub fn vgg_lite(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
-    assert!(hw % 4 == 0, "vgg_lite needs resolution divisible by 4");
+    assert!(
+        hw.is_multiple_of(4),
+        "vgg_lite needs resolution divisible by 4"
+    );
     let h2 = hw / 2;
     let h4 = hw / 4;
     Sequential::new()
@@ -114,7 +123,7 @@ pub fn vgg_lite(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Seq
 /// Stands in for the ResNet-18 class of architectures the paper's IG
 /// experiments target, at CPU scale.
 pub fn resnet_lite(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
-    assert!(hw % 2 == 0, "resnet_lite needs even resolution");
+    assert!(hw.is_multiple_of(2), "resnet_lite needs even resolution");
     let h2 = hw / 2;
     let block = |c: usize, s: usize, rng: &mut DetRng| {
         Residual::new(
@@ -137,7 +146,10 @@ pub fn resnet_lite(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> 
 /// Uses Tanh activations and strided convolutions (no pooling), matching
 /// the twice-differentiable architecture the attacks require.
 pub fn lenet_dlg(in_c: usize, hw: usize, classes: usize, rng: &mut DetRng) -> Sequential {
-    assert!(hw % 4 == 0, "lenet_dlg needs resolution divisible by 4");
+    assert!(
+        hw.is_multiple_of(4),
+        "lenet_dlg needs resolution divisible by 4"
+    );
     let h2 = hw / 2;
     let h4 = hw / 4;
     Sequential::new()

@@ -1,0 +1,211 @@
+//! A minimal deterministic property-testing helper.
+//!
+//! The workspace builds fully offline, so the `proptest` crate is not
+//! available; this crate provides the small subset of its functionality
+//! the DeTA test suites use: run a closure over many generated inputs
+//! and report the failing case reproducibly.
+//!
+//! Design points:
+//!
+//! * **Determinism.** Every case's generator is a [`DetRng`] forked from
+//!   a hash of the property name and the case index, so a failure
+//!   reported as `property "x", case 17` reproduces exactly — on any
+//!   machine, in any test order, with no seed file.
+//! * **No shrinking.** Cases are generated small-ish by construction
+//!   (generators take explicit size ranges); the failing case is
+//!   re-runnable directly, which has proven enough for this codebase.
+//! * **Plain assertions.** Properties use `assert!`/`assert_eq!`; the
+//!   runner catches the panic, prints the case number, and re-raises.
+//!
+//! ```
+//! use deta_proptest::{cases, Gen};
+//!
+//! cases("addition commutes", 64, |g: &mut Gen| {
+//!     let (a, b) = (g.u32() as u64, g.u32() as u64);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+pub use deta_crypto::DetRng;
+
+/// Per-case input generator: a thin convenience wrapper over [`DetRng`].
+pub struct Gen {
+    rng: DetRng,
+}
+
+impl Gen {
+    /// Builds a generator for one case (exposed for re-running a single
+    /// failing case by hand).
+    pub fn for_case(property: &str, case: u64) -> Gen {
+        let rng = DetRng::from_entropy(property.as_bytes()).fork_indexed(b"case", case);
+        Gen { rng }
+    }
+
+    /// Direct access to the underlying RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    /// Uniform `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.rng.next_u32() as u16
+    }
+
+    /// Uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u32() as u8
+    }
+
+    /// Uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_bool(0.5)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.rng.gen_range(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.rng.next_f32() * (hi - lo)
+    }
+
+    /// An arbitrary `f32` bit pattern — includes negative zero, both
+    /// infinities, NaNs, and subnormals (what `any::<f32>()` exercised).
+    pub fn f32_any(&mut self) -> f32 {
+        f32::from_bits(self.rng.next_u32())
+    }
+
+    /// A byte vector with length drawn from `[lo, hi)`.
+    pub fn bytes(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        let len = self.usize_in(lo, hi);
+        let mut out = vec![0u8; len];
+        self.rng.fill_bytes(&mut out);
+        out
+    }
+
+    /// A fixed-size byte array.
+    pub fn array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        self.rng.fill_bytes(&mut out);
+        out
+    }
+
+    /// A vector with length drawn from `[lo, hi)`, elements from `f`.
+    pub fn vec_of<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let len = self.usize_in(lo, hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A string of length in `[lo, hi)` over the given alphabet.
+    pub fn string_of(&mut self, alphabet: &str, lo: usize, hi: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        assert!(!chars.is_empty(), "empty alphabet");
+        let len = self.usize_in(lo, hi);
+        (0..len)
+            .map(|_| chars[self.usize_in(0, chars.len())])
+            .collect()
+    }
+}
+
+/// Runs `property` over `n` deterministic cases.
+///
+/// Case counts are overridable globally via `DETA_PROPTEST_CASES` (e.g.
+/// to crank coverage up in a nightly run or down while iterating).
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing which case failed.
+pub fn cases(name: &str, n: u64, mut property: impl FnMut(&mut Gen)) {
+    let n = std::env::var("DETA_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(n);
+    for case in 0..n {
+        // The panic is re-raised immediately, so observing the closure's
+        // captures in a broken state is impossible; AssertUnwindSafe
+        // keeps the API ergonomic (properties may capture anything).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Gen::for_case(name, case);
+            property(&mut g);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property {name:?} failed at case {case}/{n} (deterministic; rerun reproduces it)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        for case in 0..5 {
+            first.push(Gen::for_case("det", case).u64());
+        }
+        for (case, want) in first.iter().enumerate() {
+            assert_eq!(Gen::for_case("det", case as u64).u64(), *want);
+        }
+        // Distinct properties draw distinct streams.
+        assert_ne!(
+            Gen::for_case("det", 0).u64(),
+            Gen::for_case("other", 0).u64()
+        );
+    }
+
+    #[test]
+    fn ranges_respected() {
+        cases("ranges", 200, |g| {
+            let v = g.u64_in(10, 20);
+            assert!((10..20).contains(&v));
+            let f = g.f32_in(-2.0, 3.0);
+            assert!((-2.0..3.5).contains(&f));
+            let s = g.string_of("abc", 1, 4);
+            assert!((1..4).contains(&s.len()));
+            assert!(s.chars().all(|c| "abc".contains(c)));
+            let b = g.bytes(0, 9);
+            assert!(b.len() < 9);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn failures_propagate() {
+        cases("always-fails", 3, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn f32_any_hits_special_values_eventually() {
+        let mut saw_negative = false;
+        let mut saw_non_finite = false;
+        cases("f32-any", 300, |g| {
+            let v = g.f32_any();
+            saw_negative |= v.is_sign_negative();
+            saw_non_finite |= !v.is_finite();
+        });
+        assert!(saw_negative);
+        assert!(saw_non_finite);
+    }
+}

@@ -50,9 +50,15 @@ pub use cert::{CertChain, Certificate};
 use deta_crypto::dh::{EphemeralSecret, PublicKey as DhPublicKey};
 use deta_crypto::sha256::sha256_concat;
 use deta_crypto::{open, seal, AeadKey, DetRng, Nonce, Signature, SigningKey, VerifyingKey};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks the CVM state, recovering the data from a poisoned lock (guest
+/// state stays consistent across every critical section, so a panic on
+/// another thread never leaves it half-updated).
+fn lock(m: &Mutex<CvmState>) -> MutexGuard<'_, CvmState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The SEV API version this simulator models (the paper uses 0.22).
 pub const SEV_API_VERSION: (u8, u8) = (0, 22);
@@ -323,7 +329,9 @@ impl AttestationReport {
             return Err(SevError::BadReportSignature);
         }
         let want = expected.measurement();
-        if want != self.measurement {
+        // Constant-time digest comparison: verification timing must not
+        // reveal how close a forged measurement came to the reference.
+        if !deta_crypto::ct_eq(&want, &self.measurement) {
             return Err(SevError::MeasurementMismatch {
                 expected: want,
                 reported: self.measurement,
@@ -444,7 +452,7 @@ impl Platform {
 }
 
 /// A secret sealed to a platform's PDH key for launch injection.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SealedSecret {
     /// Label under which the guest will find the secret.
     pub label: String,
@@ -454,34 +462,50 @@ pub struct SealedSecret {
     pub sealed: Vec<u8>,
 }
 
+impl std::fmt::Debug for SealedSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Ciphertext bytes stay out of logs: even sealed material should
+        // not be copy-pasteable from debug output.
+        f.debug_struct("SealedSecret")
+            .field("label", &self.label)
+            .field("sealed", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
 impl SealedSecret {
     /// Seals `secret` to the platform identified by `report`, binding the
     /// transport key to the report nonce.
     ///
     /// This is what the attestation proxy does after verifying a report
     /// (the paper's "launch blob with a packaged secret").
+    ///
+    /// # Errors
+    ///
+    /// Fails if the report's PDH public key is not a valid group element
+    /// (a malformed or malicious report).
     pub fn seal_to(
         report: &AttestationReport,
         label: &str,
         secret: &[u8],
         rng: &mut DetRng,
-    ) -> SealedSecret {
+    ) -> Result<SealedSecret, SevError> {
         let eph = EphemeralSecret::generate(rng);
         let sender_pub = eph.public_key();
         let key = eph
             .agree(&report.pdh_pub, &report.nonce)
-            .expect("report PDH key must be valid");
+            .map_err(|_| SevError::BadCertChain("report PDH key invalid"))?;
         let sealed = seal(
             &AeadKey(key),
             &Nonce::from_parts(0x5ec, 0),
             label.as_bytes(),
             secret,
         );
-        SealedSecret {
+        Ok(SealedSecret {
             label: label.to_string(),
             sender_pub,
             sealed,
-        }
+        })
     }
 }
 
@@ -582,7 +606,7 @@ impl Cvm {
     /// VEK. Two snapshots of identical memory differ only if memory
     /// changed (deterministic nonce per snapshot length/asid).
     pub fn host_memory_image(&self) -> Vec<u8> {
-        let state = self.inner.lock();
+        let state = lock(&self.inner);
         seal(
             &self.vek,
             &Nonce::from_parts(self.asid, 0),
@@ -600,7 +624,7 @@ impl Cvm {
     /// worst case for *all* aggregators and shows the attacker still
     /// cannot reconstruct training data.
     pub fn breach(&self) -> BreachDump {
-        let state = self.inner.lock();
+        let state = lock(&self.inner);
         let mut secrets: Vec<(String, Vec<u8>)> = state
             .secrets
             .iter()
@@ -617,22 +641,22 @@ impl Cvm {
 impl GuestView<'_> {
     /// Reads a secret injected at launch.
     pub fn secret(&self, label: &str) -> Option<Vec<u8>> {
-        self.cvm.inner.lock().secrets.get(label).cloned()
+        lock(&self.cvm.inner).secrets.get(label).cloned()
     }
 
     /// Reads guest memory.
     pub fn read(&self) -> Vec<u8> {
-        self.cvm.inner.lock().memory.clone()
+        lock(&self.cvm.inner).memory.clone()
     }
 
     /// Replaces guest memory contents.
     pub fn write(&self, data: &[u8]) {
-        self.cvm.inner.lock().memory = data.to_vec();
+        lock(&self.cvm.inner).memory = data.to_vec();
     }
 
     /// Appends to guest memory.
     pub fn append(&self, data: &[u8]) {
-        self.cvm.inner.lock().memory.extend_from_slice(data);
+        lock(&self.cvm.inner).memory.extend_from_slice(data);
     }
 }
 
@@ -767,7 +791,8 @@ mod tests {
         let (ras, mut platform, image, mut rng) = setup();
         let (mut ctx, report) = platform.launch_measure(&image);
         report.verify(&ras.root_certs(), &image).unwrap();
-        let blob = SealedSecret::seal_to(&report, "auth-token", b"ecdsa-key-bytes", &mut rng);
+        let blob =
+            SealedSecret::seal_to(&report, "auth-token", b"ecdsa-key-bytes", &mut rng).unwrap();
         ctx.inject_secret(&blob, &report.nonce).unwrap();
         let cvm = ctx.finish();
         // Guest sees the secret.
@@ -786,7 +811,7 @@ mod tests {
     fn tampered_secret_blob_rejected() {
         let (_, mut platform, image, mut rng) = setup();
         let (mut ctx, report) = platform.launch_measure(&image);
-        let mut blob = SealedSecret::seal_to(&report, "auth-token", b"secret", &mut rng);
+        let mut blob = SealedSecret::seal_to(&report, "auth-token", b"secret", &mut rng).unwrap();
         blob.sealed[0] ^= 1;
         assert_eq!(
             ctx.inject_secret(&blob, &report.nonce),
@@ -801,7 +826,7 @@ mod tests {
         let (_, mut platform, image, mut rng) = setup();
         let (_ctx_a, report_a) = platform.launch_measure(&image);
         let (mut ctx_b, report_b) = platform.launch_measure(&image);
-        let blob = SealedSecret::seal_to(&report_a, "auth-token", b"secret", &mut rng);
+        let blob = SealedSecret::seal_to(&report_a, "auth-token", b"secret", &mut rng).unwrap();
         assert_eq!(
             ctx_b.inject_secret(&blob, &report_b.nonce),
             Err(SevError::SecretUnsealFailed)
@@ -825,7 +850,7 @@ mod tests {
         let (ras, mut platform, image, mut rng) = setup();
         let (mut ctx, report) = platform.launch_measure(&image);
         report.verify(&ras.root_certs(), &image).unwrap();
-        let blob = SealedSecret::seal_to(&report, "auth-token", b"token-123", &mut rng);
+        let blob = SealedSecret::seal_to(&report, "auth-token", b"token-123", &mut rng).unwrap();
         ctx.inject_secret(&blob, &report.nonce).unwrap();
         let cvm = ctx.finish();
         cvm.guest().write(b"fragmented-shuffled-update");

@@ -245,8 +245,8 @@ impl Tensor {
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; n];
         for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data[i * n + j];
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self.data[i * n + j];
             }
         }
         Tensor {

@@ -34,11 +34,18 @@ pub mod secure;
 
 pub use secure::{HandshakeInitiator, SecureChannel, TransportError};
 
-use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Locks a mutex, recovering the data from a poisoned lock.
+///
+/// A panic on another thread while holding the lock poisons it; the
+/// queue state itself is always valid (every critical section leaves it
+/// consistent), so recovery is safe and keeps the network usable.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A received message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,7 +53,7 @@ pub struct Message {
     /// Sender endpoint name.
     pub from: String,
     /// Payload bytes.
-    pub payload: Bytes,
+    pub payload: Vec<u8>,
 }
 
 /// Link cost model: `time = base_s + bytes / bytes_per_s`.
@@ -145,7 +152,7 @@ impl Network {
     /// Panics if the name is already registered (endpoint names are
     /// protocol identities; accidental reuse is a bug).
     pub fn register(&self, name: &str) -> Endpoint {
-        let mut st = self.state.lock();
+        let mut st = lock(&self.state);
         let prev = st.queues.insert(name.to_string(), VecDeque::new());
         assert!(prev.is_none(), "endpoint {name:?} already registered");
         Endpoint {
@@ -156,16 +163,16 @@ impl Network {
 
     /// Returns a snapshot of the traffic statistics.
     pub fn stats(&self) -> NetStats {
-        self.state.lock().stats.clone()
+        lock(&self.state).stats.clone()
     }
 
     /// Resets the traffic statistics (e.g. between training rounds).
     pub fn reset_stats(&self) {
-        self.state.lock().stats = NetStats::default();
+        lock(&self.state).stats = NetStats::default();
     }
 
-    fn send(&self, from: &str, to: &str, payload: Bytes) -> Result<(), NetError> {
-        let mut st = self.state.lock();
+    fn send(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
+        let mut st = lock(&self.state);
         let len = payload.len();
         let t = self.link.transfer_time(len);
         let queue = st
@@ -185,12 +192,12 @@ impl Network {
     }
 
     fn recv(&self, name: &str) -> Option<Message> {
-        self.state.lock().queues.get_mut(name)?.pop_front()
+        lock(&self.state).queues.get_mut(name)?.pop_front()
     }
 
     fn recv_timeout(&self, name: &str, timeout: Duration) -> Option<Message> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut st = self.state.lock();
+        let mut st = lock(&self.state);
         loop {
             if let Some(msg) = st.queues.get_mut(name).and_then(VecDeque::pop_front) {
                 return Some(msg);
@@ -199,7 +206,12 @@ impl Network {
             if remaining.is_zero() {
                 return None;
             }
-            if self.arrivals.wait_for(&mut st, remaining).timed_out() {
+            let (guard, result) = self
+                .arrivals
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+            if result.timed_out() {
                 return None;
             }
         }
@@ -220,7 +232,7 @@ impl Endpoint {
     }
 
     /// Sends `payload` to the endpoint named `to`.
-    pub fn send(&self, to: &str, payload: impl Into<Bytes>) -> Result<(), NetError> {
+    pub fn send(&self, to: &str, payload: impl Into<Vec<u8>>) -> Result<(), NetError> {
         self.network.send(&self.name, to, payload.into())
     }
 
@@ -241,7 +253,7 @@ impl Endpoint {
     /// back of the queue) — callers in this codebase drive strict
     /// request/response flows, so a mismatch indicates a protocol bug and
     /// is surfaced as `None` after requeueing.
-    pub fn recv_from(&self, from: &str) -> Option<Bytes> {
+    pub fn recv_from(&self, from: &str) -> Option<Vec<u8>> {
         let msg = self.recv()?;
         if msg.from == from {
             Some(msg.payload)

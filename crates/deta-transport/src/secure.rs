@@ -189,7 +189,9 @@ fn derive_channel(secret: &[u8; 32], nonce: &[u8; 16], initiator: bool) -> Secur
     let mut k_r2i = [0u8; 32];
     k_i2r.copy_from_slice(&okm[..32]);
     k_r2i.copy_from_slice(&okm[32..64]);
-    let channel_id = u32::from_le_bytes(okm[64..68].try_into().unwrap());
+    let mut id_bytes = [0u8; 4];
+    id_bytes.copy_from_slice(&okm[64..68]);
+    let channel_id = u32::from_le_bytes(id_bytes);
     let (send, recv) = if initiator {
         (k_i2r, k_r2i)
     } else {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests (including the deta-lint clean check in
+# tests/lint_clean.rs), formatting, and clippy with warnings as errors.
+# Run from anywhere inside the workspace; requires no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> all checks passed"

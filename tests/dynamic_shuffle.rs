@@ -36,9 +36,9 @@ fn slotwise_corr(shuffled: &[Vec<f32>]) -> f64 {
     let mut da = 0.0f64;
     let mut db = 0.0f64;
     for t in 0..shuffled.len() - 1 {
-        for i in 0..n {
-            let a = shuffled[t][i] as f64;
-            let b = shuffled[t + 1][i] as f64;
+        for (x, y) in shuffled[t].iter().zip(&shuffled[t + 1]).take(n) {
+            let a = *x as f64;
+            let b = *y as f64;
             num += a * b;
             da += a * a;
             db += b * b;

@@ -7,7 +7,7 @@ use deta::core::mapper::ModelMapper;
 use deta::core::shuffle::RoundPermutation;
 use deta::core::transform::{TransformConfig, Transformer};
 use deta::crypto::DetRng;
-use proptest::prelude::*;
+use deta_proptest::{cases, Gen};
 
 /// Aggregates through the DeTA pipeline: transform every party's update,
 /// aggregate each fragment independently, then inverse-transform.
@@ -37,77 +37,79 @@ fn aggregate_via_deta(
     t.inverse(&agg_fragments, &tid)
 }
 
-fn updates_strategy() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<f32>)> {
-    // 2-5 parties, 8-60 parameters, finite values, positive weights.
-    (2usize..=5, 8usize..=60).prop_flat_map(|(parties, n)| {
-        let update = proptest::collection::vec(-100.0f32..100.0, n);
-        let updates = proptest::collection::vec(update, parties);
-        let weights = proptest::collection::vec(0.1f32..10.0, parties);
-        (updates, weights)
-    })
+/// Draws 2-5 parties, 8-60 parameters, finite values, positive weights.
+fn updates_and_weights(g: &mut Gen) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let parties = g.usize_in(2, 6);
+    let n = g.usize_in(8, 61);
+    let updates = (0..parties)
+        .map(|_| (0..n).map(|_| g.f32_in(-100.0, 100.0)).collect())
+        .collect();
+    let weights = (0..parties).map(|_| g.f32_in(0.1, 10.0)).collect();
+    (updates, weights)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn averaging_invariant(
-        (updates, weights) in updates_strategy(),
-        n_aggs in 1usize..=4,
-        seed in 0u64..1000,
-        shuffle in any::<bool>(),
-    ) {
+#[test]
+fn averaging_invariant() {
+    cases("averaging_invariant", 64, |g| {
+        let (updates, weights) = updates_and_weights(g);
+        let n_aggs = g.usize_in(1, 5);
+        let seed = g.u64_in(0, 1000);
+        let shuffle = g.bool();
         let alg = AggKind::IterativeAveraging.build();
         let plain = alg.aggregate(&updates, &weights);
         let via = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, seed, shuffle);
-        prop_assert_eq!(plain, via);
-    }
+        assert_eq!(plain, via);
+    });
+}
 
-    #[test]
-    fn sum_invariant(
-        (updates, weights) in updates_strategy(),
-        n_aggs in 1usize..=4,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn sum_invariant() {
+    cases("sum_invariant", 64, |g| {
+        let (updates, weights) = updates_and_weights(g);
+        let n_aggs = g.usize_in(1, 5);
+        let seed = g.u64_in(0, 1000);
         let alg = AggKind::GradientSum.build();
         let plain = alg.aggregate(&updates, &weights);
         let via = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, seed, true);
-        prop_assert_eq!(plain, via);
-    }
+        assert_eq!(plain, via);
+    });
+}
 
-    #[test]
-    fn median_invariant(
-        (updates, weights) in updates_strategy(),
-        n_aggs in 1usize..=4,
-        seed in 0u64..1000,
-        shuffle in any::<bool>(),
-    ) {
+#[test]
+fn median_invariant() {
+    cases("median_invariant", 64, |g| {
+        let (updates, weights) = updates_and_weights(g);
+        let n_aggs = g.usize_in(1, 5);
+        let seed = g.u64_in(0, 1000);
+        let shuffle = g.bool();
         let alg = AggKind::CoordinateMedian.build();
         let plain = alg.aggregate(&updates, &weights);
         let via = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, seed, shuffle);
-        prop_assert_eq!(plain, via);
-    }
+        assert_eq!(plain, via);
+    });
+}
 
-    #[test]
-    fn trimmed_mean_invariant(
-        (updates, weights) in updates_strategy(),
-        n_aggs in 1usize..=4,
-        seed in 0u64..1000,
-        shuffle in any::<bool>(),
-    ) {
+#[test]
+fn trimmed_mean_invariant() {
+    cases("trimmed_mean_invariant", 64, |g| {
+        let (updates, weights) = updates_and_weights(g);
+        let n_aggs = g.usize_in(1, 5);
+        let seed = g.u64_in(0, 1000);
+        let shuffle = g.bool();
         let trim = (updates.len() - 1) / 2;
         let alg = AggKind::TrimmedMean { trim }.build();
         let plain = alg.aggregate(&updates, &weights);
         let via = aggregate_via_deta(&updates, &weights, alg.as_ref(), n_aggs, seed, shuffle);
-        prop_assert_eq!(plain, via);
-    }
+        assert_eq!(plain, via);
+    });
+}
 
-    #[test]
-    fn permutation_preserves_l2_distances(
-        a in proptest::collection::vec(-50.0f32..50.0, 4..40),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn permutation_preserves_l2_distances() {
+    cases("permutation_preserves_l2_distances", 64, |g| {
         // The property FLAME/Krum rely on: shuffling is an isometry.
+        let a = g.vec_of(4, 40, |g| g.f32_in(-50.0, 50.0));
+        let seed = g.u64_in(0, 1000);
         let b: Vec<f32> = a.iter().map(|v| v * 0.5 + 1.0).collect();
         let key = [seed as u8; 32];
         let p = RoundPermutation::derive(&key, &[2u8; 16], 0, a.len());
@@ -116,24 +118,24 @@ proptest! {
         };
         let before = d(&a, &b);
         let after = d(&p.apply(&a), &p.apply(&b));
-        prop_assert!((before - after).abs() < 1e-6 * before.max(1.0));
-    }
+        assert!((before - after).abs() < 1e-6 * before.max(1.0));
+    });
+}
 
-    #[test]
-    fn mapper_partition_is_a_partition(
-        n in 1usize..200,
-        k in 1usize..6,
-        seed in 0u64..1000,
-    ) {
-        let k = k.min(n);
+#[test]
+fn mapper_partition_is_a_partition() {
+    cases("mapper_partition_is_a_partition", 64, |g| {
+        let n = g.usize_in(1, 200);
+        let k = g.usize_in(1, 6).min(n);
+        let seed = g.u64_in(0, 1000);
         let mapper = ModelMapper::generate(n, k, None, &mut DetRng::from_u64(seed));
         let update: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let frags = mapper.partition(&update);
         // Every element appears exactly once across fragments.
         let mut all: Vec<f32> = frags.into_iter().flatten().collect();
-        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert_eq!(all, update);
-    }
+        all.sort_by(f32::total_cmp);
+        assert_eq!(all, update);
+    });
 }
 
 #[test]

@@ -1,0 +1,17 @@
+//! Enforces the deta-lint invariants as part of `cargo test`: the
+//! workspace must lint clean (modulo the justified suppressions in
+//! `lint-allow.toml`, which themselves must all still match something).
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = deta_lint::run_lint(root).expect("lint run failed");
+    assert!(
+        report.clean(),
+        "deta-lint found problems:\n{report}\n\n\
+         Fix the code, or (only with justification) add an entry to lint-allow.toml."
+    );
+    assert!(report.files_scanned > 0, "lint scanned no files");
+}

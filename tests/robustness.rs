@@ -8,7 +8,7 @@ use deta::core::wire::Msg;
 use deta::crypto::DetRng;
 use deta::sev_sim::{AmdRas, GuestImage, Platform};
 use deta::transport::{LinkModel, Network};
-use proptest::prelude::*;
+use deta_proptest::cases;
 
 fn aggregator(net: &Network, rng: &mut DetRng) -> AggregatorNode {
     let ras = AmdRas::new(&mut rng.fork(b"ras"));
@@ -27,16 +27,10 @@ fn aggregator(net: &Network, rng: &mut DetRng) -> AggregatorNode {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn aggregator_survives_garbage_frames(
-        frames in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..200),
-            1..20,
-        ),
-    ) {
+#[test]
+fn aggregator_survives_garbage_frames() {
+    cases("aggregator_survives_garbage_frames", 32, |g| {
+        let frames = g.vec_of(1, 20, |g| g.bytes(0, 200));
         let net = Network::new(LinkModel::lan());
         let mut rng = DetRng::from_u64(91);
         let mut agg = aggregator(&net, &mut rng);
@@ -46,37 +40,47 @@ proptest! {
         }
         // Must drain everything without panicking and register nobody.
         agg.pump();
-        prop_assert_eq!(agg.registered_parties(), 0);
-        prop_assert_eq!(agg.completed_rounds, 0);
-    }
+        assert_eq!(agg.registered_parties(), 0);
+        assert_eq!(agg.completed_rounds, 0);
+    });
+}
 
-    #[test]
-    fn aggregator_survives_wellformed_but_unauthenticated_messages(
-        round in any::<u64>(),
-        fragment in proptest::collection::vec(any::<f32>(), 0..32),
-        party in "[a-z]{1,8}",
-        weight in any::<f32>(),
-    ) {
-        // Wire-valid messages that skip the handshake: sealed records
-        // cannot decrypt (no channel), registrations arrive outside a
-        // channel, uploads reference no session. All must be ignored.
-        let net = Network::new(LinkModel::lan());
-        let mut rng = DetRng::from_u64(92);
-        let mut agg = aggregator(&net, &mut rng);
-        let attacker = net.register("attacker");
-        for msg in [
-            Msg::Record { sealed: fragment.iter().flat_map(|f| f.to_le_bytes()).collect() },
-            Msg::Register { party, weight },
-            Msg::Upload { round, fragment: fragment.clone() },
-            Msg::RegisterAck,
-            Msg::SyncDone { round },
-        ] {
-            attacker.send("agg-0", msg.encode()).unwrap();
-        }
-        agg.pump();
-        prop_assert_eq!(agg.registered_parties(), 0);
-        prop_assert_eq!(agg.completed_rounds, 0);
-    }
+#[test]
+fn aggregator_survives_wellformed_but_unauthenticated_messages() {
+    cases(
+        "aggregator_survives_wellformed_but_unauthenticated_messages",
+        32,
+        |g| {
+            let round = g.u64();
+            let fragment: Vec<f32> = g.vec_of(0, 32, deta_proptest::Gen::f32_any);
+            let party = g.string_of("abcdefghijklmnopqrstuvwxyz", 1, 9);
+            let weight = g.f32_any();
+            // Wire-valid messages that skip the handshake: sealed records
+            // cannot decrypt (no channel), registrations arrive outside a
+            // channel, uploads reference no session. All must be ignored.
+            let net = Network::new(LinkModel::lan());
+            let mut rng = DetRng::from_u64(92);
+            let mut agg = aggregator(&net, &mut rng);
+            let attacker = net.register("attacker");
+            for msg in [
+                Msg::Record {
+                    sealed: fragment.iter().flat_map(|f| f.to_le_bytes()).collect(),
+                },
+                Msg::Register { party, weight },
+                Msg::Upload {
+                    round,
+                    fragment: fragment.clone(),
+                },
+                Msg::RegisterAck,
+                Msg::SyncDone { round },
+            ] {
+                attacker.send("agg-0", msg.encode().unwrap()).unwrap();
+            }
+            agg.pump();
+            assert_eq!(agg.registered_parties(), 0);
+            assert_eq!(agg.completed_rounds, 0);
+        },
+    );
 }
 
 #[test]
@@ -98,7 +102,8 @@ fn replayed_hello_does_not_hijack_an_existing_channel() {
     let hello_bytes = Msg::Hello {
         handshake: hs.hello().to_vec(),
     }
-    .encode();
+    .encode()
+    .unwrap();
     party.send("agg-0", hello_bytes.clone()).unwrap();
     // The attacker captures and replays the identical hello.
     attacker.send("agg-0", hello_bytes).unwrap();

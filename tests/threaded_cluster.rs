@@ -134,7 +134,8 @@ fn rounds_complete_against_threaded_aggregators() {
                     round,
                     training_id: tid,
                 }
-                .encode(),
+                .encode()
+                .unwrap(),
             )
             .unwrap();
         wait(
@@ -145,7 +146,7 @@ fn rounds_complete_against_threaded_aggregators() {
             &mut parties,
         );
         for p in &mut parties {
-            p.run_local_round();
+            p.run_local_round().unwrap();
         }
         wait(
             &mut |ps: &mut Vec<Party>| ps.iter_mut().all(|p| p.try_finish_round()),

@@ -49,7 +49,8 @@ fn phase2_party_rejects_unattested_aggregator() {
     // injected outside the attestation flow.
     let (mut ctx, report) = platform.launch_measure(&image());
     let forged = SigningKey::generate(&mut rng.fork(b"forged"));
-    let blob = SealedSecret::seal_to(&report, TOKEN_SECRET_LABEL, &forged.to_bytes(), &mut rng);
+    let blob =
+        SealedSecret::seal_to(&report, TOKEN_SECRET_LABEL, &forged.to_bytes(), &mut rng).unwrap();
     ctx.inject_secret(&blob, &report.nonce).unwrap();
     let impostor_cvm = ctx.finish();
 
