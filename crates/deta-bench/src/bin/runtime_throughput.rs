@@ -1,0 +1,122 @@
+//! Runtime throughput: rounds/sec of the threaded actor deployment
+//! (`deta-runtime`) vs. the sequential `DetaSession`, at 1, 2, and 4
+//! aggregators. Emits `results/BENCH_runtime.json`.
+//!
+//! The threaded deployment pays for thread handoffs and control-plane
+//! messaging but overlaps party training across cores; the sequential
+//! session pays neither but serializes everything. This benchmark pins
+//! down that trade on this machine.
+//!
+//! ```text
+//! cargo run --release -p deta-bench --bin runtime_throughput
+//! ```
+
+use deta_bench::{results_dir, Args};
+use deta_core::{DetaConfig, DetaSession};
+use deta_datasets::{iid_partition, DatasetSpec};
+use deta_nn::models::mlp;
+use deta_runtime::{RuntimeConfig, ThreadedSession};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Sample {
+    aggregators: usize,
+    deployment: &'static str,
+    rounds: usize,
+    wall_s: f64,
+    rounds_per_s: f64,
+    final_accuracy: f32,
+}
+
+fn config(seed: u64, aggregators: usize, parties: usize, rounds: usize) -> DetaConfig {
+    let mut cfg = DetaConfig::deta(parties, rounds);
+    cfg.n_aggregators = aggregators;
+    cfg.seed = seed;
+    cfg
+}
+
+fn main() {
+    let args = Args::parse();
+    let parties: usize = args.get("parties", 4);
+    let rounds: usize = args.get("rounds", 6);
+    let per_party: usize = args.get("examples", 120);
+    let seed: u64 = args.get("seed", 42);
+
+    let spec = DatasetSpec::mnist_like().at_resolution(10);
+    let train = spec.generate(per_party * parties, 1);
+    let test = spec.generate(200, 2);
+    let shards = iid_partition(&train, parties, 3);
+    let (dim, classes) = (spec.dim(), spec.classes);
+    let build = move |rng: &mut deta_crypto::DetRng| mlp(&[dim, 32, classes], rng);
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for aggregators in [1usize, 2, 4] {
+        // Sequential.
+        let cfg = config(seed, aggregators, parties, rounds);
+        let t0 = Instant::now();
+        let mut session = DetaSession::setup(cfg, &build, shards.clone()).expect("setup");
+        let metrics = session.run(&test);
+        let wall_s = t0.elapsed().as_secs_f64();
+        samples.push(Sample {
+            aggregators,
+            deployment: "sequential",
+            rounds,
+            wall_s,
+            rounds_per_s: rounds as f64 / wall_s,
+            final_accuracy: metrics.last().map_or(0.0, |m| m.test_accuracy),
+        });
+
+        // Threaded.
+        let cfg = config(seed, aggregators, parties, rounds);
+        let t0 = Instant::now();
+        let mut session =
+            ThreadedSession::setup(cfg, &build, shards.clone(), RuntimeConfig::default())
+                .expect("threaded setup");
+        let metrics = session.run(&test).expect("threaded run");
+        let wall_s = t0.elapsed().as_secs_f64();
+        samples.push(Sample {
+            aggregators,
+            deployment: "threaded",
+            rounds,
+            wall_s,
+            rounds_per_s: rounds as f64 / wall_s,
+            final_accuracy: metrics.last().map_or(0.0, |m| m.test_accuracy),
+        });
+    }
+
+    println!("\n=== runtime throughput ({parties} parties, {rounds} rounds) ===");
+    for s in &samples {
+        println!(
+            "k={}  {:<10}  {:7.3}s wall  {:7.2} rounds/s  acc {:5.1}%",
+            s.aggregators,
+            s.deployment,
+            s.wall_s,
+            s.rounds_per_s,
+            s.final_accuracy * 100.0
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is dependency-free by design).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"runtime_throughput\",");
+    let _ = writeln!(json, "  \"parties\": {parties},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"examples_per_party\": {per_party},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"samples\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"aggregators\": {}, \"deployment\": \"{}\", \"rounds\": {}, \
+             \"wall_s\": {:.6}, \"rounds_per_s\": {:.6}, \"final_accuracy\": {:.6}}}{comma}",
+            s.aggregators, s.deployment, s.rounds, s.wall_s, s.rounds_per_s, s.final_accuracy
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let path = results_dir().join("BENCH_runtime.json");
+    std::fs::write(&path, json).expect("write BENCH_runtime.json");
+    println!("[json] {}", path.display());
+}

@@ -169,6 +169,13 @@ impl AggregatorNode {
         &self.cvm
     }
 
+    /// A handle onto this node's mailbox (clones share the queue): an
+    /// actor loop receives on the clone and feeds
+    /// [`AggregatorNode::handle_wire`].
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
     /// Initiator only: announces a round to all parties and followers.
     ///
     /// # Errors
@@ -180,6 +187,12 @@ impl AggregatorNode {
             AggRole::Initiator { followers } => followers.clone(),
             AggRole::Follower { .. } => return Err(AggError::NotInitiator),
         };
+        // Idempotence: a supervisor may retry a round announcement it
+        // believes was lost. Re-announcing an already-completed round
+        // must be a no-op, not a protocol restart.
+        if round <= self.completed_rounds {
+            return Ok(());
+        }
         for f in &followers {
             if let Ok(frame) = (Msg::SyncRound { round, training_id }).encode() {
                 let _ = self.endpoint.send(f, frame);
@@ -202,7 +215,7 @@ impl AggregatorNode {
     pub fn pump(&mut self) -> usize {
         let mut handled = 0;
         while let Some(msg) = self.endpoint.recv() {
-            self.handle(&msg.from, &msg.payload);
+            self.handle_wire(&msg.from, &msg.payload);
             handled += 1;
         }
         handled
@@ -212,9 +225,9 @@ impl AggregatorNode {
     /// queue. The service loop for a threaded deployment.
     pub fn pump_blocking(&mut self, timeout: std::time::Duration) -> usize {
         match self.endpoint.recv_timeout(timeout) {
-            None => 0,
-            Some(msg) => {
-                self.handle(&msg.from.clone(), &msg.payload.clone());
+            Err(_) => 0,
+            Ok(msg) => {
+                self.handle_wire(&msg.from, &msg.payload);
                 1 + self.pump()
             }
         }
@@ -233,7 +246,9 @@ impl AggregatorNode {
         }
     }
 
-    fn handle(&mut self, from: &str, payload: &[u8]) {
+    /// Dispatches one raw wire frame. Public so an actor loop (which owns
+    /// the endpoint and routes every message itself) can drive the node.
+    pub fn handle_wire(&mut self, from: &str, payload: &[u8]) {
         let Ok(msg) = Msg::decode(payload) else {
             return; // Malformed traffic is dropped.
         };

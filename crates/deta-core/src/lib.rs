@@ -51,7 +51,7 @@ pub mod wire;
 
 pub use agg::{AggKind, Aggregation};
 pub use mapper::ModelMapper;
-pub use session::{DetaConfig, DetaSession, RoundMetrics, SyncMode};
+pub use session::{DetaConfig, DetaSession, RoundMetrics, SessionParts, SyncMode};
 pub use transform::{TransformConfig, Transformer};
 
 /// A flat model update (parameters or gradients) as exchanged in FL.

@@ -108,10 +108,21 @@ pub struct Party {
     pending_handshakes: HashMap<String, HandshakeInitiator>,
     channels: HashMap<String, SecureChannel>,
     acks: HashSet<String>,
-    /// Aggregated fragments collected for the current round.
-    collected: HashMap<String, Vec<f32>>,
-    collected_enc: HashMap<String, (Vec<Ciphertext>, u64, u64)>,
+    /// Aggregated fragments collected per aggregator, tagged with their
+    /// round. Tagging (rather than keeping only the active round) makes
+    /// delivery order-tolerant: in a threaded deployment a follower's
+    /// aggregate can overtake the initiator's `RoundStart` announcement.
+    collected: HashMap<String, (u64, Vec<f32>)>,
+    collected_enc: HashMap<String, (u64, Vec<Ciphertext>, u64, u64)>,
     current_round: Option<(u64, [u8; 16])>,
+    /// Highest round this party has fully synchronized; stale
+    /// re-announcements of completed rounds are ignored (idempotent
+    /// retries from a supervisor).
+    last_finished_round: u64,
+    /// Whether `Register` has been sent to every aggregator.
+    registration_sent: bool,
+    /// First aggregator that failed challenge-response, if any.
+    auth_failure: Option<String>,
     /// Parameters snapshot at round start (FedSGD applies deltas to it).
     round_base: Vec<f32>,
     /// Optional Paillier fusion material.
@@ -158,6 +169,9 @@ impl Party {
             collected: HashMap::new(),
             collected_enc: HashMap::new(),
             current_round: None,
+            last_finished_round: 0,
+            registration_sent: false,
+            auth_failure: None,
             round_base: Vec::new(),
             paillier: None,
             timers: PartyTimers::default(),
@@ -169,6 +183,12 @@ impl Party {
     /// Local dataset size (the FedAvg weight `n_i`).
     pub fn weight(&self) -> f32 {
         self.data.len() as f32
+    }
+
+    /// A handle onto this party's mailbox (clones share the queue): an
+    /// actor loop receives on the clone and feeds [`Party::handle_wire`].
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
     }
 
     /// Phase II step 1: sends handshake hellos to all aggregators.
@@ -205,34 +225,12 @@ impl Party {
             // threaded deployment) cannot drain unrelated records.
             return Ok(());
         }
-        for msg in self.endpoint.drain() {
-            let Ok(Msg::HelloReply { handshake }) = Msg::decode(&msg.payload) else {
-                continue;
-            };
-            let Some(hs) = self.pending_handshakes.remove(&msg.from) else {
-                continue;
-            };
-            let Some(token) = self.expected_tokens.get(&msg.from) else {
-                return Err(PartyError::AuthenticationFailed(msg.from));
-            };
-            let chan = hs
-                .complete(&handshake, token)
-                .map_err(|_| PartyError::AuthenticationFailed(msg.from.clone()))?;
-            self.channels.insert(msg.from.clone(), chan);
+        self.drain_wire();
+        if let Some(agg) = &self.auth_failure {
+            return Err(PartyError::AuthenticationFailed(agg.clone()));
         }
         if self.channels.len() != self.aggregators.len() {
             return Err(PartyError::Protocol("missing handshake replies"));
-        }
-        let weight = self.weight();
-        let name = self.name.clone();
-        for agg in self.aggregators.clone() {
-            self.send_sealed(
-                &agg,
-                &Msg::Register {
-                    party: name.clone(),
-                    weight,
-                },
-            );
         }
         Ok(())
     }
@@ -240,14 +238,40 @@ impl Party {
     /// Phase II step 3: drains registration acks; returns `true` when all
     /// aggregators acknowledged.
     pub fn registration_complete(&mut self) -> bool {
-        self.drain_records();
+        self.drain_wire();
+        self.acks_complete()
+    }
+
+    /// Whether every aggregator has acknowledged registration (no drain —
+    /// mailbox loops feed messages through [`Party::handle_wire`]).
+    pub fn acks_complete(&self) -> bool {
         self.acks.len() == self.aggregators.len()
+    }
+
+    /// Whether a secure channel is up with every aggregator (no drain).
+    pub fn handshakes_complete(&self) -> bool {
+        !self.aggregators.is_empty() && self.channels.len() == self.aggregators.len()
+    }
+
+    /// The first aggregator that failed challenge-response, if any.
+    pub fn auth_failure(&self) -> Option<&str> {
+        self.auth_failure.as_deref()
     }
 
     /// Polls for a round announcement from the initiator.
     pub fn poll_round_start(&mut self) -> Option<(u64, [u8; 16])> {
-        self.drain_records();
+        self.drain_wire();
         self.current_round
+    }
+
+    /// The currently announced round, if any (no drain).
+    pub fn current_round(&self) -> Option<(u64, [u8; 16])> {
+        self.current_round
+    }
+
+    /// Highest round this party has fully synchronized.
+    pub fn last_finished_round(&self) -> u64 {
+        self.last_finished_round
     }
 
     /// Runs the local training step for the announced round and uploads
@@ -385,37 +409,48 @@ impl Party {
     /// applied the aggregate, or none was in flight. Pollers can therefore
     /// call it repeatedly without tracking which parties already finished.
     pub fn try_finish_round(&mut self) -> bool {
+        self.drain_wire();
+        self.finish_round()
+    }
+
+    /// No-drain variant of [`Party::try_finish_round`] for mailbox loops
+    /// that already routed every queued message through
+    /// [`Party::handle_wire`].
+    pub fn finish_round(&mut self) -> bool {
         let Some((round, tid)) = self.current_round else {
             return true;
         };
-        self.drain_records();
         let k = self.aggregators.len();
         if self.paillier.is_some() {
-            if self.collected_enc.len() < k {
-                return false;
-            }
-            self.apply_encrypted_round(tid);
-        } else {
-            if self.collected.len() < k {
-                return false;
-            }
-            let fragments: Vec<Vec<f32>> = self
+            let complete = self
                 .aggregators
                 .iter()
-                .map(|a| self.collected[a].clone())
-                .collect();
-            self.collected.clear();
+                .all(|a| matches!(self.collected_enc.get(a), Some((r, ..)) if *r == round));
+            if !complete {
+                return false;
+            }
+            self.apply_encrypted_round(round, tid);
+        } else {
+            let mut fragments: Vec<Vec<f32>> = Vec::with_capacity(k);
+            for a in &self.aggregators {
+                match self.collected.get(a) {
+                    Some((r, frag)) if *r == round => fragments.push(frag.clone()),
+                    _ => return false,
+                }
+            }
+            // Keep any fragments that raced ahead for a later round.
+            self.collected.retain(|_, (r, _)| *r > round);
             let t0 = Instant::now();
             let merged = self.transformer.inverse(&fragments, &tid);
             self.timers.transform_s += t0.elapsed().as_secs_f64();
             self.apply_update(&merged);
         }
-        let _ = round;
+        self.last_finished_round = self.last_finished_round.max(round);
         self.current_round = None;
         true
     }
 
-    fn apply_encrypted_round(&mut self, tid: [u8; 16]) {
+    fn apply_encrypted_round(&mut self, round: u64, tid: [u8; 16]) {
         let mut fragments: Vec<Vec<f32>> = Vec::with_capacity(self.aggregators.len());
         let t0 = Instant::now();
         {
@@ -425,7 +460,7 @@ impl Party {
                 return;
             };
             for a in &self.aggregators {
-                let (cts, value_count, summands) = &self.collected_enc[a];
+                let (_, cts, value_count, summands) = &self.collected_enc[a];
                 let sums = p.codec.decrypt_sum(
                     &p.keys.private,
                     cts,
@@ -438,7 +473,7 @@ impl Party {
             }
         }
         self.timers.crypto_s += t0.elapsed().as_secs_f64();
-        self.collected_enc.clear();
+        self.collected_enc.retain(|_, (r, ..)| *r > round);
         let t1 = Instant::now();
         let merged = self.transformer.inverse(&fragments, &tid);
         self.timers.transform_s += t1.elapsed().as_secs_f64();
@@ -465,52 +500,107 @@ impl Party {
         }
     }
 
-    /// Drains queued records, dispatching on the inner message.
-    fn drain_records(&mut self) {
+    /// Drains the endpoint, routing each message through
+    /// [`Party::handle_wire`].
+    fn drain_wire(&mut self) {
         for msg in self.endpoint.drain() {
-            let Ok(Msg::Record { sealed }) = Msg::decode(&msg.payload) else {
-                continue;
-            };
-            let Some(chan) = self.channels.get_mut(&msg.from) else {
-                continue;
-            };
-            let Ok(plain) = chan.open_msg(&sealed) else {
-                continue;
-            };
-            let Ok(inner) = Msg::decode(&plain) else {
-                continue;
-            };
-            match inner {
-                Msg::RegisterAck => {
-                    self.acks.insert(msg.from.clone());
-                }
-                Msg::RoundStart { round, training_id } => {
-                    self.current_round = Some((round, training_id));
-                }
-                Msg::Aggregated { round, fragment }
-                    // Guard against stale deliveries: only the active
-                    // round's aggregates count.
-                    if self.current_round.map(|(r, _)| r) == Some(round) => {
-                        self.collected.insert(msg.from.clone(), fragment);
-                    }
-                Msg::AggregatedEncrypted {
-                    round,
-                    ciphertexts,
-                    value_count,
-                    summands,
-                } => {
-                    if self.current_round.map(|(r, _)| r) != Some(round) {
-                        continue;
-                    }
-                    let cts: Vec<Ciphertext> = ciphertexts
-                        .iter()
-                        .map(|b| Ciphertext(deta_bignum::BigUint::from_bytes_be(b)))
-                        .collect();
-                    self.collected_enc
-                        .insert(msg.from.clone(), (cts, value_count, summands));
-                }
-                _ => {}
+            self.handle_wire(&msg.from, &msg.payload);
+        }
+    }
+
+    /// Processes one wire message. This is the party's entire reactive
+    /// surface: the synchronous session drains the queue into it, and the
+    /// threaded runtime's mailbox loop feeds it one message at a time.
+    /// Malformed or out-of-protocol traffic is dropped.
+    pub fn handle_wire(&mut self, from: &str, payload: &[u8]) {
+        let Ok(msg) = Msg::decode(payload) else {
+            return;
+        };
+        match msg {
+            Msg::HelloReply { handshake } => self.handle_hello_reply(from, &handshake),
+            Msg::Record { sealed } => self.handle_record(from, &sealed),
+            _ => {}
+        }
+    }
+
+    /// Phase II: verifies an aggregator's challenge response and, once the
+    /// last channel is up, registers with every aggregator.
+    fn handle_hello_reply(&mut self, from: &str, handshake: &[u8]) {
+        let Some(hs) = self.pending_handshakes.remove(from) else {
+            return;
+        };
+        let Some(token) = self.expected_tokens.get(from) else {
+            self.auth_failure.get_or_insert_with(|| from.to_string());
+            return;
+        };
+        let Ok(chan) = hs.complete(handshake, token) else {
+            self.auth_failure.get_or_insert_with(|| from.to_string());
+            return;
+        };
+        self.channels.insert(from.to_string(), chan);
+        if self.handshakes_complete() && !self.registration_sent {
+            self.registration_sent = true;
+            let weight = self.weight();
+            let name = self.name.clone();
+            for agg in self.aggregators.clone() {
+                self.send_sealed(
+                    &agg,
+                    &Msg::Register {
+                        party: name.clone(),
+                        weight,
+                    },
+                );
             }
+        }
+    }
+
+    /// Opens a sealed record and dispatches the inner message.
+    fn handle_record(&mut self, from: &str, sealed: &[u8]) {
+        let Some(chan) = self.channels.get_mut(from) else {
+            return;
+        };
+        let Ok(plain) = chan.open_msg(sealed) else {
+            return;
+        };
+        let Ok(inner) = Msg::decode(&plain) else {
+            return;
+        };
+        match inner {
+            Msg::RegisterAck => {
+                self.acks.insert(from.to_string());
+            }
+            Msg::RoundStart { round, training_id }
+                // Re-announcements of already-synchronized rounds are
+                // dropped so supervisor retries stay idempotent.
+                if round > self.last_finished_round =>
+            {
+                self.current_round = Some((round, training_id));
+            }
+            Msg::Aggregated { round, fragment }
+                // Guard against stale deliveries: aggregates for
+                // already-synchronized rounds are dropped; the live
+                // round's (or, transiently, the next round's) are kept.
+                if round > self.last_finished_round =>
+            {
+                self.collected.insert(from.to_string(), (round, fragment));
+            }
+            Msg::AggregatedEncrypted {
+                round,
+                ciphertexts,
+                value_count,
+                summands,
+            } => {
+                if round <= self.last_finished_round {
+                    return;
+                }
+                let cts: Vec<Ciphertext> = ciphertexts
+                    .iter()
+                    .map(|b| Ciphertext(deta_bignum::BigUint::from_bytes_be(b)))
+                    .collect();
+                self.collected_enc
+                    .insert(from.to_string(), (round, cts, value_count, summands));
+            }
+            _ => {}
         }
     }
 

@@ -181,38 +181,51 @@ impl From<PartyError> for SetupError {
     }
 }
 
-/// A fully bootstrapped FL session.
-pub struct DetaSession {
-    /// The active configuration.
+/// The deployable pieces of a session, before Phase II runs.
+///
+/// [`SessionParts::build`] performs everything that is independent of
+/// *how* the nodes are driven: Phase I attestation, mapper/permutation-key
+/// generation, optional Paillier material, and construction of every
+/// aggregator node and party with deterministic per-node RNG forks. The
+/// synchronous [`DetaSession`] and the threaded runtime both start from
+/// these parts, which is what makes their results bit-identical for a
+/// fixed seed.
+pub struct SessionParts {
+    /// The session configuration the parts were built from.
     pub config: DetaConfig,
-    network: Network,
-    parties: Vec<Party>,
-    aggregators: Vec<AggregatorNode>,
-    broker: KeyBroker,
-    latency_model: LatencyModel,
-    next_round: u64,
-    cumulative_latency_s: f64,
-    prev_party_timers: Vec<PartyTimers>,
-    prev_agg_times: Vec<f64>,
-    offline: HashSet<usize>,
+    /// The shared in-process network.
+    pub network: Network,
+    /// Parties, in index order (`party-{i}`), Phase II not yet run.
+    pub parties: Vec<Party>,
+    /// Aggregator nodes (`agg-{j}`, index 0 is the initiator).
+    pub aggregators: Vec<AggregatorNode>,
+    /// The key broker (per-round training ids).
+    pub broker: KeyBroker,
+    /// The latency model matching `cc_protected`.
+    pub latency_model: LatencyModel,
+    /// Token verifying keys published by the attestation proxy, keyed by
+    /// aggregator name; parties need these to run Phase II.
+    pub tokens: HashMap<String, VerifyingKey>,
+    /// A model replica identical to every party's starting model (for
+    /// driver-side evaluation without reaching into a party thread).
+    pub eval_model: Sequential,
 }
 
-impl DetaSession {
-    /// Bootstraps a session: Phase I attestation, mapper/key generation,
-    /// Phase II authentication and registration.
+impl SessionParts {
+    /// Builds every node of a session deterministically from the seed.
     ///
     /// `model_builder` must be deterministic in its RNG; every party's
     /// model is built from the same fork so replicas start identical.
     ///
     /// # Errors
     ///
-    /// Fails if any aggregator cannot be attested or authenticated, or if
-    /// the configuration is inconsistent.
-    pub fn setup(
+    /// Fails if any aggregator cannot be attested or the configuration is
+    /// inconsistent.
+    pub fn build(
         config: DetaConfig,
         model_builder: &dyn Fn(&mut DetRng) -> Sequential,
         party_data: Vec<LabeledData>,
-    ) -> Result<DetaSession, SetupError> {
+    ) -> Result<SessionParts, SetupError> {
         if party_data.len() != config.n_parties {
             return Err(SetupError::Config("party_data count != n_parties"));
         }
@@ -337,6 +350,67 @@ impl DetaSession {
             parties.push(party);
         }
 
+        let latency_model = if config.cc_protected {
+            LatencyModel::deta_default(config.link)
+        } else {
+            LatencyModel::ffl_default(config.link)
+        };
+        Ok(SessionParts {
+            config,
+            network,
+            parties,
+            aggregators,
+            broker,
+            latency_model,
+            tokens,
+            eval_model: template,
+        })
+    }
+}
+
+/// A fully bootstrapped FL session.
+pub struct DetaSession {
+    /// The active configuration.
+    pub config: DetaConfig,
+    network: Network,
+    parties: Vec<Party>,
+    aggregators: Vec<AggregatorNode>,
+    broker: KeyBroker,
+    latency_model: LatencyModel,
+    next_round: u64,
+    cumulative_latency_s: f64,
+    prev_party_timers: Vec<PartyTimers>,
+    prev_agg_times: Vec<f64>,
+    offline: HashSet<usize>,
+}
+
+impl DetaSession {
+    /// Bootstraps a session: Phase I attestation, mapper/key generation,
+    /// Phase II authentication and registration.
+    ///
+    /// `model_builder` must be deterministic in its RNG; every party's
+    /// model is built from the same fork so replicas start identical.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any aggregator cannot be attested or authenticated, or if
+    /// the configuration is inconsistent.
+    pub fn setup(
+        config: DetaConfig,
+        model_builder: &dyn Fn(&mut DetRng) -> Sequential,
+        party_data: Vec<LabeledData>,
+    ) -> Result<DetaSession, SetupError> {
+        let SessionParts {
+            config,
+            network,
+            mut parties,
+            mut aggregators,
+            broker,
+            latency_model,
+            tokens,
+            eval_model: _,
+        } = SessionParts::build(config, model_builder, party_data)?;
+
         // --- Phase II: verify aggregators, register, open channels. ---
         for p in &mut parties {
             p.send_hellos(&tokens);
@@ -358,11 +432,6 @@ impl DetaSession {
             }
         }
 
-        let latency_model = if config.cc_protected {
-            LatencyModel::deta_default(config.link)
-        } else {
-            LatencyModel::ffl_default(config.link)
-        };
         let n_parties = parties.len();
         let n_aggs = aggregators.len();
         Ok(DetaSession {

@@ -386,7 +386,11 @@ const RULE4_FILES: &[&str] = &[
 ];
 
 fn rule4_in_scope(path: &str) -> bool {
-    RULE4_FILES.contains(&path) || path.starts_with("crates/deta-transport/src/")
+    RULE4_FILES.contains(&path)
+        || path.starts_with("crates/deta-transport/src/")
+        // The runtime's actor loops and supervisor process frames from
+        // every node; a reachable panic there takes down the deployment.
+        || path.starts_with("crates/deta-runtime/src/")
 }
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -214,6 +214,29 @@ mod tests {
     assert!(rules_hit("crates/deta-core/src/session.rs", src4).is_empty());
 }
 
+#[test]
+fn runtime_crate_is_in_rule4_scope() {
+    // The actor runtime handles frames from every node: its supervisor
+    // and actor loops must not be able to panic on hostile input.
+    let src = "pub fn handle(&mut self, f: &[u8]) { let m = CtlMsg::decode(f).unwrap(); }\n";
+    for path in [
+        "crates/deta-runtime/src/actor.rs",
+        "crates/deta-runtime/src/supervisor.rs",
+        "crates/deta-runtime/src/rtmsg.rs",
+        "crates/deta-runtime/src/session.rs",
+    ] {
+        let v = check_source(path, src);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "no-panic-in-aggregation" && v.ident == "unwrap"),
+            "rule 4 must cover {path}"
+        );
+    }
+    // Tests within the runtime crate stay exempt like everywhere else.
+    let src2 = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+    assert!(rules_hit("crates/deta-runtime/src/rtmsg.rs", src2).is_empty());
+}
+
 // -------------------------------------------------------------------
 // Rule 5: no-truncating-cast
 // -------------------------------------------------------------------

@@ -1,0 +1,391 @@
+//! Control-plane protocol between the supervisor and its actors.
+//!
+//! Control messages ride the same simulated network as the training
+//! protocol, distinguished purely by the sender: every node treats frames
+//! from [`SUPERVISOR`] as control traffic and everything else as wire
+//! protocol (`deta_core::wire::Msg`). The codec mirrors the wire codec's
+//! discipline: a tag byte plus length-prefixed fields, total in both
+//! directions — decoding never panics on malformed bytes, and encoding
+//! refuses fields that would overflow their `u32` length prefix instead
+//! of truncating.
+
+/// The supervisor's endpoint name. Reserved: no party or aggregator is
+/// ever named this, so the sender check is unambiguous.
+pub const SUPERVISOR: &str = "supervisor";
+
+/// Control messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtlMsg {
+    /// Node -> supervisor: the node finished its bootstrap (aggregators:
+    /// thread up and serving; parties: registered with every aggregator).
+    Ready,
+    /// Node -> supervisor: unrecoverable node-level failure.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Node -> supervisor: liveness signal emitted on idle ticks.
+    Heartbeat {
+        /// Monotonic per-node sequence number.
+        seq: u64,
+    },
+    /// Supervisor -> initiator aggregator: trigger a round (the
+    /// operator's `begin_round` call, made message-driven). Idempotent:
+    /// re-delivery of an announced or completed round is harmless.
+    Trigger {
+        /// Round number, starting at 1.
+        round: u64,
+        /// Per-round training id from the key broker.
+        training_id: [u8; 16],
+    },
+    /// Supervisor -> party: this round's marching orders.
+    RoundPlan {
+        /// Round number.
+        round: u64,
+        /// Train and upload (`true`) or only synchronize (`false`).
+        train: bool,
+        /// Whether to attach a model-parameter snapshot to `PartyDone`
+        /// (one designated party per round feeds evaluation).
+        report_params: bool,
+    },
+    /// Party -> supervisor: the round is applied locally.
+    PartyDone {
+        /// Round number.
+        round: u64,
+        /// Whether this party trained (vs. synchronized only).
+        trained: bool,
+        /// Mean local training loss for the round (0 when not trained).
+        train_loss: f32,
+        /// Cumulative local-training seconds.
+        train_s: f64,
+        /// Cumulative transform seconds.
+        transform_s: f64,
+        /// Cumulative Paillier seconds.
+        crypto_s: f64,
+        /// Post-synchronization parameter snapshot, when requested.
+        params: Option<Vec<f32>>,
+    },
+    /// Aggregator -> supervisor: aggregation for the round is dispatched.
+    AggDone {
+        /// Round number.
+        round: u64,
+        /// Cumulative aggregation compute seconds.
+        aggregate_s: f64,
+    },
+    /// Supervisor -> node: drain and exit.
+    Shutdown,
+}
+
+const TAG_READY: u8 = 1;
+const TAG_FAILED: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_TRIGGER: u8 = 4;
+const TAG_ROUND_PLAN: u8 = 5;
+const TAG_PARTY_DONE: u8 = 6;
+const TAG_AGG_DONE: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+
+/// Decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtlDecodeError;
+
+impl std::fmt::Display for CtlDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed control message")
+    }
+}
+
+impl std::error::Error for CtlDecodeError {}
+
+/// Encode errors: a variable-length field exceeds the u32 length prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtlEncodeError;
+
+impl std::fmt::Display for CtlEncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "control message field exceeds u32 length prefix")
+    }
+}
+
+impl std::error::Error for CtlEncodeError {}
+
+fn put_len(out: &mut Vec<u8>, len: usize) -> Result<(), CtlEncodeError> {
+    let len = u32::try_from(len).map_err(|_| CtlEncodeError)?;
+    out.extend_from_slice(&len.to_le_bytes());
+    Ok(())
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) -> Result<(), CtlEncodeError> {
+    put_len(out, b.len())?;
+    out.extend_from_slice(b);
+    Ok(())
+}
+
+fn put_f32s(out: &mut Vec<u8>, v: &[f32]) -> Result<(), CtlEncodeError> {
+    put_len(out, v.len())?;
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    Ok(())
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CtlDecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CtlDecodeError);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CtlDecodeError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CtlDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CtlDecodeError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, CtlDecodeError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    fn f32(&mut self) -> Result<f32, CtlDecodeError> {
+        Ok(f32::from_le_bytes(self.array()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, CtlDecodeError> {
+        Ok(f64::from_le_bytes(self.array()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, CtlDecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CtlDecodeError),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, CtlDecodeError> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| CtlDecodeError)
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, CtlDecodeError> {
+        let n = self.u32()? as usize;
+        if self.pos + n.checked_mul(4).ok_or(CtlDecodeError)? > self.buf.len() {
+            return Err(CtlDecodeError);
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn finish(self) -> Result<(), CtlDecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CtlDecodeError)
+        }
+    }
+}
+
+impl CtlMsg {
+    /// Serializes the message.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a field holds 2^32 or more elements, instead of
+    /// truncating a length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, CtlEncodeError> {
+        let mut out = Vec::new();
+        match self {
+            CtlMsg::Ready => out.push(TAG_READY),
+            CtlMsg::Failed { reason } => {
+                out.push(TAG_FAILED);
+                put_bytes(&mut out, reason.as_bytes())?;
+            }
+            CtlMsg::Heartbeat { seq } => {
+                out.push(TAG_HEARTBEAT);
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            CtlMsg::Trigger { round, training_id } => {
+                out.push(TAG_TRIGGER);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(training_id);
+            }
+            CtlMsg::RoundPlan {
+                round,
+                train,
+                report_params,
+            } => {
+                out.push(TAG_ROUND_PLAN);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.push(u8::from(*train));
+                out.push(u8::from(*report_params));
+            }
+            CtlMsg::PartyDone {
+                round,
+                trained,
+                train_loss,
+                train_s,
+                transform_s,
+                crypto_s,
+                params,
+            } => {
+                out.push(TAG_PARTY_DONE);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.push(u8::from(*trained));
+                out.extend_from_slice(&train_loss.to_le_bytes());
+                out.extend_from_slice(&train_s.to_le_bytes());
+                out.extend_from_slice(&transform_s.to_le_bytes());
+                out.extend_from_slice(&crypto_s.to_le_bytes());
+                match params {
+                    None => out.push(0),
+                    Some(p) => {
+                        out.push(1);
+                        put_f32s(&mut out, p)?;
+                    }
+                }
+            }
+            CtlMsg::AggDone { round, aggregate_s } => {
+                out.push(TAG_AGG_DONE);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&aggregate_s.to_le_bytes());
+            }
+            CtlMsg::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        Ok(out)
+    }
+
+    /// Parses a control frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any malformed input; never panics.
+    pub fn decode(buf: &[u8]) -> Result<CtlMsg, CtlDecodeError> {
+        let mut r = Reader::new(buf);
+        let msg = match r.u8()? {
+            TAG_READY => CtlMsg::Ready,
+            TAG_FAILED => CtlMsg::Failed {
+                reason: r.string()?,
+            },
+            TAG_HEARTBEAT => CtlMsg::Heartbeat { seq: r.u64()? },
+            TAG_TRIGGER => CtlMsg::Trigger {
+                round: r.u64()?,
+                training_id: r.array()?,
+            },
+            TAG_ROUND_PLAN => CtlMsg::RoundPlan {
+                round: r.u64()?,
+                train: r.bool()?,
+                report_params: r.bool()?,
+            },
+            TAG_PARTY_DONE => CtlMsg::PartyDone {
+                round: r.u64()?,
+                trained: r.bool()?,
+                train_loss: r.f32()?,
+                train_s: r.f64()?,
+                transform_s: r.f64()?,
+                crypto_s: r.f64()?,
+                params: if r.bool()? { Some(r.f32s()?) } else { None },
+            },
+            TAG_AGG_DONE => CtlMsg::AggDone {
+                round: r.u64()?,
+                aggregate_s: r.f64()?,
+            },
+            TAG_SHUTDOWN => CtlMsg::Shutdown,
+            _ => return Err(CtlDecodeError),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: CtlMsg) {
+        let bytes = msg.encode().expect("encode");
+        assert_eq!(CtlMsg::decode(&bytes).expect("decode"), msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(CtlMsg::Ready);
+        roundtrip(CtlMsg::Failed {
+            reason: "agg-1 failed authentication".to_string(),
+        });
+        roundtrip(CtlMsg::Heartbeat { seq: 42 });
+        roundtrip(CtlMsg::Trigger {
+            round: 7,
+            training_id: [9u8; 16],
+        });
+        roundtrip(CtlMsg::RoundPlan {
+            round: 3,
+            train: true,
+            report_params: false,
+        });
+        roundtrip(CtlMsg::PartyDone {
+            round: 3,
+            trained: true,
+            train_loss: 0.25,
+            train_s: 1.5,
+            transform_s: 0.125,
+            crypto_s: 0.0,
+            params: Some(vec![1.0, -2.5, 3.25]),
+        });
+        roundtrip(CtlMsg::PartyDone {
+            round: 4,
+            trained: false,
+            train_loss: 0.0,
+            train_s: 0.0,
+            transform_s: 0.0,
+            crypto_s: 0.0,
+            params: None,
+        });
+        roundtrip(CtlMsg::AggDone {
+            round: 3,
+            aggregate_s: 0.5,
+        });
+        roundtrip(CtlMsg::Shutdown);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_panicked() {
+        assert!(CtlMsg::decode(&[]).is_err());
+        assert!(CtlMsg::decode(&[99]).is_err());
+        // Truncated Failed payload.
+        assert!(CtlMsg::decode(&[TAG_FAILED, 10, 0, 0, 0, b'x']).is_err());
+        // Trailing garbage after a valid frame.
+        let mut ok = CtlMsg::Ready.encode().expect("encode");
+        ok.push(0);
+        assert!(CtlMsg::decode(&ok).is_err());
+        // Out-of-range bool.
+        let mut plan = CtlMsg::RoundPlan {
+            round: 1,
+            train: true,
+            report_params: false,
+        }
+        .encode()
+        .expect("encode");
+        let last = plan.len() - 2;
+        plan[last] = 7;
+        assert!(CtlMsg::decode(&plan).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! [`ThreadedSession`]: the threaded deployment with the sequential
+//! session's surface — `setup` → `run` → `Vec<RoundMetrics>`.
+//!
+//! Node construction is shared with `DetaSession` via
+//! `SessionParts::build`, so for a fixed seed both deployments build
+//! byte-identical nodes; from there every numeric path is driven by
+//! per-node state (independent RNG forks, name-sorted aggregation),
+//! which is what makes the final model parameters bit-identical
+//! regardless of thread scheduling. Byte accounting differs slightly:
+//! control-plane traffic is measured at the supervisor and subtracted,
+//! and the upload/download split is taken at the moment the last
+//! aggregator completes — an approximation documented in DESIGN.md §7.
+
+use crate::actor::NodeExit;
+use crate::rtmsg::CtlMsg;
+use crate::supervisor::Supervisor;
+use crate::{Phase, RuntimeConfig, RuntimeError};
+use deta_core::keybroker::KeyBroker;
+use deta_core::latency::{LatencyModel, RoundInputs};
+use deta_core::session::{DetaConfig, RoundMetrics, SessionParts};
+use deta_crypto::DetRng;
+use deta_nn::train::LabeledData;
+use deta_nn::Sequential;
+use deta_transport::Network;
+use std::collections::{HashMap, HashSet};
+
+/// A DeTA session deployed as concurrent, supervised node threads.
+pub struct ThreadedSession {
+    /// The active configuration.
+    pub config: DetaConfig,
+    network: Network,
+    broker: KeyBroker,
+    latency_model: LatencyModel,
+    eval_model: Sequential,
+    supervisor: Supervisor,
+    party_names: Vec<String>,
+    agg_names: Vec<String>,
+    next_round: u64,
+    cumulative_latency_s: f64,
+    prev_party_timers: HashMap<String, (f64, f64, f64)>,
+    prev_agg_times: HashMap<String, f64>,
+}
+
+impl ThreadedSession {
+    /// Bootstraps the threaded deployment: builds every node
+    /// deterministically (`SessionParts::build`), spawns one thread per
+    /// node, and waits (bounded by `rt.setup_deadline`) for every node to
+    /// report `Ready` — aggregators once their service loop is up,
+    /// parties once Phase II (attested channels + registration) is done.
+    ///
+    /// # Errors
+    ///
+    /// Structured: attestation/config problems as
+    /// [`RuntimeError::Setup`], a node that cannot authenticate as
+    /// [`RuntimeError::NodeFailed`], a wedged bootstrap as
+    /// [`RuntimeError::Timeout`]. On any error all spawned threads are
+    /// joined before returning.
+    pub fn setup(
+        config: DetaConfig,
+        model_builder: &dyn Fn(&mut DetRng) -> Sequential,
+        party_data: Vec<LabeledData>,
+        rt: RuntimeConfig,
+    ) -> Result<ThreadedSession, RuntimeError> {
+        let SessionParts {
+            config,
+            network,
+            parties,
+            aggregators,
+            broker,
+            latency_model,
+            tokens,
+            eval_model,
+        } = SessionParts::build(config, model_builder, party_data)?;
+        let agg_names: Vec<String> = aggregators.iter().map(|a| a.name.clone()).collect();
+        let party_names: Vec<String> = parties.iter().map(|p| p.name.clone()).collect();
+        let mut supervisor = Supervisor::new(network.clone(), rt);
+        for agg in aggregators {
+            supervisor.spawn_aggregator(agg)?;
+        }
+        for party in parties {
+            supervisor.spawn_party(party, tokens.clone())?;
+        }
+        let expected: HashSet<String> = agg_names
+            .iter()
+            .chain(party_names.iter())
+            .cloned()
+            .collect();
+        let deadline = supervisor.config().setup_deadline;
+        let readiness = supervisor.wait(Phase::Setup, 0, deadline, expected, None, |_, msg| {
+            matches!(msg, CtlMsg::Ready)
+        });
+        if let Err(e) = readiness {
+            let _ = supervisor.shutdown();
+            return Err(e);
+        }
+        Ok(ThreadedSession {
+            config,
+            network,
+            broker,
+            latency_model,
+            eval_model,
+            supervisor,
+            party_names,
+            agg_names,
+            next_round: 1,
+            cumulative_latency_s: 0.0,
+            prev_party_timers: HashMap::new(),
+            prev_agg_times: HashMap::new(),
+        })
+    }
+
+    /// Runs all configured rounds, evaluating on `test` after each, then
+    /// shuts the deployment down (joining every node thread).
+    ///
+    /// # Errors
+    ///
+    /// The first round failure (timeout, node failure, panic) aborts the
+    /// run; the deployment is shut down before the error is returned, so
+    /// no threads leak on any path.
+    pub fn run(&mut self, test: &LabeledData) -> Result<Vec<RoundMetrics>, RuntimeError> {
+        let rounds = self.config.rounds;
+        let mut out = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            match self.run_round(test) {
+                Ok(m) => out.push(m),
+                Err(e) => {
+                    let _ = self.supervisor.shutdown();
+                    return Err(e);
+                }
+            }
+        }
+        self.supervisor.shutdown()?;
+        Ok(out)
+    }
+
+    /// One training round, fully message-driven.
+    fn run_round(&mut self, test: &LabeledData) -> Result<RoundMetrics, RuntimeError> {
+        let round = self.next_round;
+        self.next_round += 1;
+        let tid = self.broker.training_id(round);
+        let n = self.party_names.len();
+        let k = self.agg_names.len();
+        let Some(initiator) = self.agg_names.first().cloned() else {
+            return Err(RuntimeError::Protocol("no aggregators deployed"));
+        };
+
+        // This round's participants: the sequential session's selection,
+        // replicated exactly (same RNG fork, same shuffle).
+        let online: Vec<usize> = (0..n).collect();
+        let participants: HashSet<usize> = match self.config.participation {
+            Some(q) if q < online.len() => {
+                let mut pool = online.clone();
+                let mut rng =
+                    DetRng::from_u64(self.config.seed).fork_indexed(b"participation", round);
+                rng.shuffle(&mut pool);
+                pool.into_iter().take(q).collect()
+            }
+            _ => online.iter().copied().collect(),
+        };
+
+        let wire0 = self.network.stats().bytes;
+        let ctl0 = self.supervisor.ctl_bytes;
+
+        // Marching orders to every party, then the round trigger to the
+        // initiator (retried with capped backoff below — idempotent).
+        for (i, name) in self.party_names.iter().enumerate() {
+            let plan = CtlMsg::RoundPlan {
+                round,
+                train: participants.contains(&i),
+                report_params: i == 0,
+            };
+            self.supervisor.send_ctl(name, &plan);
+        }
+        let trigger = CtlMsg::Trigger {
+            round,
+            training_id: tid,
+        };
+        self.supervisor.send_ctl(&initiator, &trigger);
+        let ctl_pre_wait = self.supervisor.ctl_bytes;
+
+        // Collect completions: every aggregator's AggDone and every
+        // party's PartyDone, under the round deadline.
+        let mut losses: HashMap<String, f32> = HashMap::new();
+        let mut party_cum: HashMap<String, (f64, f64, f64)> = HashMap::new();
+        let mut agg_cum: HashMap<String, f64> = HashMap::new();
+        let mut params: Option<Vec<f32>> = None;
+        let mut aggs_outstanding = k;
+        let mut mid_wire: Option<u64> = None;
+        let stats_net = self.network.clone();
+        let expected: HashSet<String> = self
+            .agg_names
+            .iter()
+            .chain(self.party_names.iter())
+            .cloned()
+            .collect();
+        let deadline = self.supervisor.config().round_deadline;
+        self.supervisor.wait(
+            Phase::Round,
+            round,
+            deadline,
+            expected,
+            Some((initiator, trigger)),
+            |from, msg| match msg {
+                CtlMsg::AggDone {
+                    round: r,
+                    aggregate_s,
+                } if r >= round => {
+                    agg_cum.insert(from.to_string(), aggregate_s);
+                    aggs_outstanding = aggs_outstanding.saturating_sub(1);
+                    if aggs_outstanding == 0 && mid_wire.is_none() {
+                        mid_wire = Some(stats_net.stats().bytes);
+                    }
+                    true
+                }
+                CtlMsg::PartyDone {
+                    round: r,
+                    trained,
+                    train_loss,
+                    train_s,
+                    transform_s,
+                    crypto_s,
+                    params: p,
+                } if r == round => {
+                    if trained {
+                        losses.insert(from.to_string(), train_loss);
+                    }
+                    party_cum.insert(from.to_string(), (train_s, transform_s, crypto_s));
+                    if let Some(p) = p {
+                        params = Some(p);
+                    }
+                    true
+                }
+                _ => false,
+            },
+        )?;
+
+        // Byte attribution: total wire traffic excludes control-plane
+        // bytes (measured at the supervisor); the upload/download split
+        // is taken at the instant the last aggregator finished.
+        let wire_end = self.network.stats().bytes;
+        let ctl_delta = self.supervisor.ctl_bytes - ctl0;
+        let total_wire = (wire_end - wire0).saturating_sub(ctl_delta);
+        let upload_total = mid_wire
+            .map_or(total_wire / 2, |m| {
+                (m - wire0).saturating_sub(ctl_pre_wait - ctl0)
+            })
+            .min(total_wire);
+        let download_total = total_wire - upload_total;
+
+        // Latency inputs from per-node cumulative timer deltas.
+        let mut max_train = 0.0f64;
+        let mut max_transform = 0.0f64;
+        let mut max_crypto = 0.0f64;
+        for name in &self.party_names {
+            let cum = party_cum.get(name).copied().unwrap_or_default();
+            let prev = self
+                .prev_party_timers
+                .get(name)
+                .copied()
+                .unwrap_or_default();
+            max_train = max_train.max(cum.0 - prev.0);
+            max_transform = max_transform.max(cum.1 - prev.1);
+            max_crypto = max_crypto.max(cum.2 - prev.2);
+            self.prev_party_timers.insert(name.clone(), cum);
+        }
+        let mut max_agg = 0.0f64;
+        for name in &self.agg_names {
+            let cum = agg_cum.get(name).copied().unwrap_or_default();
+            let prev = self.prev_agg_times.get(name).copied().unwrap_or_default();
+            max_agg = max_agg.max(cum - prev);
+            self.prev_agg_times.insert(name.clone(), cum);
+        }
+        // Mean training loss, summed in party-index order so the float
+        // reduction matches the sequential session bit for bit.
+        let mut train_loss_sum = 0.0f32;
+        for name in &self.party_names {
+            if let Some(l) = losses.get(name) {
+                train_loss_sum += *l;
+            }
+        }
+        let inputs = RoundInputs {
+            max_party_train_s: max_train,
+            max_party_transform_s: max_transform,
+            max_party_crypto_s: max_crypto,
+            upload_bytes_per_party: upload_total / n as u64,
+            download_bytes_per_party: download_total / n as u64,
+            max_aggregate_s: max_agg,
+            n_aggregators: k,
+        };
+        let latency = self.latency_model.round(&inputs);
+        let round_latency_s = latency.total();
+        self.cumulative_latency_s += round_latency_s;
+
+        // Evaluate on the supervisor's replica of the (synchronized,
+        // therefore identical) party model.
+        let Some(params) = params else {
+            return Err(RuntimeError::Protocol("missing parameter snapshot"));
+        };
+        self.eval_model.set_flat_params(&params);
+        let (test_loss, test_accuracy) = deta_nn::train::evaluate(&mut self.eval_model, test, 128);
+        Ok(RoundMetrics {
+            round,
+            train_loss: train_loss_sum / participants.len() as f32,
+            test_loss,
+            test_accuracy,
+            latency,
+            round_latency_s,
+            cumulative_latency_s: self.cumulative_latency_s,
+            upload_bytes: upload_total,
+            download_bytes: download_total,
+        })
+    }
+
+    /// Stops every node and joins all threads. Idempotent; [`run`]
+    /// already calls this on every path (success and failure).
+    ///
+    /// [`run`]: ThreadedSession::run
+    ///
+    /// # Errors
+    ///
+    /// Reports a panicked node thread; all other threads are still
+    /// joined first.
+    pub fn shutdown(&mut self) -> Result<(), RuntimeError> {
+        self.supervisor.shutdown()
+    }
+
+    /// Whether every node thread has been joined.
+    pub fn is_shut_down(&self) -> bool {
+        self.supervisor.is_shut_down()
+    }
+
+    /// Number of completed rounds.
+    pub fn completed_rounds(&self) -> u64 {
+        self.next_round - 1
+    }
+
+    /// Flat parameters of party `i`'s final model replica. Available
+    /// after shutdown (nodes are recovered from their threads at join);
+    /// `None` before that, or for an unknown index.
+    pub fn party_params(&self, i: usize) -> Option<Vec<f32>> {
+        let name = self.party_names.get(i)?;
+        match self.supervisor.recovered(name)? {
+            NodeExit::Party(p) => Some(p.model.flat_params()),
+            NodeExit::Aggregator(_) => None,
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The supervisor: spawns node threads, enforces phase deadlines,
+//! retries idempotent requests with capped backoff, reaps panicked
+//! threads, and shuts the deployment down cleanly.
+
+use crate::actor::{self, ActorContext, NodeExit};
+use crate::rtmsg::{CtlMsg, SUPERVISOR};
+use crate::{Phase, RuntimeConfig, RuntimeError};
+use deta_core::aggregator::AggregatorNode;
+use deta_core::party::Party;
+use deta_crypto::VerifyingKey;
+use deta_transport::{Endpoint, Network, RecvError};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Supervises a set of node threads over a shared [`Network`].
+pub struct Supervisor {
+    network: Network,
+    ctl: Endpoint,
+    cfg: RuntimeConfig,
+    stop: Arc<AtomicBool>,
+    nodes: HashMap<String, JoinHandle<NodeExit>>,
+    recovered: HashMap<String, NodeExit>,
+    last_seen: HashMap<String, Instant>,
+    /// Control-plane payload bytes observed (sent by the supervisor plus
+    /// received from nodes) — lets callers subtract control traffic from
+    /// the network's byte counters when attributing round bandwidth.
+    pub ctl_bytes: u64,
+}
+
+impl Supervisor {
+    /// Creates a supervisor with its own control endpoint on `network`.
+    pub fn new(network: Network, cfg: RuntimeConfig) -> Supervisor {
+        let ctl = network.register(SUPERVISOR);
+        Supervisor {
+            network,
+            ctl,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+            nodes: HashMap::new(),
+            recovered: HashMap::new(),
+            last_seen: HashMap::new(),
+            ctl_bytes: 0,
+        }
+    }
+
+    /// The runtime policy in effect.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Names of the nodes still running (not yet joined).
+    pub fn running_nodes(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.nodes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn context(&self) -> ActorContext {
+        ActorContext {
+            stop: Arc::clone(&self.stop),
+            tick: self.cfg.tick,
+        }
+    }
+
+    fn spawn(
+        &mut self,
+        name: String,
+        f: impl FnOnce() -> NodeExit + Send + 'static,
+    ) -> Result<(), RuntimeError> {
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(f)
+            .map_err(RuntimeError::Spawn)?;
+        self.nodes.insert(name, handle);
+        Ok(())
+    }
+
+    /// Spawns an aggregator node on its own thread. Any stall configured
+    /// for this node name in [`RuntimeConfig::stalls`] is armed here.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the OS refuses the thread.
+    pub fn spawn_aggregator(&mut self, agg: AggregatorNode) -> Result<(), RuntimeError> {
+        let name = agg.name.clone();
+        let stall = self
+            .cfg
+            .stalls
+            .iter()
+            .find(|s| s.node == name)
+            .map(|s| s.round);
+        let ctx = self.context();
+        self.spawn(name, move || actor::run_aggregator(agg, stall, ctx))
+    }
+
+    /// Spawns a party node on its own thread; it runs Phase II against
+    /// `tokens` immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the OS refuses the thread.
+    pub fn spawn_party(
+        &mut self,
+        party: Party,
+        tokens: HashMap<String, VerifyingKey>,
+    ) -> Result<(), RuntimeError> {
+        let name = party.name.clone();
+        let ctx = self.context();
+        self.spawn(name, move || actor::run_party(party, tokens, ctx))
+    }
+
+    /// Sends a control message to a node, counting its bytes.
+    pub fn send_ctl(&mut self, to: &str, msg: &CtlMsg) {
+        if let Ok(frame) = msg.encode() {
+            self.ctl_bytes += frame.len() as u64;
+            let _ = self.ctl.send(to, frame);
+        }
+    }
+
+    /// Waits until every node in `expected` has satisfied its phase
+    /// obligation, with a hard deadline.
+    ///
+    /// `on_msg` sees every decoded control message (except heartbeats and
+    /// failures, which the supervisor consumes) and returns `true` when
+    /// the sender's obligation for this phase is fulfilled. `retry`, when
+    /// set, is re-sent with capped exponential backoff while waiting —
+    /// the retried request must be idempotent at the receiver.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Timeout`] when the deadline passes — `missing`
+    ///   lists the outstanding nodes and `stalled` the subset that also
+    ///   stopped heartbeating.
+    /// * [`RuntimeError::NodeFailed`] if a node reports failure or exits
+    ///   without fulfilling the phase.
+    /// * [`RuntimeError::NodePanicked`] if an outstanding node's thread
+    ///   panicked (reaped via its join handle).
+    pub fn wait(
+        &mut self,
+        phase: Phase,
+        round: u64,
+        deadline: std::time::Duration,
+        expected: HashSet<String>,
+        retry: Option<(String, CtlMsg)>,
+        mut on_msg: impl FnMut(&str, CtlMsg) -> bool,
+    ) -> Result<(), RuntimeError> {
+        let start = Instant::now();
+        let mut expected = expected;
+        let mut backoff = self.cfg.retry_initial;
+        let mut next_retry = start + backoff;
+        while !expected.is_empty() {
+            let now = Instant::now();
+            let waited = now.duration_since(start);
+            if waited >= deadline {
+                if let Some(err) = self.reap(&expected) {
+                    return Err(err);
+                }
+                let mut missing: Vec<String> = expected.iter().cloned().collect();
+                missing.sort();
+                let stale_after = self.cfg.tick * 4;
+                let mut stalled: Vec<String> = missing
+                    .iter()
+                    .filter(|n| {
+                        self.last_seen
+                            .get(*n)
+                            .is_none_or(|t| now.duration_since(*t) > stale_after)
+                    })
+                    .cloned()
+                    .collect();
+                stalled.sort();
+                return Err(RuntimeError::Timeout {
+                    phase,
+                    round,
+                    missing,
+                    stalled,
+                    waited,
+                });
+            }
+            if let Some((to, msg)) = &retry {
+                if now >= next_retry {
+                    let msg = msg.clone();
+                    let to = to.clone();
+                    self.send_ctl(&to, &msg);
+                    backoff = (backoff * 2).min(self.cfg.retry_max);
+                    next_retry = now + backoff;
+                }
+            }
+            match self.ctl.recv_timeout(self.cfg.tick) {
+                Ok(m) => {
+                    self.ctl_bytes += m.payload.len() as u64;
+                    let from = m.from.to_string();
+                    self.last_seen.insert(from.clone(), Instant::now());
+                    match CtlMsg::decode(&m.payload) {
+                        Ok(CtlMsg::Heartbeat { .. }) => {}
+                        Ok(CtlMsg::Failed { reason }) => {
+                            return Err(RuntimeError::NodeFailed { node: from, reason });
+                        }
+                        Ok(msg) => {
+                            if on_msg(&from, msg) {
+                                expected.remove(&from);
+                            }
+                        }
+                        Err(_) => {} // Malformed control traffic is dropped.
+                    }
+                }
+                Err(RecvError::Timeout) => {
+                    // An idle tick: check for nodes that died silently.
+                    if let Some(err) = self.reap(&expected) {
+                        return Err(err);
+                    }
+                }
+                Err(RecvError::Closed) => {
+                    return Err(RuntimeError::NodeFailed {
+                        node: SUPERVISOR.to_string(),
+                        reason: "control mailbox closed".to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Joins any `watched` node whose thread already exited; a panic or a
+    /// premature exit is converted into a structured error.
+    fn reap(&mut self, watched: &HashSet<String>) -> Option<RuntimeError> {
+        let finished: Vec<String> = watched
+            .iter()
+            .filter(|n| self.nodes.get(*n).is_some_and(|h| h.is_finished()))
+            .cloned()
+            .collect();
+        for name in finished {
+            let Some(handle) = self.nodes.remove(&name) else {
+                continue;
+            };
+            match handle.join() {
+                Err(_) => return Some(RuntimeError::NodePanicked { node: name }),
+                Ok(exit) => {
+                    self.recovered.insert(name.clone(), exit);
+                    return Some(RuntimeError::NodeFailed {
+                        node: name,
+                        reason: "exited before completing the phase".to_string(),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Stops every node and joins all threads: sets the stop flag, sends
+    /// `Shutdown`, closes every node mailbox (which wakes blocked
+    /// receivers with a distinguishable "closed" result), then joins.
+    /// Idempotent — a second call is a no-op over an empty node set.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first panicked thread as [`RuntimeError::NodePanicked`]
+    /// (remaining threads are still joined first, so nothing leaks).
+    pub fn shutdown(&mut self) -> Result<(), RuntimeError> {
+        self.stop.store(true, Ordering::Relaxed);
+        let names: Vec<String> = self.nodes.keys().cloned().collect();
+        for name in &names {
+            self.send_ctl(name, &CtlMsg::Shutdown);
+        }
+        for name in &names {
+            self.network.close(name);
+        }
+        let mut panicked: Option<String> = None;
+        for (name, handle) in self.nodes.drain() {
+            match handle.join() {
+                Ok(exit) => {
+                    self.recovered.insert(name, exit);
+                }
+                Err(_) => panicked = Some(name),
+            }
+        }
+        // Drain any control messages still queued for us.
+        for m in self.ctl.drain() {
+            self.ctl_bytes += m.payload.len() as u64;
+        }
+        match panicked {
+            Some(node) => Err(RuntimeError::NodePanicked { node }),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether shutdown has completed (no live node threads).
+    pub fn is_shut_down(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The final state of a node recovered at shutdown (or after an early
+    /// exit was reaped).
+    pub fn recovered(&self, name: &str) -> Option<&NodeExit> {
+        self.recovered.get(name)
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        if !self.nodes.is_empty() {
+            // Best effort: never leak running threads.
+            let _ = self.shutdown();
+        }
+    }
+}

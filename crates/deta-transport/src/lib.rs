@@ -16,6 +16,12 @@
 //! send order, and "latency" is an accounting quantity derived from
 //! [`LinkModel`], not wall-clock sleeping. This keeps experiments exactly
 //! reproducible while still modelling the paper's transfer costs.
+//!
+//! Endpoint names are interned as `Arc<str>` so fan-out sends clone a
+//! pointer, not a `String`, and [`Network::close`] gives supervisors a
+//! poison signal: a thread blocked in [`Endpoint::recv_timeout`] on a
+//! closed endpoint wakes with [`RecvError::Closed`] instead of timing out
+//! forever while its peer is gone.
 
 //!
 //! # Examples
@@ -50,8 +56,8 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// A received message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Message {
-    /// Sender endpoint name.
-    pub from: String,
+    /// Sender endpoint name (shared, not cloned per recipient).
+    pub from: Arc<str>,
     /// Payload bytes.
     pub payload: Vec<u8>,
 }
@@ -106,20 +112,51 @@ pub struct NetStats {
 pub enum NetError {
     /// The destination endpoint does not exist.
     UnknownEndpoint(String),
+    /// The destination endpoint was closed (its owner is gone).
+    Closed(String),
 }
 
 impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::UnknownEndpoint(name) => write!(f, "unknown endpoint {name:?}"),
+            NetError::Closed(name) => write!(f, "endpoint {name:?} is closed"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
 
+/// Why a blocking receive returned without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived before the timeout; the endpoint is still live.
+    Timeout,
+    /// The endpoint was closed and its queue is fully drained — no
+    /// message will ever arrive again. The distinguishable "peer gone"
+    /// signal that lets service loops exit instead of spinning.
+    Closed,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Closed => write!(f, "endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// One endpoint's queue plus its liveness flag.
+struct Mailbox {
+    queue: VecDeque<Message>,
+    closed: bool,
+}
+
 struct NetState {
-    queues: HashMap<String, VecDeque<Message>>,
+    queues: HashMap<Arc<str>, Mailbox>,
     stats: NetStats,
 }
 
@@ -152,13 +189,40 @@ impl Network {
     /// Panics if the name is already registered (endpoint names are
     /// protocol identities; accidental reuse is a bug).
     pub fn register(&self, name: &str) -> Endpoint {
+        let name: Arc<str> = Arc::from(name);
         let mut st = lock(&self.state);
-        let prev = st.queues.insert(name.to_string(), VecDeque::new());
+        let prev = st.queues.insert(
+            Arc::clone(&name),
+            Mailbox {
+                queue: VecDeque::new(),
+                closed: false,
+            },
+        );
         assert!(prev.is_none(), "endpoint {name:?} already registered");
         Endpoint {
-            name: name.to_string(),
+            name,
             network: self.clone(),
         }
+    }
+
+    /// Closes an endpoint: queued messages stay receivable, but new sends
+    /// fail with [`NetError::Closed`] and receivers that drain the queue
+    /// get [`RecvError::Closed`] instead of blocking. Wakes every thread
+    /// currently parked in a blocking receive.
+    ///
+    /// Closing an unknown endpoint is a no-op; closing twice is idempotent.
+    pub fn close(&self, name: &str) {
+        let mut st = lock(&self.state);
+        if let Some(mb) = st.queues.get_mut(name) {
+            mb.closed = true;
+        }
+        drop(st);
+        self.arrivals.notify_all();
+    }
+
+    /// Whether `name` is registered and closed.
+    pub fn is_closed(&self, name: &str) -> bool {
+        lock(&self.state).queues.get(name).is_some_and(|m| m.closed)
     }
 
     /// Returns a snapshot of the traffic statistics.
@@ -171,16 +235,19 @@ impl Network {
         lock(&self.state).stats = NetStats::default();
     }
 
-    fn send(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
+    fn send(&self, from: &Arc<str>, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
         let mut st = lock(&self.state);
         let len = payload.len();
         let t = self.link.transfer_time(len);
-        let queue = st
+        let mb = st
             .queues
             .get_mut(to)
             .ok_or_else(|| NetError::UnknownEndpoint(to.to_string()))?;
-        queue.push_back(Message {
-            from: from.to_string(),
+        if mb.closed {
+            return Err(NetError::Closed(to.to_string()));
+        }
+        mb.queue.push_back(Message {
+            from: Arc::clone(from),
             payload,
         });
         st.stats.messages += 1;
@@ -192,19 +259,27 @@ impl Network {
     }
 
     fn recv(&self, name: &str) -> Option<Message> {
-        lock(&self.state).queues.get_mut(name)?.pop_front()
+        lock(&self.state).queues.get_mut(name)?.queue.pop_front()
     }
 
-    fn recv_timeout(&self, name: &str, timeout: Duration) -> Option<Message> {
+    fn recv_timeout(&self, name: &str, timeout: Duration) -> Result<Message, RecvError> {
         let deadline = std::time::Instant::now() + timeout;
         let mut st = lock(&self.state);
         loop {
-            if let Some(msg) = st.queues.get_mut(name).and_then(VecDeque::pop_front) {
-                return Some(msg);
+            if let Some(mb) = st.queues.get_mut(name) {
+                if let Some(msg) = mb.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if mb.closed {
+                    // Queue drained and no sender can ever refill it.
+                    return Err(RecvError::Closed);
+                }
+            } else {
+                return Err(RecvError::Closed);
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
-                return None;
+                return Err(RecvError::Timeout);
             }
             let (guard, result) = self
                 .arrivals
@@ -212,7 +287,17 @@ impl Network {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             st = guard;
             if result.timed_out() {
-                return None;
+                // Re-check once: closure or an arrival may have raced the
+                // timeout.
+                if let Some(mb) = st.queues.get_mut(name) {
+                    if let Some(msg) = mb.queue.pop_front() {
+                        return Ok(msg);
+                    }
+                    if mb.closed {
+                        return Err(RecvError::Closed);
+                    }
+                }
+                return Err(RecvError::Timeout);
             }
         }
     }
@@ -221,7 +306,7 @@ impl Network {
 /// A named participant on the network.
 #[derive(Clone)]
 pub struct Endpoint {
-    name: String,
+    name: Arc<str>,
     network: Network,
 }
 
@@ -242,9 +327,21 @@ impl Endpoint {
     }
 
     /// Blocks (up to `timeout`) for the next message — the primitive that
-    /// lets aggregator threads sleep instead of spinning.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+    /// lets aggregator threads sleep instead of spinning. Returns
+    /// [`RecvError::Closed`] once the endpoint is closed and drained, so
+    /// service loops can distinguish "quiet" from "gone".
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
         self.network.recv_timeout(&self.name, timeout)
+    }
+
+    /// Closes this endpoint (see [`Network::close`]).
+    pub fn close(&self) {
+        self.network.close(&self.name);
+    }
+
+    /// Whether this endpoint has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.network.is_closed(&self.name)
     }
 
     /// Receives the next message, requiring it to come from `from`.
@@ -255,7 +352,7 @@ impl Endpoint {
     /// is surfaced as `None` after requeueing.
     pub fn recv_from(&self, from: &str) -> Option<Vec<u8>> {
         let msg = self.recv()?;
-        if msg.from == from {
+        if &*msg.from == from {
             Some(msg.payload)
         } else {
             // Requeue at the back to avoid losing the message.
@@ -285,7 +382,7 @@ mod tests {
         let b = net.register("b");
         a.send("b", &b"hello"[..]).unwrap();
         let m = b.recv().unwrap();
-        assert_eq!(m.from, "a");
+        assert_eq!(&*m.from, "a");
         assert_eq!(&m.payload[..], b"hello");
         assert!(b.recv().is_none());
     }
@@ -361,7 +458,7 @@ mod tests {
         // Now b's message is at the front.
         assert_eq!(&a.recv_from("b").unwrap()[..], b"signal");
         // The noise message is still there.
-        assert_eq!(a.recv().unwrap().from, "c");
+        assert_eq!(&*a.recv().unwrap().from, "c");
     }
 
     #[test]
@@ -380,7 +477,10 @@ mod tests {
         let net = Network::new(LinkModel::lan());
         let a = net.register("a");
         let t0 = std::time::Instant::now();
-        assert!(a.recv_timeout(Duration::from_millis(30)).is_none());
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(30)),
+            Err(RecvError::Timeout)
+        );
         assert!(t0.elapsed() >= Duration::from_millis(25));
     }
 
@@ -411,5 +511,77 @@ mod tests {
         let b = net2.register("b");
         a.send("b", &b"via clone"[..]).unwrap();
         assert!(b.recv().is_some());
+    }
+
+    #[test]
+    fn sender_name_is_shared_not_cloned() {
+        let net = Network::new(LinkModel::lan());
+        let a = net.register("a");
+        let b = net.register("b");
+        let c = net.register("c");
+        a.send("b", &b"x"[..]).unwrap();
+        a.send("c", &b"x"[..]).unwrap();
+        let mb = b.recv().unwrap();
+        let mc = c.recv().unwrap();
+        // Both recipients see the very same interned sender name.
+        assert!(Arc::ptr_eq(&mb.from, &mc.from));
+    }
+
+    #[test]
+    fn close_rejects_new_sends_but_delivers_queued() {
+        let net = Network::new(LinkModel::lan());
+        let a = net.register("a");
+        let b = net.register("b");
+        a.send("b", &b"before"[..]).unwrap();
+        net.close("b");
+        assert_eq!(
+            a.send("b", &b"after"[..]),
+            Err(NetError::Closed("b".to_string()))
+        );
+        // The pre-close message is still delivered...
+        assert_eq!(
+            &b.recv_timeout(Duration::from_secs(1)).unwrap().payload[..],
+            b"before"
+        );
+        // ...then the closure is surfaced, immediately (no timeout wait).
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)),
+            Err(RecvError::Closed)
+        );
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert!(b.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let net = Network::new(LinkModel::lan());
+        let a = net.register("a");
+        let net2 = net.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            net2.close("a");
+        });
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(10)),
+            Err(RecvError::Closed)
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "woken by close, not timeout"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn close_is_idempotent_and_unknown_close_is_noop() {
+        let net = Network::new(LinkModel::lan());
+        let _a = net.register("a");
+        net.close("a");
+        net.close("a");
+        net.close("ghost");
+        assert!(net.is_closed("a"));
+        assert!(!net.is_closed("ghost"));
     }
 }

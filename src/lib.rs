@@ -8,6 +8,7 @@
 //! * [`nn`], [`tensor`], [`datasets`] — the training substrate.
 //! * [`sev_sim`], [`transport`], [`crypto`], [`bignum`], [`paillier`] —
 //!   the systems substrate.
+//! * [`runtime`] — the threaded actor deployment (concurrent nodes).
 //! * [`attacks`], [`autograd`] — the gradient-inversion attack suite.
 
 pub use deta_attacks as attacks;
@@ -18,6 +19,7 @@ pub use deta_crypto as crypto;
 pub use deta_datasets as datasets;
 pub use deta_nn as nn;
 pub use deta_paillier as paillier;
+pub use deta_runtime as runtime;
 pub use deta_sev_sim as sev_sim;
 pub use deta_tensor as tensor;
 pub use deta_transport as transport;

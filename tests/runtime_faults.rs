@@ -1,0 +1,136 @@
+//! Supervisor fault handling: a stalled node must surface as a
+//! structured error within the configured deadline — never a hang — and
+//! shutdown must still join every thread.
+
+use deta::core::DetaConfig;
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::mlp;
+use deta::nn::train::LabeledData;
+use deta::runtime::{Phase, RuntimeConfig, RuntimeError, StallFault, ThreadedSession};
+use std::time::{Duration, Instant};
+
+fn data(parties: usize) -> (Vec<LabeledData>, LabeledData, usize, usize) {
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(80, 1);
+    let test = spec.generate(40, 2);
+    (
+        iid_partition(&train, parties, 3),
+        test,
+        spec.dim(),
+        spec.classes,
+    )
+}
+
+#[test]
+fn stalled_follower_aggregator_times_out_structured_and_joins() {
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = 5;
+    let rt = RuntimeConfig {
+        round_deadline: Duration::from_secs(2),
+        tick: Duration::from_millis(10),
+        // agg-1 stops servicing its mailbox the moment round 1 is
+        // announced: the canonical "follower went dark" failure.
+        stalls: vec![StallFault {
+            node: "agg-1".to_string(),
+            round: 1,
+        }],
+        ..RuntimeConfig::default()
+    };
+    let mut session =
+        ThreadedSession::setup(cfg, &move |rng| mlp(&[dim, 12, classes], rng), shards, rt)
+            .expect("setup completes before the stall triggers");
+
+    let t0 = Instant::now();
+    let err = session
+        .run(&test)
+        .expect_err("a stalled follower cannot converge");
+    let elapsed = t0.elapsed();
+
+    // Structured timeout, not a hang: the error arrives promptly after
+    // the 2 s round deadline and names the dark aggregator.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "supervisor hung: {elapsed:?}"
+    );
+    match &err {
+        RuntimeError::Timeout {
+            phase,
+            round,
+            missing,
+            stalled,
+            waited,
+        } => {
+            assert_eq!(*phase, Phase::Round);
+            assert_eq!(*round, 1);
+            assert!(
+                missing.iter().any(|n| n == "agg-1"),
+                "missing must name the stalled aggregator, got {missing:?}"
+            );
+            // Parties keep heartbeating while blocked on the missing
+            // fragment, so only agg-1 is classified as stalled.
+            assert_eq!(stalled, &vec!["agg-1".to_string()]);
+            assert!(*waited >= Duration::from_secs(2));
+        }
+        other => panic!("expected a structured timeout, got: {other}"),
+    }
+
+    // `run` shuts the deployment down on the failure path: every thread
+    // (including the deliberately stalled one) must already be joined.
+    assert!(session.is_shut_down(), "threads leaked after the timeout");
+    // And an explicit shutdown stays a clean no-op.
+    session.shutdown().expect("idempotent shutdown");
+}
+
+#[test]
+fn stalled_initiator_times_out_too() {
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 1);
+    cfg.n_aggregators = 1;
+    cfg.seed = 6;
+    let rt = RuntimeConfig {
+        round_deadline: Duration::from_millis(800),
+        tick: Duration::from_millis(10),
+        stalls: vec![StallFault {
+            node: "agg-0".to_string(),
+            round: 1,
+        }],
+        ..RuntimeConfig::default()
+    };
+    let mut session =
+        ThreadedSession::setup(cfg, &move |rng| mlp(&[dim, 12, classes], rng), shards, rt)
+            .expect("setup completes before the stall triggers");
+    let err = session.run(&test).expect_err("no initiator, no rounds");
+    assert!(
+        matches!(
+            err,
+            RuntimeError::Timeout {
+                phase: Phase::Round,
+                ..
+            }
+        ),
+        "got: {err}"
+    );
+    assert!(session.is_shut_down());
+}
+
+#[test]
+fn healthy_deployment_does_not_false_positive() {
+    // Tight (but sufficient) deadlines on a healthy deployment: the
+    // supervisor must not misreport a live system.
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = 8;
+    let rt = RuntimeConfig {
+        tick: Duration::from_millis(5),
+        ..RuntimeConfig::default()
+    };
+    let mut session =
+        ThreadedSession::setup(cfg, &move |rng| mlp(&[dim, 12, classes], rng), shards, rt)
+            .expect("healthy setup");
+    let metrics = session.run(&test).expect("healthy run");
+    assert_eq!(metrics.len(), 2);
+    assert_eq!(session.completed_rounds(), 2);
+}

@@ -1,0 +1,114 @@
+//! Determinism parity: for a fixed seed, the threaded actor deployment
+//! must produce *bit-identical* model parameters to the sequential
+//! `DetaSession`.
+//!
+//! Why this should hold despite arbitrary thread scheduling: both
+//! deployments build their nodes with `SessionParts::build` (identical
+//! RNG forks, identical models); each party's randomness is an
+//! independent fork, so no interleaving can shift a draw from one party
+//! to another; and aggregators order uploads by party name before
+//! aggregating, so arrival order never reaches the arithmetic.
+
+use deta::core::{DetaConfig, DetaSession, SyncMode};
+use deta::datasets::{iid_partition, DatasetSpec};
+use deta::nn::models::mlp;
+use deta::nn::train::LabeledData;
+use deta::runtime::{RuntimeConfig, ThreadedSession};
+
+fn data(n: usize, parties: usize) -> (Vec<LabeledData>, LabeledData, usize, usize) {
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(n, 1);
+    let test = spec.generate(60, 2);
+    (
+        iid_partition(&train, parties, 3),
+        test,
+        spec.dim(),
+        spec.classes,
+    )
+}
+
+/// Per-party flat model parameters from one deployment.
+type PartyParams = Vec<Vec<f32>>;
+
+/// Runs the same config through both deployments and returns
+/// (sequential params, threaded params, sequential accs, threaded accs)
+/// for every party.
+fn both(config: DetaConfig) -> (PartyParams, PartyParams, Vec<f32>, Vec<f32>) {
+    let n = config.n_parties;
+    let (shards, test, dim, classes) = data(160, n);
+
+    let mut seq = DetaSession::setup(
+        config.clone(),
+        &move |rng| mlp(&[dim, 16, classes], rng),
+        shards.clone(),
+    )
+    .expect("sequential setup");
+    let seq_metrics = seq.run(&test);
+    let seq_params: PartyParams = (0..n).map(|i| seq.party_params(i)).collect();
+
+    let mut thr = ThreadedSession::setup(
+        config,
+        &move |rng| mlp(&[dim, 16, classes], rng),
+        shards,
+        RuntimeConfig::default(),
+    )
+    .expect("threaded setup");
+    let thr_metrics = thr.run(&test).expect("threaded run");
+    assert!(thr.is_shut_down(), "run must join every node thread");
+    let thr_params: PartyParams = (0..n)
+        .map(|i| thr.party_params(i).expect("recovered party"))
+        .collect();
+
+    (
+        seq_params,
+        thr_params,
+        seq_metrics.iter().map(|m| m.test_accuracy).collect(),
+        thr_metrics.iter().map(|m| m.test_accuracy).collect(),
+    )
+}
+
+#[test]
+fn threaded_equals_sequential_fedavg_k2() {
+    let mut cfg = DetaConfig::deta(4, 3);
+    cfg.n_aggregators = 2;
+    cfg.seed = 42;
+    let (seq, thr, seq_acc, thr_acc) = both(cfg);
+    assert_eq!(seq, thr, "FedAvg params must be bit-identical");
+    assert_eq!(
+        seq_acc, thr_acc,
+        "evaluation on identical params must agree"
+    );
+}
+
+#[test]
+fn threaded_equals_sequential_fedsgd_k2() {
+    let mut cfg = DetaConfig::deta(4, 3);
+    cfg.n_aggregators = 2;
+    cfg.mode = SyncMode::FedSgd;
+    cfg.seed = 9;
+    let (seq, thr, _, _) = both(cfg);
+    assert_eq!(seq, thr, "FedSgd params must be bit-identical");
+}
+
+#[test]
+fn threaded_equals_sequential_k3_with_partial_participation() {
+    let mut cfg = DetaConfig::deta(5, 3);
+    cfg.seed = 1234;
+    cfg.participation = Some(3);
+    let (seq, thr, _, _) = both(cfg);
+    assert_eq!(
+        seq, thr,
+        "partial participation must select identical cohorts"
+    );
+}
+
+#[test]
+fn threaded_replicas_stay_consistent() {
+    let mut cfg = DetaConfig::deta(4, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = 77;
+    let (_, thr, _, _) = both(cfg);
+    for p in &thr[1..] {
+        assert_eq!(&thr[0], p, "all replicas must hold the same model");
+    }
+}
