@@ -148,6 +148,21 @@ impl AggregatorNode {
         self.registered.len()
     }
 
+    /// Every decrypted-but-not-yet-aggregated plain upload this node
+    /// holds, as `(round, party, fragment)` sorted by round then party.
+    /// Together with the CVM breach log this is the complete plaintext
+    /// view of an aggregator — deta-simnet's privacy checker audits both.
+    pub fn pending_uploads(&self) -> Vec<(u64, String, Vec<f32>)> {
+        let mut out: Vec<(u64, String, Vec<f32>)> = Vec::new();
+        for (&round, uploads) in &self.pending {
+            for (party, frag) in uploads {
+                out.push((round, party.clone(), frag.clone()));
+            }
+        }
+        out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        out
+    }
+
     /// Deregisters a party (dropout handling): pending and future rounds
     /// aggregate over the remaining parties only.
     ///

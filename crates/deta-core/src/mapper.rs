@@ -129,6 +129,13 @@ impl ModelMapper {
         self.positions[j].len()
     }
 
+    /// The aggregator owning parameter `i`, if `i` is in range — the
+    /// partition-ownership fact deta-simnet's privacy checker audits
+    /// against what each aggregator actually received.
+    pub fn owner_of(&self, i: usize) -> Option<u16> {
+        self.assignment.get(i).copied()
+    }
+
     /// The model indices backing fragment `j`, in fragment order.
     pub fn fragment_positions(&self, j: usize) -> &[u32] {
         &self.positions[j]

@@ -133,6 +133,14 @@ pub struct Party {
     pub last_train_loss: f32,
     /// Cumulative privacy spend when LDP is enabled.
     pub privacy: PrivacyAccountant,
+    /// When set, every uploaded update (post-LDP, pre-transform) is
+    /// appended to [`Party::update_log`]. Test harnesses (deta-simnet's
+    /// privacy checker) use the log as ground truth for what each
+    /// aggregator's fragment *should* contain; off by default so
+    /// production runs never retain plaintext updates.
+    pub record_updates: bool,
+    /// `(round, flat update)` log populated when `record_updates` is set.
+    pub update_log: Vec<(u64, Vec<f32>)>,
 }
 
 impl Party {
@@ -177,7 +185,27 @@ impl Party {
             timers: PartyTimers::default(),
             last_train_loss: 0.0,
             privacy: PrivacyAccountant::default(),
+            record_updates: false,
+            update_log: Vec::new(),
         }
+    }
+
+    /// Swaps the destination aggregators of fragments `a` and `b`: after
+    /// this, fragment `a` is uploaded to aggregator `b` and vice versa —
+    /// a deliberate violation of the paper's partition/aggregator
+    /// correspondence. Test-harness hook: deta-simnet plants it to prove
+    /// the privacy checker catches misrouted fragments. No-op when out of
+    /// range or `a == b`.
+    pub fn swap_fragment_routes(&mut self, a: usize, b: usize) {
+        if a != b && a < self.aggregators.len() && b < self.aggregators.len() {
+            self.aggregators.swap(a, b);
+        }
+    }
+
+    /// The shared transformer (mapper + shuffle) this party uploads
+    /// through.
+    pub fn transformer(&self) -> &Transformer {
+        &self.transformer
     }
 
     /// Local dataset size (the FedAvg weight `n_i`).
@@ -339,6 +367,9 @@ impl Party {
                     gaussian_mechanism(&mut update, &ldp, &mut self.privacy, &mut self.rng);
                 }
             }
+        }
+        if self.record_updates {
+            self.update_log.push((round, update.clone()));
         }
         let t1 = Instant::now();
         let fragments = self.transformer.transform(&update, &tid);

@@ -209,6 +209,11 @@ pub struct SessionParts {
     /// A model replica identical to every party's starting model (for
     /// driver-side evaluation without reaching into a party thread).
     pub eval_model: Sequential,
+    /// The shared transform (mapper + permutation key) every party
+    /// uploads through. Exposed so external checkers (deta-simnet's
+    /// privacy auditor) can recompute which shuffled partition each
+    /// aggregator is entitled to see.
+    pub transformer: Transformer,
 }
 
 impl SessionParts {
@@ -364,6 +369,7 @@ impl SessionParts {
             latency_model,
             tokens,
             eval_model: template,
+            transformer,
         })
     }
 }
@@ -409,6 +415,7 @@ impl DetaSession {
             latency_model,
             tokens,
             eval_model: _,
+            transformer: _,
         } = SessionParts::build(config, model_builder, party_data)?;
 
         // --- Phase II: verify aggregators, register, open channels. ---

@@ -11,9 +11,11 @@
 //!   a hash of the property name and the case index, so a failure
 //!   reported as `property "x", case 17` reproduces exactly — on any
 //!   machine, in any test order, with no seed file.
-//! * **No shrinking.** Cases are generated small-ish by construction
-//!   (generators take explicit size ranges); the failing case is
-//!   re-runnable directly, which has proven enough for this codebase.
+//! * **Set shrinking only.** Cases are generated small-ish by
+//!   construction (generators take explicit size ranges), so value
+//!   shrinking is not needed; for *sets* of independent items — e.g. a
+//!   simnet fault plan — [`shrink_set`] reduces a failing collection to
+//!   a 1-minimal subset that still fails.
 //! * **Plain assertions.** Properties use `assert!`/`assert_eq!`; the
 //!   runner catches the panic, prints the case number, and re-raises.
 //!
@@ -155,6 +157,44 @@ pub fn cases(name: &str, n: u64, mut property: impl FnMut(&mut Gen)) {
     }
 }
 
+/// Greedily minimizes a failing collection: starting from `items` (for
+/// which `fails` must return `true`), repeatedly re-tests with one
+/// element removed and keeps every removal that still fails, until the
+/// result is **1-minimal** — removing any single remaining element makes
+/// the failure disappear.
+///
+/// The predicate must be deterministic; with `n` items it is invoked
+/// `O(n²)` times in the worst case, so keep it cheap or `items` small.
+/// Typical use: shrink a simnet fault plan to the smallest fault set
+/// that still breaks an invariant, then report that set.
+///
+/// # Panics
+///
+/// Panics if `fails(items)` is not already `true` — shrinking a passing
+/// input is a harness bug, not a property failure.
+pub fn shrink_set<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current = items.to_vec();
+    assert!(fails(&current), "shrink_set needs a failing input");
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Same index now holds the next element; retry it.
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +234,29 @@ mod tests {
     #[should_panic]
     fn failures_propagate() {
         cases("always-fails", 3, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn shrink_set_finds_a_one_minimal_subset() {
+        // Fails iff the set contains both a 3 and a 7.
+        let items = vec![1, 3, 5, 7, 9, 3];
+        let min = shrink_set(&items, |s| s.contains(&3) && s.contains(&7));
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&3) && min.contains(&7));
+    }
+
+    #[test]
+    fn shrink_set_keeps_irreducible_inputs() {
+        let items = vec![4, 2];
+        // Fails iff the sum is exactly 6 — both elements are needed.
+        let min = shrink_set(&items, |s| s.iter().sum::<i32>() == 6);
+        assert_eq!(min, items);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shrink_set_rejects_passing_inputs() {
+        shrink_set(&[1, 2, 3], |_| false);
     }
 
     #[test]

@@ -15,9 +15,12 @@ use crate::actor::NodeExit;
 use crate::rtmsg::CtlMsg;
 use crate::supervisor::Supervisor;
 use crate::{Phase, RuntimeConfig, RuntimeError};
+use deta_core::aggregator::AggregatorNode;
 use deta_core::keybroker::KeyBroker;
 use deta_core::latency::{LatencyModel, RoundInputs};
+use deta_core::party::Party;
 use deta_core::session::{DetaConfig, RoundMetrics, SessionParts};
+use deta_core::transform::Transformer;
 use deta_crypto::DetRng;
 use deta_nn::train::LabeledData;
 use deta_nn::Sequential;
@@ -30,6 +33,7 @@ pub struct ThreadedSession {
     pub config: DetaConfig,
     network: Network,
     broker: KeyBroker,
+    transformer: Transformer,
     latency_model: LatencyModel,
     eval_model: Sequential,
     supervisor: Supervisor,
@@ -61,6 +65,27 @@ impl ThreadedSession {
         party_data: Vec<LabeledData>,
         rt: RuntimeConfig,
     ) -> Result<ThreadedSession, RuntimeError> {
+        Self::setup_with(config, model_builder, party_data, rt, |_| {})
+    }
+
+    /// [`ThreadedSession::setup`] with a hook that runs after node
+    /// construction and before any thread spawns. Test harnesses use it
+    /// to instrument the deployment — install a fault policy or tap on
+    /// `parts.network`, flip `Party::record_updates`, plant a
+    /// misrouting — without the runtime growing bespoke knobs for each.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThreadedSession::setup`].
+    pub fn setup_with(
+        config: DetaConfig,
+        model_builder: &dyn Fn(&mut DetRng) -> Sequential,
+        party_data: Vec<LabeledData>,
+        rt: RuntimeConfig,
+        instrument: impl FnOnce(&mut SessionParts),
+    ) -> Result<ThreadedSession, RuntimeError> {
+        let mut parts = SessionParts::build(config, model_builder, party_data)?;
+        instrument(&mut parts);
         let SessionParts {
             config,
             network,
@@ -70,7 +95,8 @@ impl ThreadedSession {
             latency_model,
             tokens,
             eval_model,
-        } = SessionParts::build(config, model_builder, party_data)?;
+            transformer,
+        } = parts;
         let agg_names: Vec<String> = aggregators.iter().map(|a| a.name.clone()).collect();
         let party_names: Vec<String> = parties.iter().map(|p| p.name.clone()).collect();
         let mut supervisor = Supervisor::new(network.clone(), rt);
@@ -97,6 +123,7 @@ impl ThreadedSession {
             config,
             network,
             broker,
+            transformer,
             latency_model,
             eval_model,
             supervisor,
@@ -338,10 +365,52 @@ impl ThreadedSession {
     /// after shutdown (nodes are recovered from their threads at join);
     /// `None` before that, or for an unknown index.
     pub fn party_params(&self, i: usize) -> Option<Vec<f32>> {
+        Some(self.recovered_party(i)?.model.flat_params())
+    }
+
+    /// Party `i`'s final node state, recovered from its joined thread.
+    /// Available after shutdown; `None` before that, for an unknown
+    /// index, or if the thread panicked.
+    pub fn recovered_party(&self, i: usize) -> Option<&Party> {
         let name = self.party_names.get(i)?;
         match self.supervisor.recovered(name)? {
-            NodeExit::Party(p) => Some(p.model.flat_params()),
+            NodeExit::Party(p) => Some(p),
             NodeExit::Aggregator(_) => None,
         }
+    }
+
+    /// Aggregator `j`'s final node state, recovered from its joined
+    /// thread (same availability as [`ThreadedSession::recovered_party`]).
+    pub fn recovered_aggregator(&self, j: usize) -> Option<&AggregatorNode> {
+        let name = self.agg_names.get(j)?;
+        match self.supervisor.recovered(name)? {
+            NodeExit::Aggregator(a) => Some(a),
+            NodeExit::Party(_) => None,
+        }
+    }
+
+    /// The key broker (per-round training ids and the permutation key).
+    pub fn broker(&self) -> &KeyBroker {
+        &self.broker
+    }
+
+    /// The shared transform every party uploads through.
+    pub fn transformer(&self) -> &Transformer {
+        &self.transformer
+    }
+
+    /// The deployment's network (e.g. for traffic stats).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Party endpoint names, in index order.
+    pub fn party_names(&self) -> &[String] {
+        &self.party_names
+    }
+
+    /// Aggregator endpoint names, index 0 is the initiator.
+    pub fn agg_names(&self) -> &[String] {
+        &self.agg_names
     }
 }

@@ -1,0 +1,175 @@
+//! Seed-sweep driver: runs the DeTA deployment under N fault seeds,
+//! checks every invariant on every run, verifies verdict-class
+//! determinism (each seed runs twice), and records/verifies the seed
+//! corpus in `results/SIM_SEEDS.json`.
+//!
+//! Usage:
+//!   sim_sweep                  # full sweep, verify against the corpus
+//!   sim_sweep --seed 17        # one seed, verbose report (repro mode)
+//!   sim_sweep --seeds 50       # sweep the first 50 seeds
+//!   sim_sweep --json PATH      # corpus location (default results/SIM_SEEDS.json)
+//!   DETA_SIM_REWRITE=1 sim_sweep   # regenerate the corpus instead of verifying
+
+use deta_simnet::{FaultPlan, SeedReport, SimFleet, SimSpec};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+const DEFAULT_SEEDS: u64 = 200;
+const DEFAULT_JSON: &str = "results/SIM_SEEDS.json";
+
+fn main() {
+    let mut seeds = DEFAULT_SEEDS;
+    let mut json_path = DEFAULT_JSON.to_string();
+    let mut single: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => single = args.next().and_then(|v| v.parse().ok()),
+            "--seeds" => seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or(seeds),
+            "--json" => json_path = args.next().unwrap_or(json_path),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fleet = SimFleet::new(SimSpec::default());
+
+    if let Some(seed) = single {
+        let plan = FaultPlan::from_seed(seed, fleet.topology());
+        println!("seed {seed}: plan = {:?}", plan.faults);
+        let report = fleet.run_seed(seed);
+        println!("verdict: {} ({:?})", report.verdict.class(), report.verdict);
+        println!("fired:   {:?}", report.fired_kinds);
+        println!("error:   {:?}", report.error);
+        println!("elapsed: {:?}", report.elapsed);
+        for v in &report.violations {
+            println!("VIOLATION: {v}");
+        }
+        std::process::exit(if report.violations.is_empty() { 0 } else { 1 });
+    }
+
+    // Full sweep: every seed twice, in parallel.
+    let todo: Vec<u64> = (0..seeds).flat_map(|s| [s, s]).collect();
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<(u64, SeedReport)>> = Mutex::new(Vec::new());
+    // Failed runs spend their time sleeping on supervisor deadlines, not
+    // computing, so the worker count deliberately ignores the core count.
+    let workers = 8;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = {
+                    let mut n = next.lock().expect("sweep cursor");
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let Some(&seed) = todo.get(i) else { break };
+                let report = fleet.run_seed(seed);
+                results.lock().expect("sweep results").push((seed, report));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("sweep results");
+    results.sort_by_key(|(s, _)| *s);
+
+    let mut failures = 0usize;
+    let mut fired_union: BTreeSet<&'static str> = BTreeSet::new();
+    let mut corpus: Vec<(u64, String, Vec<&'static str>)> = Vec::new();
+    for pair in results.chunks(2) {
+        let (seed, a) = &pair[0];
+        let (_, b) = &pair[1];
+        for r in [a, b] {
+            for v in &r.violations {
+                eprintln!("seed {seed}: VIOLATION: {v}");
+                failures += 1;
+            }
+        }
+        if a.verdict.class() != b.verdict.class() || a.fired_kinds != b.fired_kinds {
+            eprintln!(
+                "seed {seed}: NONDETERMINISTIC: run1 {}/{:?} vs run2 {}/{:?}",
+                a.verdict.class(),
+                a.fired_kinds,
+                b.verdict.class(),
+                b.fired_kinds
+            );
+            failures += 1;
+        }
+        fired_union.extend(a.fired_kinds.iter());
+        corpus.push((
+            *seed,
+            a.verdict.class().to_string(),
+            a.fired_kinds.iter().copied().collect(),
+        ));
+    }
+    for kind in [
+        "drop",
+        "duplicate",
+        "delay",
+        "corrupt",
+        "partition",
+        "crash",
+    ] {
+        if !fired_union.contains(kind) {
+            eprintln!("coverage: no seed in the sweep fired a {kind} fault");
+            failures += 1;
+        }
+    }
+
+    let json = render_corpus(&corpus);
+    let rewrite = std::env::var("DETA_SIM_REWRITE").is_ok_and(|v| v == "1");
+    match std::fs::read_to_string(&json_path) {
+        Ok(existing) if !rewrite => {
+            if existing.trim() != json.trim() {
+                eprintln!(
+                    "corpus mismatch: {json_path} disagrees with this sweep \
+                     (set DETA_SIM_REWRITE=1 to regenerate)"
+                );
+                failures += 1;
+            }
+        }
+        _ => {
+            if let Some(dir) = std::path::Path::new(&json_path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(&json_path, &json) {
+                eprintln!("cannot write {json_path}: {e}");
+                failures += 1;
+            } else {
+                println!("wrote {json_path}");
+            }
+        }
+    }
+
+    let parity = corpus.iter().filter(|(_, c, _)| c == "parity").count();
+    println!(
+        "swept {seeds} seeds x2 on {workers} workers: {parity} parity, {} failed, fired kinds {:?}",
+        corpus.len() - parity,
+        fired_union
+    );
+    if failures > 0 {
+        eprintln!("{failures} sweep failure(s)");
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled corpus JSON (the workspace is dependency-free by policy):
+/// `[{"seed":0,"verdict":"parity","kinds":["drop"]}, ...]`.
+fn render_corpus(corpus: &[(u64, String, Vec<&'static str>)]) -> String {
+    let mut out = String::from("[\n");
+    for (i, (seed, class, kinds)) in corpus.iter().enumerate() {
+        let kinds_json = kinds
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "  {{\"seed\":{seed},\"verdict\":\"{class}\",\"kinds\":[{kinds_json}]}}"
+        ));
+        out.push_str(if i + 1 < corpus.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}

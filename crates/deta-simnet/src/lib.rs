@@ -1,0 +1,40 @@
+//! deta-simnet: seeded, deterministic fault injection for the full DeTA
+//! deployment, with a machine-checked invariant fleet.
+//!
+//! The paper's protocol is evaluated here the way a deployment would be:
+//! every node of the threaded runtime runs for real, while the network
+//! underneath it executes a [`FaultPlan`] — drop, duplicate,
+//! delay/reorder, corrupt-frame, partition, and peer-crash faults —
+//! derived from a single `u64` seed. A [`TapLog`] records every frame
+//! each node sees. The [`SimFleet`] harness then machine-verifies, per
+//! run:
+//!
+//! 1. **Termination** — the run ends inside its supervision budget,
+//!    either bit-identical to the sequential `DetaSession` or with a
+//!    structured error naming a node incident to a fired fault.
+//! 2. **Privacy** — each aggregator's materialized state holds exactly
+//!    the shuffled fragments of its own mapper partition, recomputed
+//!    independently from party update logs and backed by tap frames.
+//! 3. **Idempotence** — duplicated triggers and replayed records leave
+//!    final parameters unchanged.
+//!
+//! Determinism comes from three rules: fault decisions are keyed on
+//! per-link send-attempt counters (one sending thread per link), the
+//! supervisor's control plane is exempt from faults, and round triggers
+//! are single-shot (retries pushed past the deadline horizon). The same
+//! seed therefore always yields the same verdict class.
+//!
+//! Reproduce a sweep failure locally with
+//! `cargo run -p deta-simnet --bin sim_sweep -- --seed <n>` or
+//! `DETA_SIM_SEED=<n> cargo test -p deta-simnet seed_from_env`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod fleet;
+pub mod tap;
+
+pub use fault::{Fault, FaultKind, FaultPlan, SimPolicy, Topology};
+pub use fleet::{SeedReport, SimFleet, SimSpec, Verdict};
+pub use tap::{TapLog, TapRecord};

@@ -22,6 +22,17 @@
 //! poison signal: a thread blocked in [`Endpoint::recv_timeout`] on a
 //! closed endpoint wakes with [`RecvError::Closed`] instead of timing out
 //! forever while its peer is gone.
+//!
+//! Two optional hooks make the network a testable *hostile* network
+//! (used by `deta-simnet` for deterministic fault injection):
+//!
+//! * a [`FaultPolicy`] rules on every send attempt with a
+//!   [`SendVerdict`] — deliver, drop, duplicate, corrupt, delay, or
+//!   crash the sender,
+//! * a [`NetTap`] observes every delivery and every loss, giving test
+//!   harnesses a complete per-link message log to replay.
+//!
+//! Both default to absent; production paths pay one `Option` check.
 
 //!
 //! # Examples
@@ -149,15 +160,89 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// What a [`FaultPolicy`] decides about one send attempt.
+///
+/// Every variant keeps the *sender-visible* contract of the healthy
+/// network except [`SendVerdict::CrashSender`]: drops and delays return
+/// `Ok` to the sender (real networks lose frames silently), so protocol
+/// code cannot accidentally compensate for injected faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Deliver normally (the default when no policy is installed).
+    Deliver,
+    /// Silently lose the message; the sender still sees `Ok`.
+    Drop,
+    /// Deliver two back-to-back copies of the message.
+    Duplicate,
+    /// Deliver this payload instead of the original (frame corruption).
+    Replace(Vec<u8>),
+    /// Hold the message back until `after` further messages have been
+    /// delivered on the same (from, to) link, then deliver it (a
+    /// deterministic reorder). If the link never carries `after` more
+    /// messages the held message is lost. `after == 0` delivers
+    /// immediately.
+    Delay {
+        /// How many subsequent same-link deliveries to wait for.
+        after: u32,
+    },
+    /// Close the *sender's* endpoint (peer crash): the message is lost
+    /// and the send fails with [`NetError::Closed`] naming the sender.
+    /// The crashed node keeps its ability to send (its outgoing half is
+    /// not modelled), but its service loop will drain and observe
+    /// [`RecvError::Closed`].
+    CrashSender,
+}
+
+/// Rules on every send attempt. Installed via
+/// [`Network::set_fault_policy`].
+///
+/// Called with the network lock held: implementations must be fast and
+/// must not call back into the network (deadlock). Determinism is the
+/// implementor's job — `deta-simnet` keys decisions on per-link send
+/// counters so thread scheduling cannot change a verdict.
+pub trait FaultPolicy: Send + Sync {
+    /// Decides the fate of one message from `from` to `to`.
+    fn on_send(&self, from: &str, to: &str, payload: &[u8]) -> SendVerdict;
+}
+
+/// Observes the network: one callback per actual delivery (enqueue into
+/// the destination mailbox) and one per loss. Installed via
+/// [`Network::set_tap`].
+///
+/// Called with the network lock held — same constraints as
+/// [`FaultPolicy`]. Delivery order as observed by the tap is exactly
+/// mailbox enqueue order, which makes tap logs replayable evidence of
+/// everything a node ever saw.
+pub trait NetTap: Send + Sync {
+    /// A payload was enqueued into `to`'s mailbox.
+    fn on_deliver(&self, from: &str, to: &str, payload: &[u8]);
+    /// A send attempt did not enqueue anything: fault drop, corruption
+    /// (the original payload is reported lost), crash, or a held message
+    /// whose destination closed before release.
+    fn on_drop(&self, _from: &str, _to: &str, _payload: &[u8]) {}
+}
+
 /// One endpoint's queue plus its liveness flag.
 struct Mailbox {
     queue: VecDeque<Message>,
     closed: bool,
 }
 
+/// A message held back by [`SendVerdict::Delay`], waiting for `after`
+/// more deliveries on its (from, to) link.
+struct Held {
+    from: Arc<str>,
+    to: String,
+    payload: Vec<u8>,
+    after: u32,
+}
+
 struct NetState {
     queues: HashMap<Arc<str>, Mailbox>,
     stats: NetStats,
+    policy: Option<Arc<dyn FaultPolicy>>,
+    tap: Option<Arc<dyn NetTap>>,
+    held: Vec<Held>,
 }
 
 /// The shared simulated network.
@@ -176,6 +261,9 @@ impl Network {
             state: Arc::new(Mutex::new(NetState {
                 queues: HashMap::new(),
                 stats: NetStats::default(),
+                policy: None,
+                tap: None,
+                held: Vec::new(),
             })),
             arrivals: Arc::new(Condvar::new()),
             link,
@@ -235,27 +323,131 @@ impl Network {
         lock(&self.state).stats = NetStats::default();
     }
 
+    /// Installs a fault policy ruling on every subsequent send. Replaces
+    /// any previous policy; affects all clones of this network.
+    pub fn set_fault_policy(&self, policy: Arc<dyn FaultPolicy>) {
+        lock(&self.state).policy = Some(policy);
+    }
+
+    /// Installs a tap observing every delivery and loss. Replaces any
+    /// previous tap; affects all clones of this network.
+    pub fn set_tap(&self, tap: Arc<dyn NetTap>) {
+        lock(&self.state).tap = Some(tap);
+    }
+
+    /// Delivers `payload` into `to`'s mailbox (stats + tap), then releases
+    /// any held messages whose same-link delivery countdown reaches zero.
+    /// Releases are themselves deliveries, so chained holds drain in FIFO
+    /// order — a bounded worklist, not recursion.
+    fn deliver_locked(&self, st: &mut NetState, from: &Arc<str>, to: &str, payload: Vec<u8>) {
+        let tap = st.tap.clone();
+        let mut work: VecDeque<(Arc<str>, String, Vec<u8>)> = VecDeque::new();
+        work.push_back((Arc::clone(from), to.to_string(), payload));
+        while let Some((from, to, payload)) = work.pop_front() {
+            let len = payload.len();
+            let deliverable = st.queues.get(to.as_str()).is_some_and(|mb| !mb.closed);
+            if !deliverable {
+                // A held message can outlive its destination.
+                if let Some(t) = &tap {
+                    t.on_drop(&from, &to, &payload);
+                }
+                continue;
+            }
+            if let Some(t) = &tap {
+                t.on_deliver(&from, &to, &payload);
+            }
+            if let Some(mb) = st.queues.get_mut(to.as_str()) {
+                mb.queue.push_back(Message {
+                    from: Arc::clone(&from),
+                    payload,
+                });
+            }
+            st.stats.messages += 1;
+            st.stats.bytes += len as u64;
+            st.stats.transfer_time_s += self.link.transfer_time(len);
+            // One more delivery happened on (from, to): advance held
+            // messages on that link and release the ripe ones, in the
+            // order they were held.
+            let mut i = 0;
+            while i < st.held.len() {
+                let matches =
+                    st.held[i].from.as_ref() == from.as_ref() && st.held[i].to == to.as_str();
+                if matches {
+                    st.held[i].after = st.held[i].after.saturating_sub(1);
+                    if st.held[i].after == 0 {
+                        let h = st.held.remove(i);
+                        work.push_back((h.from, h.to, h.payload));
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
     fn send(&self, from: &Arc<str>, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
         let mut st = lock(&self.state);
-        let len = payload.len();
-        let t = self.link.transfer_time(len);
-        let mb = st
-            .queues
-            .get_mut(to)
-            .ok_or_else(|| NetError::UnknownEndpoint(to.to_string()))?;
-        if mb.closed {
-            return Err(NetError::Closed(to.to_string()));
+        // Destination errors come before fault verdicts so close/unknown
+        // semantics are identical with and without a policy installed.
+        match st.queues.get(to) {
+            None => return Err(NetError::UnknownEndpoint(to.to_string())),
+            Some(mb) if mb.closed => return Err(NetError::Closed(to.to_string())),
+            Some(_) => {}
         }
-        mb.queue.push_back(Message {
-            from: Arc::clone(from),
-            payload,
-        });
-        st.stats.messages += 1;
-        st.stats.bytes += len as u64;
-        st.stats.transfer_time_s += t;
+        let verdict = match &st.policy {
+            Some(p) => p.on_send(from, to, &payload),
+            None => SendVerdict::Deliver,
+        };
+        let tap = st.tap.clone();
+        let result = match verdict {
+            SendVerdict::Deliver => {
+                self.deliver_locked(&mut st, from, to, payload);
+                Ok(())
+            }
+            SendVerdict::Drop => {
+                if let Some(t) = &tap {
+                    t.on_drop(from, to, &payload);
+                }
+                Ok(())
+            }
+            SendVerdict::Duplicate => {
+                self.deliver_locked(&mut st, from, to, payload.clone());
+                self.deliver_locked(&mut st, from, to, payload);
+                Ok(())
+            }
+            SendVerdict::Replace(alt) => {
+                if let Some(t) = &tap {
+                    t.on_drop(from, to, &payload);
+                }
+                self.deliver_locked(&mut st, from, to, alt);
+                Ok(())
+            }
+            SendVerdict::Delay { after: 0 } => {
+                self.deliver_locked(&mut st, from, to, payload);
+                Ok(())
+            }
+            SendVerdict::Delay { after } => {
+                st.held.push(Held {
+                    from: Arc::clone(from),
+                    to: to.to_string(),
+                    payload,
+                    after,
+                });
+                Ok(())
+            }
+            SendVerdict::CrashSender => {
+                if let Some(t) = &tap {
+                    t.on_drop(from, to, &payload);
+                }
+                if let Some(mb) = st.queues.get_mut(from.as_ref()) {
+                    mb.closed = true;
+                }
+                Err(NetError::Closed(from.to_string()))
+            }
+        };
         drop(st);
         self.arrivals.notify_all();
-        Ok(())
+        result
     }
 
     fn recv(&self, name: &str) -> Option<Message> {
@@ -583,5 +775,173 @@ mod tests {
         net.close("ghost");
         assert!(net.is_closed("a"));
         assert!(!net.is_closed("ghost"));
+    }
+
+    /// A policy scripted per send attempt (global counter).
+    struct Script(Mutex<Vec<SendVerdict>>);
+
+    impl FaultPolicy for Script {
+        fn on_send(&self, _from: &str, _to: &str, _payload: &[u8]) -> SendVerdict {
+            let mut s = lock(&self.0);
+            if s.is_empty() {
+                SendVerdict::Deliver
+            } else {
+                s.remove(0)
+            }
+        }
+    }
+
+    /// A tap counting deliveries and drops, recording delivered payloads.
+    #[derive(Default)]
+    struct Counter {
+        delivered: Mutex<Vec<(String, String, Vec<u8>)>>,
+        dropped: Mutex<Vec<(String, String, Vec<u8>)>>,
+    }
+
+    impl NetTap for Counter {
+        fn on_deliver(&self, from: &str, to: &str, payload: &[u8]) {
+            lock(&self.delivered).push((from.into(), to.into(), payload.to_vec()));
+        }
+        fn on_drop(&self, from: &str, to: &str, payload: &[u8]) {
+            lock(&self.dropped).push((from.into(), to.into(), payload.to_vec()));
+        }
+    }
+
+    fn fault_net(script: Vec<SendVerdict>) -> (Network, Arc<Counter>) {
+        let net = Network::new(LinkModel::lan());
+        let tap = Arc::new(Counter::default());
+        net.set_fault_policy(Arc::new(Script(Mutex::new(script))));
+        net.set_tap(Arc::clone(&tap) as Arc<dyn NetTap>);
+        (net, tap)
+    }
+
+    #[test]
+    fn fault_drop_is_silent_and_tapped() {
+        let (net, tap) = fault_net(vec![SendVerdict::Drop]);
+        let a = net.register("a");
+        let b = net.register("b");
+        a.send("b", &b"lost"[..]).unwrap();
+        a.send("b", &b"kept"[..]).unwrap();
+        assert_eq!(&b.recv().unwrap().payload[..], b"kept");
+        assert!(b.recv().is_none());
+        assert_eq!(lock(&tap.dropped).len(), 1);
+        assert_eq!(lock(&tap.delivered).len(), 1);
+        // Dropped messages do not count as traffic.
+        assert_eq!(net.stats().messages, 1);
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_two_copies() {
+        let (net, tap) = fault_net(vec![SendVerdict::Duplicate]);
+        let a = net.register("a");
+        let b = net.register("b");
+        a.send("b", &b"x"[..]).unwrap();
+        assert_eq!(&b.recv().unwrap().payload[..], b"x");
+        assert_eq!(&b.recv().unwrap().payload[..], b"x");
+        assert!(b.recv().is_none());
+        assert_eq!(lock(&tap.delivered).len(), 2);
+        assert_eq!(net.stats().messages, 2);
+    }
+
+    #[test]
+    fn fault_replace_corrupts_frame() {
+        let (net, tap) = fault_net(vec![SendVerdict::Replace(b"bad".to_vec())]);
+        let a = net.register("a");
+        let b = net.register("b");
+        a.send("b", &b"good"[..]).unwrap();
+        assert_eq!(&b.recv().unwrap().payload[..], b"bad");
+        // Original reported lost, replacement reported delivered.
+        assert_eq!(lock(&tap.dropped)[0].2, b"good".to_vec());
+        assert_eq!(lock(&tap.delivered)[0].2, b"bad".to_vec());
+    }
+
+    #[test]
+    fn fault_delay_reorders_within_link() {
+        let (net, _tap) = fault_net(vec![SendVerdict::Delay { after: 2 }]);
+        let a = net.register("a");
+        let b = net.register("b");
+        a.send("b", &b"1"[..]).unwrap(); // held until 2 more deliveries
+        a.send("b", &b"2"[..]).unwrap();
+        a.send("b", &b"3"[..]).unwrap(); // releases "1" right after
+        a.send("b", &b"4"[..]).unwrap();
+        let order: Vec<Vec<u8>> = b.drain().into_iter().map(|m| m.payload).collect();
+        assert_eq!(
+            order,
+            vec![b"2".to_vec(), b"3".to_vec(), b"1".to_vec(), b"4".to_vec()]
+        );
+    }
+
+    #[test]
+    fn fault_delay_unreleased_message_is_lost() {
+        let (net, tap) = fault_net(vec![SendVerdict::Delay { after: 3 }]);
+        let a = net.register("a");
+        let b = net.register("b");
+        a.send("b", &b"held"[..]).unwrap();
+        a.send("b", &b"only"[..]).unwrap();
+        let got = b.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].payload[..], b"only");
+        // Never released, never tapped as delivered.
+        assert_eq!(lock(&tap.delivered).len(), 1);
+    }
+
+    #[test]
+    fn fault_delay_only_counts_same_link_deliveries() {
+        let (net, _tap) = fault_net(vec![SendVerdict::Delay { after: 1 }]);
+        let a = net.register("a");
+        let c = net.register("c");
+        let b = net.register("b");
+        a.send("b", &b"held"[..]).unwrap();
+        // Traffic on another link must not release it.
+        c.send("b", &b"other"[..]).unwrap();
+        assert_eq!(b.drain().len(), 1);
+        // Same-link traffic does.
+        a.send("b", &b"trigger"[..]).unwrap();
+        let order: Vec<Vec<u8>> = b.drain().into_iter().map(|m| m.payload).collect();
+        assert_eq!(order, vec![b"trigger".to_vec(), b"held".to_vec()]);
+    }
+
+    #[test]
+    fn fault_crash_closes_sender_and_loses_message() {
+        let (net, tap) = fault_net(vec![SendVerdict::CrashSender]);
+        let a = net.register("a");
+        let b = net.register("b");
+        assert_eq!(
+            a.send("b", &b"dying"[..]),
+            Err(NetError::Closed("a".to_string()))
+        );
+        assert!(a.is_closed());
+        assert!(b.recv().is_none());
+        assert_eq!(lock(&tap.dropped).len(), 1);
+        // The crashed node still drains to Closed, like any closed endpoint.
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(RecvError::Closed)
+        );
+    }
+
+    #[test]
+    fn tap_sees_sender_and_destination() {
+        let (net, tap) = fault_net(vec![]);
+        let a = net.register("a");
+        let _b = net.register("b");
+        a.send("b", &b"x"[..]).unwrap();
+        let d = lock(&tap.delivered);
+        assert_eq!(d[0].0, "a");
+        assert_eq!(d[0].1, "b");
+    }
+
+    #[test]
+    fn policy_rules_after_closed_check() {
+        // Sends to a closed endpoint fail before the policy sees them.
+        let (net, tap) = fault_net(vec![SendVerdict::Duplicate]);
+        let a = net.register("a");
+        let _b = net.register("b");
+        net.close("b");
+        assert_eq!(
+            a.send("b", &b"x"[..]),
+            Err(NetError::Closed("b".to_string()))
+        );
+        assert_eq!(lock(&tap.delivered).len(), 0);
     }
 }

@@ -11,6 +11,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> sim sweep (200 seeds x2, verdict determinism + corpus verify)"
+# Wall-clock is bounded by the fleet's supervisor deadlines (SimSpec);
+# the corpus in results/SIM_SEEDS.json is verified, not rewritten — set
+# DETA_SIM_REWRITE=1 after an intentional behaviour change.
+cargo run --release -q -p deta-simnet --bin sim_sweep
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,12 +1,22 @@
-//! Supervisor fault handling: a stalled node must surface as a
+//! Supervisor fault handling: a faulted node must surface as a
 //! structured error within the configured deadline — never a hang — and
 //! shutdown must still join every thread.
+//!
+//! Three failure modes are injected for both a follower aggregator and
+//! the initiator: **stalled** (the runtime's own `StallFault` — the node
+//! stops servicing its mailbox), **crashed** (a simnet `Crash` fault —
+//! the node's mailbox closes and all its sends are blackholed), and
+//! **partitioned** (a simnet `Partition` — one party⇄aggregator link is
+//! severed in both directions). In every case the structured error must
+//! name a node incident to the fault.
 
 use deta::core::DetaConfig;
 use deta::datasets::{iid_partition, DatasetSpec};
 use deta::nn::models::mlp;
 use deta::nn::train::LabeledData;
 use deta::runtime::{Phase, RuntimeConfig, RuntimeError, StallFault, ThreadedSession};
+use deta_simnet::{Fault, FaultKind, FaultPlan, SimPolicy};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn data(parties: usize) -> (Vec<LabeledData>, LabeledData, usize, usize) {
@@ -21,6 +31,65 @@ fn data(parties: usize) -> (Vec<LabeledData>, LabeledData, usize, usize) {
     )
 }
 
+/// Short deadlines, and retries pushed past them so every round trigger
+/// is single-shot — fault strike indices then count send attempts
+/// deterministically.
+fn sim_rt() -> RuntimeConfig {
+    RuntimeConfig {
+        round_deadline: Duration::from_secs(2),
+        tick: Duration::from_millis(10),
+        retry_initial: Duration::from_secs(3600),
+        retry_max: Duration::from_secs(3600),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Runs a 3-party, 2-aggregator deployment under `plan` and returns the
+/// error (panicking if the run succeeds), asserting every thread joined
+/// and the error arrived within the supervision budget.
+fn run_faulted(seed: u64, plan: FaultPlan) -> RuntimeError {
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = seed;
+    let policy = Arc::new(SimPolicy::new(&plan));
+    let mut session = ThreadedSession::setup_with(
+        cfg,
+        &move |rng| mlp(&[dim, 12, classes], rng),
+        shards,
+        sim_rt(),
+        |parts| parts.network.set_fault_policy(policy),
+    )
+    .expect("faults strike after setup");
+    let t0 = Instant::now();
+    let err = session.run(&test).expect_err("the fault must be fatal");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "supervisor hung: {:?}",
+        t0.elapsed()
+    );
+    assert!(session.is_shut_down(), "threads leaked after the failure");
+    err
+}
+
+/// The fault must be attributed to one of `expect` — the nodes incident
+/// to the injected fault — whichever structured form it surfaces as.
+fn assert_names_dark_node(err: &RuntimeError, expect: &[&str]) {
+    let named: Vec<String> = match err {
+        RuntimeError::NodeFailed { node, .. } | RuntimeError::NodePanicked { node } => {
+            vec![node.clone()]
+        }
+        RuntimeError::Timeout { missing, .. } => missing.clone(),
+        other => panic!("expected a node-attributed error, got: {other}"),
+    };
+    assert!(
+        named.iter().any(|n| expect.contains(&n.as_str())),
+        "error names {named:?}, none of which is in {expect:?}: {err}"
+    );
+}
+
+// --- Stalled: the node keeps its mailbox but stops servicing it. ---
+
 #[test]
 fn stalled_follower_aggregator_times_out_structured_and_joins() {
     let (shards, test, dim, classes) = data(3);
@@ -28,15 +97,13 @@ fn stalled_follower_aggregator_times_out_structured_and_joins() {
     cfg.n_aggregators = 2;
     cfg.seed = 5;
     let rt = RuntimeConfig {
-        round_deadline: Duration::from_secs(2),
-        tick: Duration::from_millis(10),
         // agg-1 stops servicing its mailbox the moment round 1 is
         // announced: the canonical "follower went dark" failure.
         stalls: vec![StallFault {
             node: "agg-1".to_string(),
             round: 1,
         }],
-        ..RuntimeConfig::default()
+        ..sim_rt()
     };
     let mut session =
         ThreadedSession::setup(cfg, &move |rng| mlp(&[dim, 12, classes], rng), shards, rt)
@@ -84,19 +151,17 @@ fn stalled_follower_aggregator_times_out_structured_and_joins() {
 }
 
 #[test]
-fn stalled_initiator_times_out_too() {
+fn stalled_initiator_times_out_and_is_named() {
     let (shards, test, dim, classes) = data(3);
-    let mut cfg = DetaConfig::deta(3, 1);
-    cfg.n_aggregators = 1;
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
     cfg.seed = 6;
     let rt = RuntimeConfig {
-        round_deadline: Duration::from_millis(800),
-        tick: Duration::from_millis(10),
         stalls: vec![StallFault {
             node: "agg-0".to_string(),
             round: 1,
         }],
-        ..RuntimeConfig::default()
+        ..sim_rt()
     };
     let mut session =
         ThreadedSession::setup(cfg, &move |rng| mlp(&[dim, 12, classes], rng), shards, rt)
@@ -112,7 +177,94 @@ fn stalled_initiator_times_out_too() {
         ),
         "got: {err}"
     );
+    assert_names_dark_node(&err, &["agg-0"]);
     assert!(session.is_shut_down());
+}
+
+// --- Crashed: the node's mailbox closes, its sends are blackholed. ---
+
+#[test]
+fn crashed_follower_aggregator_is_named() {
+    // agg-1's per-party link counts HelloReply (0) and RegisterAck (1)
+    // during setup; send attempt 2 is its round-1 aggregate dispatch —
+    // the crash strikes mid-round, after a healthy bootstrap.
+    let err = run_faulted(
+        11,
+        FaultPlan::from_faults(vec![Fault {
+            kind: FaultKind::Crash,
+            from: "agg-1".into(),
+            to: "party-0".into(),
+            at: 2,
+        }]),
+    );
+    assert_names_dark_node(&err, &["agg-1"]);
+}
+
+#[test]
+fn crashed_initiator_is_named() {
+    // Attempt 2 on agg-0 → party-0 is the round-1 `RoundStart`: the
+    // initiator dies announcing the round.
+    let err = run_faulted(
+        12,
+        FaultPlan::from_faults(vec![Fault {
+            kind: FaultKind::Crash,
+            from: "agg-0".into(),
+            to: "party-0".into(),
+            at: 2,
+        }]),
+    );
+    assert_names_dark_node(&err, &["agg-0"]);
+}
+
+// --- Partitioned: one party⇄aggregator link severed both ways. ---
+
+#[test]
+fn partitioned_follower_link_is_named() {
+    // party-0 ⇄ agg-1 severed from attempt 2 on: the round-1 fragment
+    // upload never arrives, so agg-1 cannot aggregate and party-0 cannot
+    // synchronize — the error must implicate one of the two.
+    let err = run_faulted(
+        13,
+        FaultPlan::from_faults(vec![
+            Fault {
+                kind: FaultKind::Partition,
+                from: "party-0".into(),
+                to: "agg-1".into(),
+                at: 2,
+            },
+            Fault {
+                kind: FaultKind::Partition,
+                from: "agg-1".into(),
+                to: "party-0".into(),
+                at: 2,
+            },
+        ]),
+    );
+    assert_names_dark_node(&err, &["party-0", "agg-1"]);
+}
+
+#[test]
+fn partitioned_initiator_link_is_named() {
+    // party-0 ⇄ agg-0 severed from attempt 2 on: the round-1
+    // `RoundStart` announcement is swallowed, so party-0 never trains.
+    let err = run_faulted(
+        14,
+        FaultPlan::from_faults(vec![
+            Fault {
+                kind: FaultKind::Partition,
+                from: "party-0".into(),
+                to: "agg-0".into(),
+                at: 2,
+            },
+            Fault {
+                kind: FaultKind::Partition,
+                from: "agg-0".into(),
+                to: "party-0".into(),
+                at: 2,
+            },
+        ]),
+    );
+    assert_names_dark_node(&err, &["party-0", "agg-0"]);
 }
 
 #[test]
