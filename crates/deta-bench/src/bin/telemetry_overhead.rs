@@ -1,0 +1,163 @@
+//! Telemetry overhead gate: wall-clock cost of the `deta-telemetry`
+//! sink on the threaded deployment, disabled and enabled, at the
+//! 4-party / 4-aggregator configuration. Emits
+//! `results/BENCH_telemetry.json` and exits non-zero when the enabled
+//! overhead exceeds 5% (or the disabled bound exceeds 1%).
+//!
+//! ```text
+//! cargo run --release -p deta-bench --bin telemetry_overhead
+//! ```
+//!
+//! Measurement order matters because telemetry enablement is sticky
+//! process-wide: every disabled-sink measurement (the baseline runs and
+//! the disabled-call microbenchmark) happens before the first
+//! `enable()`. Each mode takes the minimum of `--runs` wall times, the
+//! standard small-sample noise defence.
+//!
+//! The disabled overhead is not measured as a wall-clock delta — at
+//! sub-1% it would drown in scheduler noise. Instead it is *bounded*:
+//! the microbenchmarked cost of one disabled sink call (a branch plus a
+//! relaxed atomic load) times the number of emissions an enabled run
+//! actually performs (`deta_telemetry::emits()`), divided by the
+//! baseline wall time. That bound is what the <1% acceptance gate
+//! checks.
+
+use deta_bench::{results_dir, Args};
+use deta_core::DetaConfig;
+use deta_datasets::{iid_partition, DatasetSpec};
+use deta_nn::models::mlp;
+use deta_nn::train::LabeledData;
+use deta_runtime::{RuntimeConfig, TelemetryConfig, ThreadedSession};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Calls the disabled event sink in a tight loop and returns the mean
+/// nanoseconds per call. Must run before the first `enable()`.
+fn disabled_call_ns(iters: u64) -> f64 {
+    assert!(
+        !deta_telemetry::enabled(),
+        "microbenchmark must run before enable()"
+    );
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        deta_telemetry::event("bench_noop", &[]);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Hidden width of the benchmarked MLP. Deliberately large for a bench
+/// model: per-round training compute must dominate OS scheduling jitter
+/// (a few ms per run), or the overhead ratio measures noise instead of
+/// the sink.
+const HIDDEN: usize = 256;
+
+/// One full threaded run; returns the wall time in seconds.
+fn run_once(
+    cfg: &DetaConfig,
+    shards: &[LabeledData],
+    test: &LabeledData,
+    dim: usize,
+    classes: usize,
+    enabled: bool,
+) -> f64 {
+    let rt = RuntimeConfig {
+        telemetry: TelemetryConfig {
+            enabled,
+            ..TelemetryConfig::default()
+        },
+        ..RuntimeConfig::default()
+    };
+    let build = move |rng: &mut deta_crypto::DetRng| mlp(&[dim, HIDDEN, classes], rng);
+    let t0 = Instant::now();
+    let mut session =
+        ThreadedSession::setup(cfg.clone(), &build, shards.to_vec(), rt).expect("threaded setup");
+    session.run(test).expect("threaded run");
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = Args::parse();
+    let parties: usize = args.get("parties", 4);
+    let aggregators: usize = args.get("aggregators", 4);
+    let rounds: usize = args.get("rounds", 10);
+    let per_party: usize = args.get("examples", 240);
+    let seed: u64 = args.get("seed", 42);
+    let runs: usize = args.get("runs", 5);
+    let micro_iters: u64 = args.get("micro-iters", 20_000_000);
+
+    let spec = DatasetSpec::mnist_like().at_resolution(10);
+    let train = spec.generate(per_party * parties, 1);
+    let test = spec.generate(200, 2);
+    let shards = iid_partition(&train, parties, 3);
+    let (dim, classes) = (spec.dim(), spec.classes);
+
+    let mut cfg = DetaConfig::deta(parties, rounds);
+    cfg.n_aggregators = aggregators;
+    cfg.seed = seed;
+
+    // Phase 1: everything that needs the sink OFF. One unmeasured
+    // warm-up run, then the timed baselines and the microbenchmark.
+    run_once(&cfg, &shards, &test, dim, classes, false);
+    let wall_disabled_s = (0..runs)
+        .map(|_| run_once(&cfg, &shards, &test, dim, classes, false))
+        .fold(f64::INFINITY, f64::min);
+    let call_ns = disabled_call_ns(micro_iters);
+
+    // Phase 2: enabled runs (enablement is sticky from here on).
+    let emits_before = deta_telemetry::emits();
+    let wall_enabled_s = (0..runs)
+        .map(|_| run_once(&cfg, &shards, &test, dim, classes, true))
+        .fold(f64::INFINITY, f64::min);
+    let emits_per_run = (deta_telemetry::emits() - emits_before) / runs as u64;
+
+    let overhead_enabled_pct = (wall_enabled_s / wall_disabled_s - 1.0) * 100.0;
+    let overhead_disabled_pct = (call_ns * emits_per_run as f64) / (wall_disabled_s * 1e9) * 100.0;
+    let gate_enabled_pct = 5.0;
+    let gate_disabled_pct = 1.0;
+    let pass =
+        overhead_enabled_pct <= gate_enabled_pct && overhead_disabled_pct <= gate_disabled_pct;
+
+    println!("\n=== telemetry overhead ({parties} parties, k={aggregators}, {rounds} rounds) ===");
+    println!("baseline (sink disabled):  {wall_disabled_s:8.3}s  (min of {runs})");
+    println!("enabled  (sink enabled):   {wall_enabled_s:8.3}s  (min of {runs})");
+    println!("enabled overhead:          {overhead_enabled_pct:8.3}%  (gate {gate_enabled_pct}%)");
+    println!("disabled sink call:        {call_ns:8.3} ns  ({micro_iters} iters)");
+    println!("emissions per enabled run: {emits_per_run}");
+    println!(
+        "disabled overhead bound:   {overhead_disabled_pct:8.5}%  (gate {gate_disabled_pct}%)"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"telemetry_overhead\",");
+    let _ = writeln!(json, "  \"parties\": {parties},");
+    let _ = writeln!(json, "  \"aggregators\": {aggregators},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"examples_per_party\": {per_party},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"runs_per_mode\": {runs},");
+    let _ = writeln!(json, "  \"wall_disabled_s\": {wall_disabled_s:.6},");
+    let _ = writeln!(json, "  \"wall_enabled_s\": {wall_enabled_s:.6},");
+    let _ = writeln!(
+        json,
+        "  \"overhead_enabled_pct\": {overhead_enabled_pct:.4},"
+    );
+    let _ = writeln!(json, "  \"disabled_call_ns\": {call_ns:.4},");
+    let _ = writeln!(json, "  \"emits_per_run\": {emits_per_run},");
+    let _ = writeln!(
+        json,
+        "  \"overhead_disabled_pct\": {overhead_disabled_pct:.6},"
+    );
+    let _ = writeln!(json, "  \"gate_enabled_pct\": {gate_enabled_pct},");
+    let _ = writeln!(json, "  \"gate_disabled_pct\": {gate_disabled_pct},");
+    let _ = writeln!(json, "  \"pass\": {pass}");
+    let _ = writeln!(json, "}}");
+    let path = results_dir().join("BENCH_telemetry.json");
+    std::fs::write(&path, json).expect("write BENCH_telemetry.json");
+    println!("[json] {}", path.display());
+
+    if !pass {
+        eprintln!("telemetry overhead gate FAILED");
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,7 @@ use deta_bignum::BigUint;
 use deta_crypto::{DetRng, SigningKey};
 use deta_paillier::{Ciphertext, PublicKey as PaillierPk};
 use deta_sev_sim::Cvm;
+use deta_telemetry::TelemetryValue;
 use deta_transport::{secure, Endpoint, SecureChannel};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -208,6 +209,13 @@ impl AggregatorNode {
         if round <= self.completed_rounds {
             return Ok(());
         }
+        deta_telemetry::event(
+            "round_start",
+            &[
+                ("round", TelemetryValue::from(round)),
+                ("followers", TelemetryValue::from(followers.len())),
+            ],
+        );
         for f in &followers {
             if let Ok(frame) = (Msg::SyncRound { round, training_id }).encode() {
                 let _ = self.endpoint.send(f, frame);
@@ -294,6 +302,7 @@ impl AggregatorNode {
                 // key never reaches aggregators) and there is nothing to
                 // do until uploads arrive. On the initiator this message
                 // is the operator's round trigger: fan it out.
+                deta_telemetry::event("round_sync", &[("round", TelemetryValue::from(round))]);
                 if matches!(self.role, AggRole::Initiator { .. }) {
                     let _ = self.begin_round(round, training_id);
                 }
@@ -312,6 +321,13 @@ impl AggregatorNode {
                 self.send_sealed(from, &Msg::RegisterAck);
             }
             Msg::Upload { round, fragment } => {
+                deta_telemetry::event(
+                    "upload_received",
+                    &[
+                        ("round", TelemetryValue::from(round)),
+                        ("values", TelemetryValue::from(fragment.len())),
+                    ],
+                );
                 self.pending
                     .entry(round)
                     .or_default()
@@ -323,6 +339,14 @@ impl AggregatorNode {
                 ciphertexts,
                 value_count,
             } => {
+                deta_telemetry::event(
+                    "upload_received",
+                    &[
+                        ("round", TelemetryValue::from(round)),
+                        ("values", TelemetryValue::from(value_count)),
+                        ("encrypted", TelemetryValue::from(true)),
+                    ],
+                );
                 let cts: Vec<Ciphertext> = ciphertexts
                     .iter()
                     .map(|b| Ciphertext(BigUint::from_bytes_be(b)))
@@ -385,7 +409,11 @@ impl AggregatorNode {
         }
         self.cvm.guest().write(&mem);
         let t0 = Instant::now();
+        let agg_span = deta_telemetry::span("aggregate")
+            .with_field("round", TelemetryValue::from(round))
+            .with_field("uploads", TelemetryValue::from(inputs.len()));
         let aggregated = self.algorithm.aggregate(&inputs, &weights);
+        drop(agg_span);
         self.aggregate_time_s += t0.elapsed().as_secs_f64();
         let parties: Vec<String> = self.registered.keys().cloned().collect();
         for p in parties {
@@ -424,6 +452,10 @@ impl AggregatorNode {
         let value_count = uploads[names[0]].1;
         let ct_len = uploads[names[0]].0.len();
         let t0 = Instant::now();
+        let agg_span = deta_telemetry::span("aggregate")
+            .with_field("round", TelemetryValue::from(round))
+            .with_field("uploads", TelemetryValue::from(names.len()))
+            .with_field("encrypted", TelemetryValue::from(true));
         let mut acc: Vec<Ciphertext> = vec![pk.zero_ciphertext(); ct_len];
         for name in &names {
             let (cts, vc) = &uploads[*name];
@@ -434,6 +466,7 @@ impl AggregatorNode {
                 *a = a.add(c, &pk);
             }
         }
+        drop(agg_span);
         self.aggregate_time_s += t0.elapsed().as_secs_f64();
         let serialized: Vec<Vec<u8>> = acc.iter().map(|c| c.0.to_bytes_be()).collect();
         let parties: Vec<String> = self.registered.keys().cloned().collect();

@@ -22,6 +22,7 @@ use deta_crypto::{DetRng, VerifyingKey};
 use deta_nn::train::{batch_gradient, train_local, LabeledData};
 use deta_nn::Sequential;
 use deta_paillier::{Ciphertext, KeyPair as PaillierKeyPair, VectorCodec};
+use deta_telemetry::TelemetryValue;
 use deta_transport::{Endpoint, HandshakeInitiator, SecureChannel};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -315,6 +316,8 @@ impl Party {
         };
         self.round_base = self.model.flat_params();
         let t0 = Instant::now();
+        let train_span =
+            deta_telemetry::span("local_train").with_field("round", TelemetryValue::from(round));
         let update: Vec<f32> = match self.cfg.mode {
             SyncMode::FedAvg => {
                 let stats = train_local(
@@ -339,6 +342,7 @@ impl Party {
                 grad
             }
         };
+        drop(train_span);
         self.timers.train_s += t0.elapsed().as_secs_f64();
         let mut update = update;
         if let Some(ldp) = self.cfg.ldp {
@@ -372,19 +376,31 @@ impl Party {
             self.update_log.push((round, update.clone()));
         }
         let t1 = Instant::now();
+        let transform_span =
+            deta_telemetry::span("transform").with_field("round", TelemetryValue::from(round));
         let fragments = self.transformer.transform(&update, &tid);
+        drop(transform_span);
         self.timers.transform_s += t1.elapsed().as_secs_f64();
         if self.paillier.is_some() {
             self.upload_encrypted(round, &fragments)?;
         } else {
             for (j, frag) in fragments.into_iter().enumerate() {
                 let agg = self.aggregators[j].clone();
+                let values = frag.len();
                 self.send_sealed(
                     &agg,
                     &Msg::Upload {
                         round,
                         fragment: frag,
                     },
+                );
+                deta_telemetry::event(
+                    "upload",
+                    &[
+                        ("round", TelemetryValue::from(round)),
+                        ("fragment", TelemetryValue::from(j)),
+                        ("values", TelemetryValue::from(values)),
+                    ],
                 );
             }
         }
@@ -429,6 +445,14 @@ impl Party {
                     value_count,
                 },
             );
+            deta_telemetry::event(
+                "upload",
+                &[
+                    ("round", TelemetryValue::from(round)),
+                    ("values", TelemetryValue::from(value_count)),
+                    ("encrypted", TelemetryValue::from(true)),
+                ],
+            );
         }
         Ok(())
     }
@@ -472,10 +496,17 @@ impl Party {
             // Keep any fragments that raced ahead for a later round.
             self.collected.retain(|_, (r, _)| *r > round);
             let t0 = Instant::now();
+            let unshuffle_span =
+                deta_telemetry::span("unshuffle").with_field("round", TelemetryValue::from(round));
             let merged = self.transformer.inverse(&fragments, &tid);
+            drop(unshuffle_span);
             self.timers.transform_s += t0.elapsed().as_secs_f64();
             self.apply_update(&merged);
         }
+        deta_telemetry::event(
+            "round_synchronized",
+            &[("round", TelemetryValue::from(round))],
+        );
         self.last_finished_round = self.last_finished_round.max(round);
         self.current_round = None;
         true
@@ -506,7 +537,10 @@ impl Party {
         self.timers.crypto_s += t0.elapsed().as_secs_f64();
         self.collected_enc.retain(|_, (r, ..)| *r > round);
         let t1 = Instant::now();
+        let unshuffle_span =
+            deta_telemetry::span("unshuffle").with_field("round", TelemetryValue::from(round));
         let merged = self.transformer.inverse(&fragments, &tid);
+        drop(unshuffle_span);
         self.timers.transform_s += t1.elapsed().as_secs_f64();
         self.apply_update(&merged);
     }
@@ -613,6 +647,14 @@ impl Party {
                 // round's (or, transiently, the next round's) are kept.
                 if round > self.last_finished_round =>
             {
+                let values = fragment.len();
+                deta_telemetry::event(
+                    "download",
+                    &[
+                        ("round", TelemetryValue::from(round)),
+                        ("values", TelemetryValue::from(values)),
+                    ],
+                );
                 self.collected.insert(from.to_string(), (round, fragment));
             }
             Msg::AggregatedEncrypted {
@@ -624,6 +666,14 @@ impl Party {
                 if round <= self.last_finished_round {
                     return;
                 }
+                deta_telemetry::event(
+                    "download",
+                    &[
+                        ("round", TelemetryValue::from(round)),
+                        ("values", TelemetryValue::from(value_count)),
+                        ("encrypted", TelemetryValue::from(true)),
+                    ],
+                );
                 let cts: Vec<Ciphertext> = ciphertexts
                     .iter()
                     .map(|b| Ciphertext(deta_bignum::BigUint::from_bytes_be(b)))
@@ -642,7 +692,9 @@ impl Party {
         let Ok(plain) = msg.encode() else {
             return;
         };
+        let seal_span = deta_telemetry::span("seal");
         let sealed = chan.seal_msg(&plain);
+        drop(seal_span);
         if let Ok(frame) = (Msg::Record { sealed }).encode() {
             let _ = self.endpoint.send(to, frame);
         }

@@ -5,8 +5,9 @@
 //! secrets must not reach logs, authentication comparisons must be
 //! constant-time, permutation-critical code must iterate
 //! deterministically, protocol hot paths must not panic on attacker
-//! input, and wire serialization must not truncate. This crate encodes
-//! those properties as five rules over a hand-rolled token stream (see
+//! input, wire serialization must not truncate, and secret material
+//! must not flow into telemetry sinks. This crate encodes those
+//! properties as six rules over a hand-rolled token stream (see
 //! [`lex`]) and resolves findings against a checked-in
 //! `lint-allow.toml` of justified suppressions (see [`allow`]).
 //!

@@ -1,4 +1,4 @@
-//! The five DeTA threat-model rules.
+//! The six DeTA threat-model rules.
 //!
 //! Each rule is a standalone function from `(workspace-relative path,
 //! token stream)` to violations, so the fixture tests can exercise every
@@ -40,6 +40,7 @@ pub fn check_tokens(path: &str, toks: &[Tok]) -> Vec<Violation> {
     out.extend(deterministic_iteration(path, toks));
     out.extend(no_panic_in_aggregation(path, toks));
     out.extend(no_truncating_cast(path, toks));
+    out.extend(no_secret_telemetry(path, toks));
     out
 }
 
@@ -467,6 +468,88 @@ pub fn no_truncating_cast(path: &str, toks: &[Tok]) -> Vec<Violation> {
                 ),
             });
         }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: no-secret-telemetry
+// ---------------------------------------------------------------------
+
+/// Telemetry sink calls whose arguments leave the trust boundary: they
+/// land in flight-recorder rings, JSONL trace dumps, and Prometheus
+/// snapshots that operators read outside any CVM.
+const TELEMETRY_SINKS: &[&str] = &[
+    "event",
+    "span",
+    "counter_add",
+    "histogram_observe",
+    "with_field",
+];
+
+/// Identifier words that mark a value as secret or sealed material.
+const TELEMETRY_SECRET_WORDS: &[&str] = &[
+    "sealed",
+    "secret",
+    "signing",
+    "signature",
+    "sk",
+    "private",
+    "key",
+    "keys",
+    "token",
+    "seed",
+];
+
+/// Telemetry must stay secret-free *by construction*: field values are
+/// restricted to the closed `TelemetryValue` set, but nothing in the
+/// type system stops a caller from stringifying a sealed fragment or a
+/// signing key into one. This rule scans every telemetry sink call —
+/// `event`, `span`, `counter_add`, `histogram_observe`, `with_field` —
+/// and flags any argument identifier whose name marks it as secret
+/// material. A file is in scope once it names `deta_telemetry`; string
+/// literals (metric and field *names*) are opaque and never trigger.
+pub fn no_secret_telemetry(path: &str, toks: &[Tok]) -> Vec<Violation> {
+    if !toks.iter().any(|t| t.ident() == Some("deta_telemetry")) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let n = toks.len();
+    let mut i = 0;
+    while i < n {
+        let is_sink = toks[i]
+            .ident()
+            .is_some_and(|id| TELEMETRY_SINKS.contains(&id));
+        if !is_sink || i + 1 >= n || !toks[i + 1].is_punct('(') {
+            i += 1;
+            continue;
+        }
+        // `fn event(..)` defines a sink rather than feeding one.
+        if i > 0 && toks[i - 1].ident() == Some("fn") {
+            i += 1;
+            continue;
+        }
+        let sink = toks[i].ident().unwrap_or_default().to_string();
+        let close = balanced_end(toks, i + 1, '(', ')');
+        let args_end = close.saturating_sub(1).max(i + 2);
+        let mut seen: Vec<&str> = Vec::new();
+        for t in &toks[i + 2..args_end.min(n)] {
+            let Some(id) = t.ident() else { continue };
+            if has_word(id, TELEMETRY_SECRET_WORDS) && !seen.contains(&id) {
+                seen.push(id);
+                out.push(Violation {
+                    rule: "no-secret-telemetry",
+                    path: path.to_string(),
+                    line: t.line,
+                    ident: id.to_string(),
+                    message: format!(
+                        "`{id}` names secret material but flows into telemetry \
+                         sink `{sink}`; traces and metrics leave the CVM"
+                    ),
+                });
+            }
+        }
+        i = close.max(i + 1);
     }
     out
 }

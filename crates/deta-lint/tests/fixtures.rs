@@ -262,6 +262,72 @@ fn widening_casts_try_from_and_other_files_are_fine() {
 }
 
 // -------------------------------------------------------------------
+// Rule 6: no-secret-telemetry
+// -------------------------------------------------------------------
+
+#[test]
+fn secret_ident_in_telemetry_event_is_flagged() {
+    let src = r#"
+use deta_telemetry::TelemetryValue;
+pub fn report(sealed_update: &[u8]) {
+    deta_telemetry::event("upload", &[("size", TelemetryValue::from(sealed_update.len()))]);
+}
+"#;
+    let v = check_source("crates/deta-core/src/party.rs", src);
+    assert!(v
+        .iter()
+        .any(|v| v.rule == "no-secret-telemetry" && v.ident == "sealed_update"));
+}
+
+#[test]
+fn secret_ident_in_span_field_and_metric_is_flagged() {
+    let src = r#"
+pub fn observe(signing_key: &SigningKey, secret_count: u64) {
+    let _s = deta_telemetry::span("attest").with_field("id", signing_key.fingerprint());
+    deta_telemetry::counter_add("deta_keys_total", "", secret_count);
+}
+"#;
+    let v = check_source("crates/deta-core/src/aggregator.rs", src);
+    let idents: Vec<&str> = v
+        .iter()
+        .filter(|v| v.rule == "no-secret-telemetry")
+        .map(|v| v.ident.as_str())
+        .collect();
+    assert!(idents.contains(&"signing_key"));
+    assert!(idents.contains(&"secret_count"));
+}
+
+#[test]
+fn neutral_fields_definitions_and_out_of_scope_files_are_fine() {
+    // Neutral idents through every sink, plus a local `fn event`
+    // definition, stay clean.
+    let src = r#"
+use deta_telemetry::TelemetryValue;
+pub fn observe(round: u32, bytes: u64) {
+    deta_telemetry::event("upload", &[("round", TelemetryValue::from(round))]);
+    let _s = deta_telemetry::span("aggregate").with_field("bytes", TelemetryValue::from(bytes));
+    deta_telemetry::counter_add("deta_net_bytes_total", "a->b", bytes);
+    deta_telemetry::histogram_observe("deta_gap_seconds", "party-0", 0.5);
+}
+fn event(name: &str) -> &str { name }
+"#;
+    assert!(rules_hit("crates/deta-core/src/party.rs", src).is_empty());
+    // Without `deta_telemetry` in the file, `event` is just a name: a
+    // dataset callback taking secret-ish arguments is not a telemetry
+    // sink.
+    let src2 = "pub fn fire(event: &dyn Fn(&[u8]), secret_seed: &[u8]) { event(secret_seed); }\n";
+    assert!(rules_hit("crates/deta-datasets/src/lib.rs", src2).is_empty());
+    // Secret words inside string literals (metric/field *names*) are
+    // opaque to the lexer and never trigger.
+    let src3 = r#"
+pub fn label() {
+    deta_telemetry::event("sealed secret signing key", &[]);
+}
+"#;
+    assert!(rules_hit("crates/deta-core/src/party.rs", src3).is_empty());
+}
+
+// -------------------------------------------------------------------
 // Cross-cutting: literals and comments can never trigger rules.
 // -------------------------------------------------------------------
 

@@ -19,6 +19,7 @@ use deta_core::aggregator::AggregatorNode;
 use deta_core::party::Party;
 use deta_core::wire::Msg;
 use deta_crypto::VerifyingKey;
+use deta_telemetry::{FlightRecorder, TelemetryValue};
 use deta_transport::{Endpoint, RecvError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,7 +78,11 @@ pub fn run_aggregator(
     mut agg: AggregatorNode,
     stall_at_round: Option<u64>,
     ctx: ActorContext,
+    recorder: Arc<FlightRecorder>,
 ) -> NodeExit {
+    // Held for the loop's lifetime: every span/event this thread emits
+    // (including deep inside deta-core) lands in this node's ring.
+    let _telemetry = deta_telemetry::attach(recorder);
     let endpoint = agg.endpoint();
     let mut hb_seq = 0u64;
     let mut last_reported = 0u64;
@@ -95,6 +100,10 @@ pub fn run_aggregator(
                         Ok(CtlMsg::Shutdown) => break,
                         Ok(CtlMsg::Trigger { round, training_id }) => {
                             if stall_at_round.is_some_and(|at| round >= at) {
+                                deta_telemetry::event(
+                                    "stall_injected",
+                                    &[("round", TelemetryValue::from(round))],
+                                );
                                 stall_until_stop(&ctx);
                                 break;
                             }
@@ -113,6 +122,10 @@ pub fn run_aggregator(
                     if let Some(at) = stall_at_round {
                         if let Ok(Msg::SyncRound { round, .. }) = Msg::decode(&msg.payload) {
                             if round >= at {
+                                deta_telemetry::event(
+                                    "stall_injected",
+                                    &[("round", TelemetryValue::from(round))],
+                                );
                                 stall_until_stop(&ctx);
                                 break;
                             }
@@ -152,7 +165,10 @@ pub fn run_party(
     mut party: Party,
     tokens: HashMap<String, VerifyingKey>,
     ctx: ActorContext,
+    recorder: Arc<FlightRecorder>,
 ) -> NodeExit {
+    // Held for the loop's lifetime (see `run_aggregator`).
+    let _telemetry = deta_telemetry::attach(recorder);
     let endpoint = party.endpoint();
     party.send_hellos(&tokens);
     let mut hb_seq = 0u64;

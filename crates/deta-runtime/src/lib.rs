@@ -29,6 +29,7 @@
 //! independent forks, and aggregation orders uploads by party name, so
 //! thread scheduling cannot reach any numeric path.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 pub mod actor;
@@ -39,6 +40,32 @@ pub mod supervisor;
 pub use rtmsg::{CtlMsg, SUPERVISOR};
 pub use session::ThreadedSession;
 pub use supervisor::Supervisor;
+
+/// Telemetry wiring for a threaded deployment (see `deta-telemetry` and
+/// DESIGN.md §9).
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Turn the process-global telemetry sink on at setup. The switch is
+    /// sticky-on for the life of the process; leaving it `false` costs a
+    /// branch plus one atomic load per emit site.
+    pub enabled: bool,
+    /// Per-node flight-recorder capacity, in records. Each node thread
+    /// keeps this many recent spans/events for post-mortem dumps.
+    pub ring_capacity: usize,
+    /// Directory flight-recorder dumps (JSONL + Prometheus text) are
+    /// written to whenever the supervisor constructs a `RuntimeError`.
+    pub trace_dir: PathBuf,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: false,
+            ring_capacity: 256,
+            trace_dir: PathBuf::from("results/traces"),
+        }
+    }
+}
 
 /// A deliberately injected stall, for fault-tolerance tests: the named
 /// aggregator stops servicing its mailbox the moment it sees the
@@ -69,6 +96,9 @@ pub struct RuntimeConfig {
     pub retry_max: Duration,
     /// Injected stalls (empty in production use).
     pub stalls: Vec<StallFault>,
+    /// Telemetry: global sink switch, flight-recorder depth, dump
+    /// directory.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -80,6 +110,7 @@ impl Default for RuntimeConfig {
             retry_initial: Duration::from_millis(100),
             retry_max: Duration::from_secs(1),
             stalls: Vec::new(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }

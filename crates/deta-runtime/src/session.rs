@@ -6,10 +6,12 @@
 //! byte-identical nodes; from there every numeric path is driven by
 //! per-node state (independent RNG forks, name-sorted aggregation),
 //! which is what makes the final model parameters bit-identical
-//! regardless of thread scheduling. Byte accounting differs slightly:
-//! control-plane traffic is measured at the supervisor and subtracted,
-//! and the upload/download split is taken at the moment the last
-//! aggregator completes — an approximation documented in DESIGN.md §7.
+//! regardless of thread scheduling. Byte accounting is exact: the
+//! transport keeps a monotonic per-link delivered-byte counter
+//! ([`Network::link_bytes`]), and each round's upload (party→aggregator)
+//! and download (aggregator→party) totals are window deltas over those
+//! links — control-plane and inter-aggregator traffic never enters
+//! either figure (DESIGN.md §7).
 
 use crate::actor::NodeExit;
 use crate::rtmsg::CtlMsg;
@@ -25,7 +27,8 @@ use deta_crypto::DetRng;
 use deta_nn::train::LabeledData;
 use deta_nn::Sequential;
 use deta_transport::Network;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
 
 /// A DeTA session deployed as concurrent, supervised node threads.
 pub struct ThreadedSession {
@@ -84,6 +87,9 @@ impl ThreadedSession {
         rt: RuntimeConfig,
         instrument: impl FnOnce(&mut SessionParts),
     ) -> Result<ThreadedSession, RuntimeError> {
+        if rt.telemetry.enabled {
+            deta_telemetry::enable();
+        }
         let mut parts = SessionParts::build(config, model_builder, party_data)?;
         instrument(&mut parts);
         let SessionParts {
@@ -168,7 +174,9 @@ impl ThreadedSession {
         let n = self.party_names.len();
         let k = self.agg_names.len();
         let Some(initiator) = self.agg_names.first().cloned() else {
-            return Err(RuntimeError::Protocol("no aggregators deployed"));
+            return Err(self
+                .supervisor
+                .record_failure(RuntimeError::Protocol("no aggregators deployed")));
         };
 
         // This round's participants: the sequential session's selection,
@@ -185,8 +193,11 @@ impl ThreadedSession {
             _ => online.iter().copied().collect(),
         };
 
-        let wire0 = self.network.stats().bytes;
-        let ctl0 = self.supervisor.ctl_bytes;
+        // Byte attribution window: per-link delivered-byte counters are
+        // snapshotted around the round, so the upload/download figures
+        // are exact sums over party↔aggregator links (control-plane and
+        // inter-aggregator traffic rides other links).
+        let links0 = self.network.link_bytes();
 
         // Marching orders to every party, then the round trigger to the
         // initiator (retried with capped backoff below — idempotent).
@@ -203,7 +214,6 @@ impl ThreadedSession {
             training_id: tid,
         };
         self.supervisor.send_ctl(&initiator, &trigger);
-        let ctl_pre_wait = self.supervisor.ctl_bytes;
 
         // Collect completions: every aggregator's AggDone and every
         // party's PartyDone, under the round deadline.
@@ -211,9 +221,6 @@ impl ThreadedSession {
         let mut party_cum: HashMap<String, (f64, f64, f64)> = HashMap::new();
         let mut agg_cum: HashMap<String, f64> = HashMap::new();
         let mut params: Option<Vec<f32>> = None;
-        let mut aggs_outstanding = k;
-        let mut mid_wire: Option<u64> = None;
-        let stats_net = self.network.clone();
         let expected: HashSet<String> = self
             .agg_names
             .iter()
@@ -233,10 +240,6 @@ impl ThreadedSession {
                     aggregate_s,
                 } if r >= round => {
                     agg_cum.insert(from.to_string(), aggregate_s);
-                    aggs_outstanding = aggs_outstanding.saturating_sub(1);
-                    if aggs_outstanding == 0 && mid_wire.is_none() {
-                        mid_wire = Some(stats_net.stats().bytes);
-                    }
                     true
                 }
                 CtlMsg::PartyDone {
@@ -261,18 +264,13 @@ impl ThreadedSession {
             },
         )?;
 
-        // Byte attribution: total wire traffic excludes control-plane
-        // bytes (measured at the supervisor); the upload/download split
-        // is taken at the instant the last aggregator finished.
-        let wire_end = self.network.stats().bytes;
-        let ctl_delta = self.supervisor.ctl_bytes - ctl0;
-        let total_wire = (wire_end - wire0).saturating_sub(ctl_delta);
-        let upload_total = mid_wire
-            .map_or(total_wire / 2, |m| {
-                (m - wire0).saturating_sub(ctl_pre_wait - ctl0)
-            })
-            .min(total_wire);
-        let download_total = total_wire - upload_total;
+        // Byte attribution: exact window deltas over the per-link
+        // counters. Uploads are party→aggregator deliveries, downloads
+        // aggregator→party; everything else (control plane, follower
+        // sync) is on disjoint links and never counted.
+        let links1 = self.network.link_bytes();
+        let upload_total = link_window(&links0, &links1, &self.party_names, &self.agg_names);
+        let download_total = link_window(&links0, &links1, &self.agg_names, &self.party_names);
 
         // Latency inputs from per-node cumulative timer deltas.
         let mut max_train = 0.0f64;
@@ -321,7 +319,9 @@ impl ThreadedSession {
         // Evaluate on the supervisor's replica of the (synchronized,
         // therefore identical) party model.
         let Some(params) = params else {
-            return Err(RuntimeError::Protocol("missing parameter snapshot"));
+            return Err(self
+                .supervisor
+                .record_failure(RuntimeError::Protocol("missing parameter snapshot")));
         };
         self.eval_model.set_flat_params(&params);
         let (test_loss, test_accuracy) = deta_nn::train::evaluate(&mut self.eval_model, test, 128);
@@ -413,4 +413,32 @@ impl ThreadedSession {
     pub fn agg_names(&self) -> &[String] {
         &self.agg_names
     }
+
+    /// The flight-recorder dump written for the first fault verdict (if
+    /// telemetry is enabled and a fault occurred). See
+    /// [`Supervisor::trace_dump_path`].
+    pub fn trace_dump_path(&self) -> Option<&Path> {
+        self.supervisor.trace_dump_path()
+    }
+
+    /// Forces a flight-recorder dump now; see
+    /// [`Supervisor::dump_trace`].
+    pub fn dump_trace(&mut self) -> Option<PathBuf> {
+        self.supervisor.dump_trace()
+    }
+}
+
+/// Sums the delivered-byte delta between two [`Network::link_bytes`]
+/// snapshots over every `froms`→`tos` link.
+fn link_window(
+    before: &BTreeMap<(String, String), u64>,
+    after: &BTreeMap<(String, String), u64>,
+    froms: &[String],
+    tos: &[String],
+) -> u64 {
+    after
+        .iter()
+        .filter(|((from, to), _)| froms.contains(from) && tos.contains(to))
+        .map(|(link, bytes)| bytes - before.get(link).copied().unwrap_or(0))
+        .sum()
 }

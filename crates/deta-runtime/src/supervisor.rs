@@ -8,8 +8,10 @@ use crate::{Phase, RuntimeConfig, RuntimeError};
 use deta_core::aggregator::AggregatorNode;
 use deta_core::party::Party;
 use deta_crypto::VerifyingKey;
+use deta_telemetry::{FlightRecorder, TelemetryRecord, TelemetryValue, TraceDump};
 use deta_transport::{Endpoint, Network, RecvError};
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,15 +27,23 @@ pub struct Supervisor {
     recovered: HashMap<String, NodeExit>,
     last_seen: HashMap<String, Instant>,
     /// Control-plane payload bytes observed (sent by the supervisor plus
-    /// received from nodes) — lets callers subtract control traffic from
-    /// the network's byte counters when attributing round bandwidth.
+    /// received from nodes) — the control-plane share of the network's
+    /// aggregate byte counter (round bandwidth itself is attributed from
+    /// per-link counters, see [`Network::link_bytes`]).
     pub ctl_bytes: u64,
+    /// Every node's flight recorder, plus the supervisor's own (first).
+    recorders: Vec<Arc<FlightRecorder>>,
+    /// The supervisor's own ring: verdicts, retries, reaps, deadlines.
+    own: Arc<FlightRecorder>,
+    /// The first flight-recorder dump written for a fault verdict.
+    trace_dump_path: Option<PathBuf>,
 }
 
 impl Supervisor {
     /// Creates a supervisor with its own control endpoint on `network`.
     pub fn new(network: Network, cfg: RuntimeConfig) -> Supervisor {
         let ctl = network.register(SUPERVISOR);
+        let own = FlightRecorder::new(SUPERVISOR, cfg.telemetry.ring_capacity);
         Supervisor {
             network,
             ctl,
@@ -43,6 +53,9 @@ impl Supervisor {
             recovered: HashMap::new(),
             last_seen: HashMap::new(),
             ctl_bytes: 0,
+            recorders: vec![Arc::clone(&own)],
+            own,
+            trace_dump_path: None,
         }
     }
 
@@ -93,7 +106,10 @@ impl Supervisor {
             .find(|s| s.node == name)
             .map(|s| s.round);
         let ctx = self.context();
-        self.spawn(name, move || actor::run_aggregator(agg, stall, ctx))
+        let recorder = self.recorder_for(&name);
+        self.spawn(name, move || {
+            actor::run_aggregator(agg, stall, ctx, recorder)
+        })
     }
 
     /// Spawns a party node on its own thread; it runs Phase II against
@@ -109,7 +125,17 @@ impl Supervisor {
     ) -> Result<(), RuntimeError> {
         let name = party.name.clone();
         let ctx = self.context();
-        self.spawn(name, move || actor::run_party(party, tokens, ctx))
+        let recorder = self.recorder_for(&name);
+        self.spawn(name, move || actor::run_party(party, tokens, ctx, recorder))
+    }
+
+    /// Creates and registers the flight recorder a node thread will
+    /// attach; the supervisor keeps a handle so it can drain every ring
+    /// into a dump when it constructs a fault verdict.
+    fn recorder_for(&mut self, name: &str) -> Arc<FlightRecorder> {
+        let recorder = FlightRecorder::new(name, self.cfg.telemetry.ring_capacity);
+        self.recorders.push(Arc::clone(&recorder));
+        recorder
     }
 
     /// Sends a control message to a node, counting its bytes.
@@ -156,7 +182,7 @@ impl Supervisor {
             let waited = now.duration_since(start);
             if waited >= deadline {
                 if let Some(err) = self.reap(&expected) {
-                    return Err(err);
+                    return Err(self.record_failure(err));
                 }
                 let mut missing: Vec<String> = expected.iter().cloned().collect();
                 missing.sort();
@@ -171,19 +197,46 @@ impl Supervisor {
                     .cloned()
                     .collect();
                 stalled.sort();
-                return Err(RuntimeError::Timeout {
+                self.own.event(
+                    "deadline_expired",
+                    &[
+                        ("round", TelemetryValue::from(round)),
+                        ("missing", TelemetryValue::from(missing.len())),
+                        ("stalled", TelemetryValue::from(stalled.len())),
+                    ],
+                );
+                return Err(self.record_failure(RuntimeError::Timeout {
                     phase,
                     round,
                     missing,
                     stalled,
                     waited,
-                });
+                }));
             }
             if let Some((to, msg)) = &retry {
                 if now >= next_retry {
                     let msg = msg.clone();
                     let to = to.clone();
                     self.send_ctl(&to, &msg);
+                    if deta_telemetry::enabled() {
+                        deta_telemetry::metrics::counter_add(
+                            "deta_supervisor_retries_total",
+                            &to,
+                            1,
+                        );
+                        self.own.event(
+                            "retry",
+                            &[
+                                ("round", TelemetryValue::from(round)),
+                                (
+                                    "backoff_ms",
+                                    TelemetryValue::from(
+                                        backoff.as_millis().min(u128::from(u64::MAX)) as u64,
+                                    ),
+                                ),
+                            ],
+                        );
+                    }
                     backoff = (backoff * 2).min(self.cfg.retry_max);
                     next_retry = now + backoff;
                 }
@@ -192,11 +245,24 @@ impl Supervisor {
                 Ok(m) => {
                     self.ctl_bytes += m.payload.len() as u64;
                     let from = m.from.to_string();
-                    self.last_seen.insert(from.clone(), Instant::now());
+                    let seen = Instant::now();
+                    let gap = self.last_seen.get(&from).map(|t| seen.duration_since(*t));
+                    self.last_seen.insert(from.clone(), seen);
                     match CtlMsg::decode(&m.payload) {
-                        Ok(CtlMsg::Heartbeat { .. }) => {}
+                        Ok(CtlMsg::Heartbeat { .. }) => {
+                            if deta_telemetry::enabled() {
+                                if let Some(gap) = gap {
+                                    deta_telemetry::metrics::histogram_observe(
+                                        "deta_heartbeat_gap_seconds",
+                                        &from,
+                                        gap.as_secs_f64(),
+                                    );
+                                }
+                            }
+                        }
                         Ok(CtlMsg::Failed { reason }) => {
-                            return Err(RuntimeError::NodeFailed { node: from, reason });
+                            return Err(self
+                                .record_failure(RuntimeError::NodeFailed { node: from, reason }));
                         }
                         Ok(msg) => {
                             if on_msg(&from, msg) {
@@ -209,14 +275,14 @@ impl Supervisor {
                 Err(RecvError::Timeout) => {
                     // An idle tick: check for nodes that died silently.
                     if let Some(err) = self.reap(&expected) {
-                        return Err(err);
+                        return Err(self.record_failure(err));
                     }
                 }
                 Err(RecvError::Closed) => {
-                    return Err(RuntimeError::NodeFailed {
+                    return Err(self.record_failure(RuntimeError::NodeFailed {
                         node: SUPERVISOR.to_string(),
                         reason: "control mailbox closed".to_string(),
-                    });
+                    }));
                 }
             }
         }
@@ -235,6 +301,12 @@ impl Supervisor {
             let Some(handle) = self.nodes.remove(&name) else {
                 continue;
             };
+            if deta_telemetry::enabled() {
+                self.own.event(
+                    "node_reaped",
+                    &[("node", TelemetryValue::from(name.as_str()))],
+                );
+            }
             match handle.join() {
                 Err(_) => return Some(RuntimeError::NodePanicked { node: name }),
                 Ok(exit) => {
@@ -281,9 +353,71 @@ impl Supervisor {
             self.ctl_bytes += m.payload.len() as u64;
         }
         match panicked {
-            Some(node) => Err(RuntimeError::NodePanicked { node }),
+            Some(node) => {
+                let err = self.record_failure(RuntimeError::NodePanicked { node });
+                Err(err)
+            }
             None => Ok(()),
         }
+    }
+
+    /// Records a fault verdict on the supervisor's own ring and, for the
+    /// *first* verdict only, drains every flight recorder into a JSONL
+    /// dump under the configured trace directory (so the dump captures
+    /// the timeline leading up to the fault, not post-shutdown noise).
+    /// Returns the error unchanged; a no-op while telemetry is disabled.
+    pub(crate) fn record_failure(&mut self, err: RuntimeError) -> RuntimeError {
+        if deta_telemetry::enabled() {
+            self.own.event(
+                "fault_verdict",
+                &[("kind", TelemetryValue::from(error_kind(&err)))],
+            );
+            if self.trace_dump_path.is_none() {
+                if let Ok(dump) = self.dump("fault", &implicated_nodes(&err)) {
+                    self.trace_dump_path = Some(dump.jsonl);
+                }
+            }
+        }
+        err
+    }
+
+    /// Drains every registered flight recorder and writes a trace dump.
+    fn dump(&self, prefix: &str, implicated: &[String]) -> std::io::Result<TraceDump> {
+        let nodes: Vec<(String, Vec<TelemetryRecord>, u64)> = self
+            .recorders
+            .iter()
+            .map(|r| {
+                let (records, dropped) = r.drain();
+                (r.node().to_string(), records, dropped)
+            })
+            .collect();
+        deta_telemetry::trace_dump(
+            &self.cfg.telemetry.trace_dir,
+            &deta_telemetry::unique_stem(prefix),
+            &nodes,
+            implicated,
+        )
+    }
+
+    /// The JSONL dump written for the first fault verdict (or by
+    /// [`Supervisor::dump_trace`]), if any.
+    pub fn trace_dump_path(&self) -> Option<&Path> {
+        self.trace_dump_path.as_deref()
+    }
+
+    /// Forces a flight-recorder dump now (no implicated nodes) — used by
+    /// trace-capture runs that want a timeline even on success. Returns
+    /// the JSONL path, or `None` while telemetry is disabled or when the
+    /// write fails.
+    pub fn dump_trace(&mut self) -> Option<PathBuf> {
+        if !deta_telemetry::enabled() {
+            return None;
+        }
+        let dump = self.dump("trace", &[]).ok()?;
+        if self.trace_dump_path.is_none() {
+            self.trace_dump_path = Some(dump.jsonl.clone());
+        }
+        Some(dump.jsonl)
     }
 
     /// Whether shutdown has completed (no live node threads).
@@ -295,6 +429,39 @@ impl Supervisor {
     /// exit was reaped).
     pub fn recovered(&self, name: &str) -> Option<&NodeExit> {
         self.recovered.get(name)
+    }
+}
+
+/// A short static tag for a [`RuntimeError`] variant (dump metadata).
+fn error_kind(err: &RuntimeError) -> &'static str {
+    match err {
+        RuntimeError::Setup(_) => "setup",
+        RuntimeError::Spawn(_) => "spawn",
+        RuntimeError::NodeFailed { .. } => "node_failed",
+        RuntimeError::NodePanicked { .. } => "node_panicked",
+        RuntimeError::Timeout { .. } => "timeout",
+        RuntimeError::Protocol(_) => "protocol",
+    }
+}
+
+/// The node(s) a fault verdict blames, for the dump's `meta` line. A
+/// timeout blames the stalled subset when there is one (those nodes also
+/// stopped heartbeating), otherwise everything still missing.
+fn implicated_nodes(err: &RuntimeError) -> Vec<String> {
+    match err {
+        RuntimeError::NodeFailed { node, .. } | RuntimeError::NodePanicked { node } => {
+            vec![node.clone()]
+        }
+        RuntimeError::Timeout {
+            missing, stalled, ..
+        } => {
+            if stalled.is_empty() {
+                missing.clone()
+            } else {
+                stalled.clone()
+            }
+        }
+        RuntimeError::Setup(_) | RuntimeError::Spawn(_) | RuntimeError::Protocol(_) => Vec::new(),
     }
 }
 

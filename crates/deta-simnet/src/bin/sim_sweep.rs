@@ -6,9 +6,13 @@
 //! Usage:
 //!   sim_sweep                  # full sweep, verify against the corpus
 //!   sim_sweep --seed 17        # one seed, verbose report (repro mode)
+//!   sim_sweep --seed 17 --trace  # ...plus a flight-recorder dump under results/traces/
 //!   sim_sweep --seeds 50       # sweep the first 50 seeds
 //!   sim_sweep --json PATH      # corpus location (default results/SIM_SEEDS.json)
 //!   DETA_SIM_REWRITE=1 sim_sweep   # regenerate the corpus instead of verifying
+//!
+//! `--trace` is single-seed only: telemetry enablement is sticky
+//! process-wide, so tracing a whole sweep would contaminate every run.
 
 use deta_simnet::{FaultPlan, SeedReport, SimFleet, SimSpec};
 use std::collections::BTreeSet;
@@ -21,20 +25,29 @@ fn main() {
     let mut seeds = DEFAULT_SEEDS;
     let mut json_path = DEFAULT_JSON.to_string();
     let mut single: Option<u64> = None;
+    let mut trace = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => single = args.next().and_then(|v| v.parse().ok()),
             "--seeds" => seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or(seeds),
             "--json" => json_path = args.next().unwrap_or(json_path),
+            "--trace" => trace = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
     }
+    if trace && single.is_none() {
+        eprintln!("--trace requires --seed N (see the usage note)");
+        std::process::exit(2);
+    }
 
-    let fleet = SimFleet::new(SimSpec::default());
+    let fleet = SimFleet::new(SimSpec {
+        trace,
+        ..SimSpec::default()
+    });
 
     if let Some(seed) = single {
         let plan = FaultPlan::from_seed(seed, fleet.topology());
@@ -44,6 +57,9 @@ fn main() {
         println!("fired:   {:?}", report.fired_kinds);
         println!("error:   {:?}", report.error);
         println!("elapsed: {:?}", report.elapsed);
+        if let Some(path) = &report.trace_path {
+            println!("trace:   {path}");
+        }
         for v in &report.violations {
             println!("VIOLATION: {v}");
         }

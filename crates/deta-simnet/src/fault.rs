@@ -16,6 +16,7 @@
 
 use deta_crypto::DetRng;
 use deta_runtime::SUPERVISOR;
+use deta_telemetry::TelemetryValue;
 use deta_transport::{FaultPolicy, SendVerdict};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, MutexGuard};
@@ -262,6 +263,24 @@ impl SimPolicy {
     }
 }
 
+/// Emits a `fault_injected` event on the *sending* thread's flight
+/// recorder (on_send runs on the sender, so the event is attributed to
+/// the node the fault strikes from). Gated here because the from/to
+/// fields allocate.
+fn note_fault(kind: &'static str, from: &str, to: &str, at: u32) {
+    if deta_telemetry::enabled() {
+        deta_telemetry::event(
+            "fault_injected",
+            &[
+                ("kind", TelemetryValue::from(kind)),
+                ("from", TelemetryValue::from(from)),
+                ("to", TelemetryValue::from(to)),
+                ("at", TelemetryValue::from(at)),
+            ],
+        );
+    }
+}
+
 impl FaultPolicy for SimPolicy {
     fn on_send(&self, from: &str, to: &str, payload: &[u8]) -> SendVerdict {
         let mut st = lock(&self.state);
@@ -282,6 +301,7 @@ impl FaultPolicy for SimPolicy {
         for (i, f) in self.faults.iter().enumerate() {
             if f.kind == FaultKind::Partition && f.from == from && f.to == to && at >= f.at {
                 st.fired.insert(i);
+                note_fault("partition", from, to, at);
                 return SendVerdict::Drop;
             }
         }
@@ -290,6 +310,7 @@ impl FaultPolicy for SimPolicy {
                 continue;
             }
             st.fired.insert(i);
+            note_fault(f.kind.as_str(), from, to, at);
             return match f.kind {
                 FaultKind::Drop => SendVerdict::Drop,
                 FaultKind::Duplicate => SendVerdict::Duplicate,

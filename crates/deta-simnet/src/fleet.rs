@@ -26,7 +26,7 @@ use deta_core::wire::Msg;
 use deta_datasets::{iid_partition, DatasetSpec};
 use deta_nn::models::mlp;
 use deta_nn::train::LabeledData;
-use deta_runtime::{RuntimeConfig, RuntimeError, ThreadedSession, SUPERVISOR};
+use deta_runtime::{RuntimeConfig, RuntimeError, TelemetryConfig, ThreadedSession, SUPERVISOR};
 use deta_transport::FaultPolicy;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -63,6 +63,12 @@ pub struct SimSpec {
     pub round_deadline: Duration,
     /// Actor poll tick.
     pub tick: Duration,
+    /// Capture a telemetry trace: enables the process-global sink and
+    /// has every run dump its flight recorders (on a fault verdict the
+    /// dump is automatic; healthy runs are force-dumped at the end).
+    /// Telemetry enablement is sticky process-wide, so leave this off
+    /// for sweeps and on only for single-seed drill-downs.
+    pub trace: bool,
 }
 
 impl Default for SimSpec {
@@ -79,6 +85,7 @@ impl Default for SimSpec {
             setup_deadline: Duration::from_secs(2),
             round_deadline: Duration::from_secs(2),
             tick: Duration::from_millis(5),
+            trace: false,
         }
     }
 }
@@ -109,6 +116,10 @@ impl SimSpec {
             retry_initial: Duration::from_secs(3600),
             retry_max: Duration::from_secs(3600),
             stalls: Vec::new(),
+            telemetry: TelemetryConfig {
+                enabled: self.trace,
+                ..TelemetryConfig::default()
+            },
         }
     }
 
@@ -158,6 +169,9 @@ pub struct SeedReport {
     pub violations: Vec<String>,
     /// Wall-clock duration of the threaded run.
     pub elapsed: Duration,
+    /// The flight-recorder dump (JSONL path) when the spec asked for a
+    /// trace ([`SimSpec::trace`]); `None` otherwise.
+    pub trace_path: Option<String>,
 }
 
 /// The harness: one sequential reference run, then any number of faulted
@@ -266,6 +280,8 @@ impl SimFleet {
         let tap_for_setup = tap.clone();
         let (dim, classes, hidden) = (self.dim, self.classes, self.spec.hidden);
         let mut violations = Vec::new();
+        let mut trace_path = None;
+        let dump_before = deta_telemetry::last_dump_path();
         let start = Instant::now();
         let setup = ThreadedSession::setup_with(
             self.spec.config(),
@@ -285,6 +301,15 @@ impl SimFleet {
         );
         let (verdict, error) = match setup {
             Err(e) => {
+                // Setup-phase failures drop the session before its dump
+                // path is readable, but the supervisor already wrote the
+                // fault dump; recover its location from the telemetry
+                // crate (only a dump newer than this run counts).
+                if self.spec.trace {
+                    trace_path = deta_telemetry::last_dump_path()
+                        .filter(|p| dump_before.as_ref() != Some(p))
+                        .map(|p| p.display().to_string());
+                }
                 let dark = intersect(&implicated(&e), incident);
                 (Verdict::Failed { dark }, Some(format!("{e}")))
             }
@@ -321,6 +346,14 @@ impl SimFleet {
                 // against recomputed entitlements; it needs the joined
                 // node states, which shutdown (on any path) recovered.
                 self.privacy_check(&thr, &tap, &mut violations);
+                if self.spec.trace {
+                    // A fault verdict already wrote a dump; healthy runs
+                    // are force-dumped so the trace always exists.
+                    trace_path = thr
+                        .trace_dump_path()
+                        .map(|p| p.display().to_string())
+                        .or_else(|| thr.dump_trace().map(|p| p.display().to_string()));
+                }
                 vd
             }
         };
@@ -338,6 +371,7 @@ impl SimFleet {
             fired_kinds: BTreeSet::new(),
             violations,
             elapsed,
+            trace_path,
         }
     }
 

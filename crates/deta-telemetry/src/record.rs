@@ -1,0 +1,213 @@
+//! Trace records and the per-node flight recorder.
+//!
+//! A [`FlightRecorder`] is a bounded ring buffer of recent
+//! [`TelemetryRecord`]s owned by one node (party, aggregator, or the
+//! supervisor itself). Node threads attach their recorder thread-locally
+//! (see [`crate::attach`]); when the supervisor constructs a
+//! `RuntimeError` it drains every ring and dumps the merged timeline, so
+//! a fault verdict always ships with the last-N-events history of the
+//! implicated node *and* its peers.
+
+use crate::value::{json_escape, TelemetryValue};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Whether a record is a completed timed span or a point-in-time event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A timed operation; `dur_ns` holds its duration.
+    Span,
+    /// An instantaneous occurrence.
+    Event,
+}
+
+impl RecordKind {
+    /// Stable lowercase name used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecordKind::Span => "span",
+            RecordKind::Event => "event",
+        }
+    }
+}
+
+/// One span or event, as stored in a flight-recorder ring.
+#[derive(Clone, Debug)]
+pub struct TelemetryRecord {
+    /// Monotonic nanoseconds since the process telemetry epoch (span
+    /// start time for spans).
+    pub t_ns: u64,
+    /// Span or event.
+    pub kind: RecordKind,
+    /// Static record name (e.g. `local_train`, `fault_injected`).
+    pub name: &'static str,
+    /// Span duration in nanoseconds; `None` for events.
+    pub dur_ns: Option<u64>,
+    /// Structured payload, restricted to [`TelemetryValue`]s.
+    pub fields: Vec<(&'static str, TelemetryValue)>,
+}
+
+impl TelemetryRecord {
+    /// Renders one JSONL line, attributing the record to `node`.
+    pub fn to_json(&self, node: &str) -> String {
+        let mut out = format!(
+            "{{\"t_ns\":{},\"node\":\"{}\",\"kind\":\"{}\",\"name\":\"{}\"",
+            self.t_ns,
+            json_escape(node),
+            self.kind.as_str(),
+            json_escape(self.name)
+        );
+        if let Some(d) = self.dur_ns {
+            out.push_str(&format!(",\"dur_ns\":{d}"));
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", json_escape(k), v.to_json()));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct Ring {
+    buf: VecDeque<TelemetryRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of recent telemetry records for one node.
+pub struct FlightRecorder {
+    node: String,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// Creates a shareable recorder for `node` holding at most
+    /// `capacity` records (a capacity of 0 is clamped to 1).
+    pub fn new(node: &str, capacity: usize) -> Arc<FlightRecorder> {
+        Arc::new(FlightRecorder {
+            node: node.to_string(),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                cap: capacity.max(1),
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// The node this recorder belongs to.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Appends a record, evicting the oldest when the ring is full.
+    pub fn push(&self, rec: TelemetryRecord) {
+        let mut ring = lock(&self.ring);
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(rec);
+    }
+
+    /// Records an event directly on this ring (used by owners such as
+    /// the supervisor, which runs on the caller's thread rather than a
+    /// node thread). No-op while the global sink is disabled.
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, TelemetryValue)]) {
+        if !crate::enabled() {
+            return;
+        }
+        crate::note_emit();
+        self.push(TelemetryRecord {
+            t_ns: crate::now_ns(),
+            kind: RecordKind::Event,
+            name,
+            dur_ns: None,
+            fields: fields.to_vec(),
+        });
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        lock(&self.ring).buf.len()
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes every buffered record (oldest first) plus the count of
+    /// records evicted by ring overflow since the last drain.
+    pub fn drain(&self) -> (Vec<TelemetryRecord>, u64) {
+        let mut ring = lock(&self.ring);
+        let records = ring.buf.drain(..).collect();
+        let dropped = ring.dropped;
+        ring.dropped = 0;
+        (records, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, name: &'static str) -> TelemetryRecord {
+        TelemetryRecord {
+            t_ns: t,
+            kind: RecordKind::Event,
+            name,
+            dur_ns: None,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let fr = FlightRecorder::new("party-0", 2);
+        fr.push(rec(1, "a"));
+        fr.push(rec(2, "b"));
+        fr.push(rec(3, "c"));
+        let (records, dropped) = fr.drain();
+        assert_eq!(dropped, 1);
+        assert_eq!(
+            records.iter().map(|r| r.name).collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+        assert!(fr.is_empty());
+        let (_, dropped_again) = fr.drain();
+        assert_eq!(dropped_again, 0);
+    }
+
+    #[test]
+    fn records_render_the_jsonl_schema() {
+        let mut r = rec(7, "upload");
+        r.fields.push(("round", TelemetryValue::U64(3)));
+        assert_eq!(
+            r.to_json("party-1"),
+            "{\"t_ns\":7,\"node\":\"party-1\",\"kind\":\"event\",\
+             \"name\":\"upload\",\"fields\":{\"round\":3}}"
+        );
+        let span = TelemetryRecord {
+            t_ns: 5,
+            kind: RecordKind::Span,
+            name: "aggregate",
+            dur_ns: Some(11),
+            fields: Vec::new(),
+        };
+        assert_eq!(
+            span.to_json("agg-0"),
+            "{\"t_ns\":5,\"node\":\"agg-0\",\"kind\":\"span\",\"name\":\"aggregate\",\"dur_ns\":11}"
+        );
+    }
+}

@@ -51,7 +51,7 @@ pub mod secure;
 
 pub use secure::{HandshakeInitiator, SecureChannel, TransportError};
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -62,6 +62,25 @@ use std::time::Duration;
 /// consistent), so recovery is safe and keeps the network usable.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Gated telemetry for a frame that never reached a mailbox (fault
+/// drop, corrupted original, crash, dead destination): a per-link
+/// counter plus an event in the sending thread's flight recorder.
+/// Disabled cost: one branch + atomic load.
+fn note_loss(from: &str, to: &str, len: usize) {
+    if !deta_telemetry::enabled() {
+        return;
+    }
+    let link = format!("{from}->{to}");
+    deta_telemetry::metrics::counter_add("deta_net_drops_total", &link, 1);
+    deta_telemetry::event(
+        "net_drop",
+        &[
+            ("link", deta_telemetry::TelemetryValue::from(link.as_str())),
+            ("bytes", deta_telemetry::TelemetryValue::from(len)),
+        ],
+    );
 }
 
 /// A received message.
@@ -240,6 +259,12 @@ struct Held {
 struct NetState {
     queues: HashMap<Arc<str>, Mailbox>,
     stats: NetStats,
+    /// Delivered payload bytes per directed (from, to) link. Always on
+    /// (it is what `ThreadedSession` bills round upload/download bytes
+    /// from) and monotonic — unlike [`NetStats`] it is *not* cleared by
+    /// [`Network::reset_stats`], so concurrent windows can be computed
+    /// as deltas without racing a reset.
+    link_bytes: BTreeMap<(Arc<str>, Arc<str>), u64>,
     policy: Option<Arc<dyn FaultPolicy>>,
     tap: Option<Arc<dyn NetTap>>,
     held: Vec<Held>,
@@ -261,6 +286,7 @@ impl Network {
             state: Arc::new(Mutex::new(NetState {
                 queues: HashMap::new(),
                 stats: NetStats::default(),
+                link_bytes: BTreeMap::new(),
                 policy: None,
                 tap: None,
                 held: Vec::new(),
@@ -305,6 +331,7 @@ impl Network {
             mb.closed = true;
         }
         drop(st);
+        deta_telemetry::metrics::counter_add("deta_net_closes_total", name, 1);
         self.arrivals.notify_all();
     }
 
@@ -316,6 +343,19 @@ impl Network {
     /// Returns a snapshot of the traffic statistics.
     pub fn stats(&self) -> NetStats {
         lock(&self.state).stats.clone()
+    }
+
+    /// Snapshot of delivered payload bytes per directed link, keyed
+    /// `(from, to)`. Monotonic since construction (never reset), so
+    /// callers bill traffic windows as deltas between two snapshots —
+    /// this is the exact ground truth the `NetTap` seam observes,
+    /// without occupying the (single) tap slot.
+    pub fn link_bytes(&self) -> BTreeMap<(String, String), u64> {
+        lock(&self.state)
+            .link_bytes
+            .iter()
+            .map(|((f, t), &b)| ((f.to_string(), t.to_string()), b))
+            .collect()
     }
 
     /// Resets the traffic statistics (e.g. between training rounds).
@@ -351,20 +391,42 @@ impl Network {
                 if let Some(t) = &tap {
                     t.on_drop(&from, &to, &payload);
                 }
+                note_loss(&from, &to, len);
                 continue;
             }
             if let Some(t) = &tap {
                 t.on_deliver(&from, &to, &payload);
             }
+            let mut depth = 0usize;
             if let Some(mb) = st.queues.get_mut(to.as_str()) {
                 mb.queue.push_back(Message {
                     from: Arc::clone(&from),
                     payload,
                 });
+                depth = mb.queue.len();
             }
             st.stats.messages += 1;
             st.stats.bytes += len as u64;
             st.stats.transfer_time_s += self.link.transfer_time(len);
+            // Per-link ground truth for byte accounting; keys reuse the
+            // interned endpoint names, so steady state allocates nothing.
+            if let Some((to_key, _)) = st.queues.get_key_value(to.as_str()) {
+                let link = (Arc::clone(&from), Arc::clone(to_key));
+                *st.link_bytes.entry(link).or_insert(0) += len as u64;
+            }
+            // Gated observability at the same choke point the tap sees
+            // (the metrics registry takes no other lock, so observing
+            // under the network lock cannot deadlock).
+            if deta_telemetry::enabled() {
+                let link = format!("{from}->{to}");
+                deta_telemetry::metrics::counter_add("deta_net_frames_total", &link, 1);
+                deta_telemetry::metrics::counter_add("deta_net_bytes_total", &link, len as u64);
+                deta_telemetry::metrics::histogram_observe(
+                    "deta_net_queue_depth",
+                    &to,
+                    depth as f64,
+                );
+            }
             // One more delivery happened on (from, to): advance held
             // messages on that link and release the ripe ones, in the
             // order they were held.
@@ -408,6 +470,7 @@ impl Network {
                 if let Some(t) = &tap {
                     t.on_drop(from, to, &payload);
                 }
+                note_loss(from, to, payload.len());
                 Ok(())
             }
             SendVerdict::Duplicate => {
@@ -419,6 +482,7 @@ impl Network {
                 if let Some(t) = &tap {
                     t.on_drop(from, to, &payload);
                 }
+                note_loss(from, to, payload.len());
                 self.deliver_locked(&mut st, from, to, alt);
                 Ok(())
             }
@@ -439,6 +503,7 @@ impl Network {
                 if let Some(t) = &tap {
                     t.on_drop(from, to, &payload);
                 }
+                note_loss(from, to, payload.len());
                 if let Some(mb) = st.queues.get_mut(from.as_ref()) {
                     mb.closed = true;
                 }
@@ -626,6 +691,42 @@ mod tests {
         assert!((st.transfer_time_s - (1.0 + 2.0 + 1.0 + 1.0)).abs() < 1e-9);
         net.reset_stats();
         assert_eq!(net.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn link_bytes_track_deliveries_per_directed_link() {
+        let net = Network::new(LinkModel::lan());
+        let a = net.register("a");
+        let b = net.register("b");
+        a.send("b", vec![0u8; 7]).unwrap();
+        a.send("b", vec![0u8; 5]).unwrap();
+        b.send("a", vec![0u8; 3]).unwrap();
+        let lb = net.link_bytes();
+        assert_eq!(lb.get(&("a".to_string(), "b".to_string())), Some(&12));
+        assert_eq!(lb.get(&("b".to_string(), "a".to_string())), Some(&3));
+        // Monotonic: reset_stats clears NetStats but not the link map,
+        // so in-flight accounting windows survive a reset.
+        net.reset_stats();
+        assert_eq!(
+            net.link_bytes().get(&("a".to_string(), "b".to_string())),
+            Some(&12)
+        );
+    }
+
+    #[test]
+    fn link_bytes_exclude_lost_frames() {
+        struct DropAll;
+        impl FaultPolicy for DropAll {
+            fn on_send(&self, _f: &str, _t: &str, _p: &[u8]) -> SendVerdict {
+                SendVerdict::Drop
+            }
+        }
+        let net = Network::new(LinkModel::lan());
+        let a = net.register("a");
+        let _b = net.register("b");
+        net.set_fault_policy(Arc::new(DropAll));
+        a.send("b", vec![0u8; 9]).unwrap();
+        assert!(net.link_bytes().is_empty());
     }
 
     #[test]

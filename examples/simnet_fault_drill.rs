@@ -10,6 +10,11 @@
 //! three simnet invariants — termination-with-attribution, aggregator
 //! privacy, and duplicate idempotence (via parity) — and the drill
 //! exits non-zero if any run violates one.
+//!
+//! To capture the flight-recorder timeline of one interesting seed
+//! (every node's last-N spans/events, dumped as JSONL under
+//! `results/traces/`), re-run it with the sweep driver's trace mode:
+//! `cargo run --release -p deta-simnet --bin sim_sweep -- --seed N --trace`.
 
 use deta_simnet::{FaultPlan, SimFleet, SimSpec, Verdict};
 

@@ -17,6 +17,10 @@ echo "==> sim sweep (200 seeds x2, verdict determinism + corpus verify)"
 # DETA_SIM_REWRITE=1 after an intentional behaviour change.
 cargo run --release -q -p deta-simnet --bin sim_sweep
 
+echo "==> telemetry overhead (4 parties x 4 aggregators, gate: <5% enabled, <1% disabled)"
+# Writes results/BENCH_telemetry.json; exits non-zero past either gate.
+cargo run --release -q -p deta-bench --bin telemetry_overhead
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -9,6 +9,7 @@
 //! * [`sev_sim`], [`transport`], [`crypto`], [`bignum`], [`paillier`] —
 //!   the systems substrate.
 //! * [`runtime`] — the threaded actor deployment (concurrent nodes).
+//! * [`telemetry`] — tracing, metrics, and per-node flight recorders.
 //! * [`attacks`], [`autograd`] — the gradient-inversion attack suite.
 
 pub use deta_attacks as attacks;
@@ -21,5 +22,6 @@ pub use deta_nn as nn;
 pub use deta_paillier as paillier;
 pub use deta_runtime as runtime;
 pub use deta_sev_sim as sev_sim;
+pub use deta_telemetry as telemetry;
 pub use deta_tensor as tensor;
 pub use deta_transport as transport;

@@ -9,12 +9,20 @@
 //! **partitioned** (a simnet `Partition` — one party⇄aggregator link is
 //! severed in both directions). In every case the structured error must
 //! name a node incident to the fault.
+//!
+//! Telemetry is enabled for every faulted run (this test binary is the
+//! sink-enabled one; `runtime_parity` keeps the sink disabled): each
+//! fault verdict must come with a flight-recorder dump whose timeline
+//! parses and whose `meta` line implicates the same node(s) as the
+//! structured error.
 
 use deta::core::DetaConfig;
 use deta::datasets::{iid_partition, DatasetSpec};
 use deta::nn::models::mlp;
 use deta::nn::train::LabeledData;
-use deta::runtime::{Phase, RuntimeConfig, RuntimeError, StallFault, ThreadedSession};
+use deta::runtime::{
+    Phase, RuntimeConfig, RuntimeError, StallFault, TelemetryConfig, ThreadedSession,
+};
 use deta_simnet::{Fault, FaultKind, FaultPlan, SimPolicy};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,14 +41,80 @@ fn data(parties: usize) -> (Vec<LabeledData>, LabeledData, usize, usize) {
 
 /// Short deadlines, and retries pushed past them so every round trigger
 /// is single-shot — fault strike indices then count send attempts
-/// deterministically.
+/// deterministically. Telemetry is on, with dumps kept out of the repo
+/// tree (the temp dir; unique per process so parallel test runs never
+/// collide).
 fn sim_rt() -> RuntimeConfig {
     RuntimeConfig {
         round_deadline: Duration::from_secs(2),
         tick: Duration::from_millis(10),
         retry_initial: Duration::from_secs(3600),
         retry_max: Duration::from_secs(3600),
+        telemetry: TelemetryConfig {
+            enabled: true,
+            trace_dir: std::env::temp_dir()
+                .join(format!("deta-runtime-faults-{}", std::process::id())),
+            ..TelemetryConfig::default()
+        },
         ..RuntimeConfig::default()
+    }
+}
+
+/// The node(s) a structured error points at, mirroring the supervisor's
+/// dump attribution: a timeout blames the stalled subset when there is
+/// one, otherwise everything still missing.
+fn error_nodes(err: &RuntimeError) -> Vec<String> {
+    match err {
+        RuntimeError::NodeFailed { node, .. } | RuntimeError::NodePanicked { node } => {
+            vec![node.clone()]
+        }
+        RuntimeError::Timeout {
+            missing, stalled, ..
+        } => {
+            if stalled.is_empty() {
+                missing.clone()
+            } else {
+                stalled.clone()
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The fault verdict's flight-recorder dump must exist, parse as JSONL,
+/// implicate (in its trailing `meta` line) the same node(s) the error
+/// names, and carry timeline records for each implicated node.
+fn assert_dump_matches(session: &ThreadedSession, err: &RuntimeError) {
+    let path = session
+        .trace_dump_path()
+        .expect("a fault verdict must write a flight-recorder dump");
+    let text = std::fs::read_to_string(path).expect("dump must be readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 1, "dump must hold a timeline, not just meta");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"t_ns\":"),
+            "not a JSONL record: {line}"
+        );
+    }
+    let meta = lines.last().expect("dump has lines");
+    assert!(
+        meta.contains("\"kind\":\"meta\""),
+        "dump must end with a meta line, got: {meta}"
+    );
+    let named = error_nodes(err);
+    assert!(!named.is_empty(), "fault errors must name nodes: {err}");
+    for node in &named {
+        assert!(
+            meta.contains(&format!("\"{node}\"")),
+            "meta line must implicate {node}: {meta}"
+        );
+        assert!(
+            lines[..lines.len() - 1]
+                .iter()
+                .any(|l| l.contains(&format!("\"node\":\"{node}\""))),
+            "timeline must contain records for the implicated node {node}"
+        );
     }
 }
 
@@ -69,6 +143,7 @@ fn run_faulted(seed: u64, plan: FaultPlan) -> RuntimeError {
         t0.elapsed()
     );
     assert!(session.is_shut_down(), "threads leaked after the failure");
+    assert_dump_matches(&session, &err);
     err
 }
 
@@ -146,6 +221,8 @@ fn stalled_follower_aggregator_times_out_structured_and_joins() {
     // `run` shuts the deployment down on the failure path: every thread
     // (including the deliberately stalled one) must already be joined.
     assert!(session.is_shut_down(), "threads leaked after the timeout");
+    // The verdict ships with the flight-recorder dump naming agg-1.
+    assert_dump_matches(&session, &err);
     // And an explicit shutdown stays a clean no-op.
     session.shutdown().expect("idempotent shutdown");
 }
@@ -179,6 +256,7 @@ fn stalled_initiator_times_out_and_is_named() {
     );
     assert_names_dark_node(&err, &["agg-0"]);
     assert!(session.is_shut_down());
+    assert_dump_matches(&session, &err);
 }
 
 // --- Crashed: the node's mailbox closes, its sends are blackholed. ---

@@ -14,6 +14,8 @@ use deta::datasets::{iid_partition, DatasetSpec};
 use deta::nn::models::mlp;
 use deta::nn::train::LabeledData;
 use deta::runtime::{RuntimeConfig, ThreadedSession};
+use deta_simnet::TapLog;
+use std::sync::Arc;
 
 fn data(n: usize, parties: usize) -> (Vec<LabeledData>, LabeledData, usize, usize) {
     let spec = DatasetSpec::mnist_like().at_resolution(8);
@@ -99,6 +101,60 @@ fn threaded_equals_sequential_k3_with_partial_participation() {
     assert_eq!(
         seq, thr,
         "partial participation must select identical cohorts"
+    );
+}
+
+/// Byte-accounting ground truth: the per-round `upload_bytes` /
+/// `download_bytes` metrics (taken from the transport's per-link
+/// delivered-byte counters) must equal the sum of the payload sizes of
+/// the frames a `NetTap` observed on the party→aggregator (resp.
+/// aggregator→party) links over the same window — byte for byte, no
+/// control-plane or follower-sync traffic leaking into either figure.
+#[test]
+fn byte_accounting_matches_tap_observed_frames() {
+    let n = 3;
+    let (shards, test, dim, classes) = data(120, n);
+    let mut cfg = DetaConfig::deta(n, 3);
+    cfg.n_aggregators = 2;
+    cfg.seed = 21;
+    let tap = Arc::new(TapLog::new());
+    let tap_for_setup = tap.clone();
+    let mut thr = ThreadedSession::setup_with(
+        cfg,
+        &move |rng| mlp(&[dim, 16, classes], rng),
+        shards,
+        RuntimeConfig::default(),
+        |parts| parts.network.set_tap(tap_for_setup),
+    )
+    .expect("threaded setup");
+    // Setup traffic (hellos, handshakes, registration) is outside every
+    // round window; skip what the tap saw so far.
+    let n0 = tap.delivered().len();
+    let metrics = thr.run(&test).expect("threaded run");
+
+    let records = tap.delivered();
+    let is_party = |name: &str| name.starts_with("party-");
+    let is_agg = |name: &str| name.starts_with("agg-");
+    let tap_upload: u64 = records[n0..]
+        .iter()
+        .filter(|r| is_party(&r.from) && is_agg(&r.to))
+        .map(|r| r.payload.len() as u64)
+        .sum();
+    let tap_download: u64 = records[n0..]
+        .iter()
+        .filter(|r| is_agg(&r.from) && is_party(&r.to))
+        .map(|r| r.payload.len() as u64)
+        .sum();
+    let metric_upload: u64 = metrics.iter().map(|m| m.upload_bytes).sum();
+    let metric_download: u64 = metrics.iter().map(|m| m.download_bytes).sum();
+    assert!(tap_upload > 0, "the tap must observe round uploads");
+    assert_eq!(
+        metric_upload, tap_upload,
+        "upload_bytes must equal the tap-observed party->aggregator frame bytes"
+    );
+    assert_eq!(
+        metric_download, tap_download,
+        "download_bytes must equal the tap-observed aggregator->party frame bytes"
     );
 }
 
