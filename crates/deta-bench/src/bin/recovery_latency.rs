@@ -1,0 +1,169 @@
+//! Recovery gate: wall-clock cost of round checkpointing on the
+//! fault-free threaded deployment, plus the latency of healing one
+//! mid-session aggregator failure under `FailoverPolicy::Restart`, at
+//! the 4-party / 4-aggregator configuration. Emits
+//! `results/BENCH_recovery.json` and exits non-zero when the fault-free
+//! checkpointing overhead exceeds 3% (or the faulted run fails to heal
+//! every round).
+//!
+//! ```text
+//! cargo run --release -p deta-bench --bin recovery_latency
+//! ```
+//!
+//! Three measured modes, each the minimum of `--runs` wall times:
+//!
+//! 1. checkpointing off, fault-free — the baseline,
+//! 2. checkpointing on, fault-free — the <3% overhead gate,
+//! 3. checkpointing on, one follower aggregator stalled mid-session
+//!    with `Restart` armed — reports rounds-to-heal (the failover
+//!    count; each failover replays exactly one round) and the healing
+//!    latency over the checkpointed baseline.
+//!
+//! The faulted mode's round deadline is derived from the measured
+//! baseline round time (3x + margin) rather than fixed: recovery
+//! latency is dominated by the deadline wait that *detects* the dead
+//! node, so an honest number needs a deadline proportioned to the
+//! machine actually running the bench.
+
+use deta_bench::{results_dir, Args};
+use deta_core::DetaConfig;
+use deta_datasets::{iid_partition, DatasetSpec};
+use deta_nn::models::mlp;
+use deta_nn::train::LabeledData;
+use deta_runtime::{FailoverPolicy, RuntimeConfig, StallFault, ThreadedSession};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Hidden width of the benchmarked MLP — large enough that per-round
+/// training compute dominates OS scheduling jitter (see
+/// `telemetry_overhead`, which uses the same configuration).
+const HIDDEN: usize = 256;
+
+/// One full threaded run; returns the wall time in seconds and the
+/// failover count.
+fn run_once(
+    cfg: &DetaConfig,
+    shards: &[LabeledData],
+    test: &LabeledData,
+    dim: usize,
+    classes: usize,
+    rt: RuntimeConfig,
+    rounds: usize,
+) -> (f64, u64) {
+    let build = move |rng: &mut deta_crypto::DetRng| mlp(&[dim, HIDDEN, classes], rng);
+    let t0 = Instant::now();
+    let mut session =
+        ThreadedSession::setup(cfg.clone(), &build, shards.to_vec(), rt).expect("threaded setup");
+    let metrics = session.run(test).expect("threaded run");
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(metrics.len(), rounds, "every round must complete");
+    (wall, session.failover_count())
+}
+
+fn main() {
+    let args = Args::parse();
+    let parties: usize = args.get("parties", 4);
+    let aggregators: usize = args.get("aggregators", 4);
+    let rounds: usize = args.get("rounds", 10);
+    let per_party: usize = args.get("examples", 240);
+    let seed: u64 = args.get("seed", 42);
+    let runs: usize = args.get("runs", 3);
+
+    let spec = DatasetSpec::mnist_like().at_resolution(10);
+    let train = spec.generate(per_party * parties, 1);
+    let test = spec.generate(200, 2);
+    let shards = iid_partition(&train, parties, 3);
+    let (dim, classes) = (spec.dim(), spec.classes);
+
+    let mut cfg = DetaConfig::deta(parties, rounds);
+    cfg.n_aggregators = aggregators;
+    cfg.seed = seed;
+
+    let plain = |checkpoint: bool| RuntimeConfig {
+        checkpoint,
+        failover: FailoverPolicy::None,
+        ..RuntimeConfig::default()
+    };
+
+    // Warm-up (page cache, thread pools), then the two fault-free modes.
+    run_once(&cfg, &shards, &test, dim, classes, plain(false), rounds);
+    let wall_nockpt_s = (0..runs)
+        .map(|_| run_once(&cfg, &shards, &test, dim, classes, plain(false), rounds).0)
+        .fold(f64::INFINITY, f64::min);
+    let wall_ckpt_s = (0..runs)
+        .map(|_| run_once(&cfg, &shards, &test, dim, classes, plain(true), rounds).0)
+        .fold(f64::INFINITY, f64::min);
+
+    // Faulted mode: a follower stalls when the mid-session round is
+    // announced; the supervisor must detect it (one round-deadline
+    // wait), respawn it, and replay the round.
+    let round_deadline = Duration::from_secs_f64((wall_ckpt_s / rounds as f64 * 3.0) + 2.0);
+    let stall_round = (rounds as u64 / 2).max(1);
+    let faulted = RuntimeConfig {
+        checkpoint: true,
+        failover: FailoverPolicy::Restart,
+        round_deadline,
+        stalls: vec![StallFault {
+            node: "agg-1".to_string(),
+            round: stall_round,
+        }],
+        ..RuntimeConfig::default()
+    };
+    let (mut wall_faulted_s, mut rounds_to_heal) = (f64::INFINITY, 0u64);
+    for _ in 0..runs {
+        let (wall, failovers) =
+            run_once(&cfg, &shards, &test, dim, classes, faulted.clone(), rounds);
+        if wall < wall_faulted_s {
+            (wall_faulted_s, rounds_to_heal) = (wall, failovers);
+        }
+    }
+
+    let ckpt_overhead_pct = (wall_ckpt_s / wall_nockpt_s - 1.0) * 100.0;
+    let heal_latency_s = wall_faulted_s - wall_ckpt_s;
+    let gate_ckpt_pct = 3.0;
+    let pass = ckpt_overhead_pct <= gate_ckpt_pct && rounds_to_heal > 0;
+
+    println!("\n=== recovery latency ({parties} parties, k={aggregators}, {rounds} rounds) ===");
+    println!("baseline (no checkpoint):  {wall_nockpt_s:8.3}s  (min of {runs})");
+    println!("checkpointing on:          {wall_ckpt_s:8.3}s  (min of {runs})");
+    println!("checkpoint overhead:       {ckpt_overhead_pct:8.3}%  (gate {gate_ckpt_pct}%)");
+    println!("faulted + restart:         {wall_faulted_s:8.3}s  (deadline {round_deadline:?})");
+    println!("rounds to heal:            {rounds_to_heal}  (replayed rounds)");
+    println!("healing latency:           {heal_latency_s:8.3}s  (detect + respawn + replay)");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"recovery_latency\",");
+    let _ = writeln!(json, "  \"parties\": {parties},");
+    let _ = writeln!(json, "  \"aggregators\": {aggregators},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"examples_per_party\": {per_party},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"runs_per_mode\": {runs},");
+    let _ = writeln!(json, "  \"wall_no_checkpoint_s\": {wall_nockpt_s:.6},");
+    let _ = writeln!(json, "  \"wall_checkpoint_s\": {wall_ckpt_s:.6},");
+    let _ = writeln!(
+        json,
+        "  \"checkpoint_overhead_pct\": {ckpt_overhead_pct:.4},"
+    );
+    let _ = writeln!(json, "  \"wall_faulted_s\": {wall_faulted_s:.6},");
+    let _ = writeln!(
+        json,
+        "  \"round_deadline_s\": {:.6},",
+        round_deadline.as_secs_f64()
+    );
+    let _ = writeln!(json, "  \"stall_round\": {stall_round},");
+    let _ = writeln!(json, "  \"rounds_to_heal\": {rounds_to_heal},");
+    let _ = writeln!(json, "  \"heal_latency_s\": {heal_latency_s:.6},");
+    let _ = writeln!(json, "  \"gate_checkpoint_pct\": {gate_ckpt_pct},");
+    let _ = writeln!(json, "  \"pass\": {pass}");
+    let _ = writeln!(json, "}}");
+    let path = results_dir().join("BENCH_recovery.json");
+    std::fs::write(&path, json).expect("write BENCH_recovery.json");
+    println!("[json] {}", path.display());
+
+    if !pass {
+        eprintln!("recovery gate FAILED");
+        std::process::exit(1);
+    }
+}

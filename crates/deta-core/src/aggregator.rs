@@ -149,6 +149,32 @@ impl AggregatorNode {
         self.registered.len()
     }
 
+    /// Replaces this node's synchronization role — the failover topology
+    /// update after an initiator dies or the aggregator set shrinks.
+    pub fn set_role(&mut self, role: AggRole) {
+        self.role = role;
+    }
+
+    /// Current synchronization role.
+    pub fn role(&self) -> &AggRole {
+        &self.role
+    }
+
+    /// Failover round replay: re-opens `round` so replayed uploads are
+    /// accepted again. Completed-round bookkeeping rolls back to
+    /// `round - 1` and any partial uploads for `round` or later are
+    /// dropped (they belong to the discarded attempt; under a
+    /// re-partition they may even have a different fragment length).
+    pub fn reopen_round(&mut self, round: u64) {
+        if round == 0 {
+            return;
+        }
+        self.completed_rounds = self.completed_rounds.min(round - 1);
+        self.pending.retain(|&r, _| r < round);
+        self.pending_enc.retain(|&r, _| r < round);
+        self.sync_done.retain(|&r, _| r < round);
+    }
+
     /// Every decrypted-but-not-yet-aggregated plain upload this node
     /// holds, as `(round, party, fragment)` sorted by round then party.
     /// Together with the CVM breach log this is the complete plaintext
@@ -328,10 +354,22 @@ impl AggregatorNode {
                         ("values", TelemetryValue::from(fragment.len())),
                     ],
                 );
-                self.pending
-                    .entry(round)
-                    .or_default()
-                    .insert(from.to_string(), fragment);
+                let slot = self.pending.entry(round).or_default();
+                if slot
+                    .values()
+                    .next()
+                    .is_some_and(|f| f.len() != fragment.len())
+                {
+                    // Fragment lengths can only differ at a reopened
+                    // round straddling a re-partition (a delayed
+                    // old-epoch upload meeting a replayed new-epoch
+                    // one). Never mix epochs in one aggregate: the
+                    // arriving length wins, stale fragments drop, and a
+                    // wedged round degrades to the bounded recovery
+                    // budget rather than a mixed-length aggregate.
+                    slot.clear();
+                }
+                slot.insert(from.to_string(), fragment);
                 self.try_aggregate(round);
             }
             Msg::UploadEncrypted {

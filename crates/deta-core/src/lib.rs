@@ -44,6 +44,7 @@ pub mod mapper;
 pub mod paillier_fusion;
 pub mod party;
 pub mod proxy;
+pub mod recovery;
 pub mod session;
 pub mod shuffle;
 pub mod transform;

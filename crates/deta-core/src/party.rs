@@ -15,6 +15,7 @@
 //! fragment and step 3 decrypts the homomorphic sums.
 
 use crate::dp::{gaussian_mechanism, LdpConfig, PrivacyAccountant};
+use crate::mapper::ModelMapper;
 use crate::session::SyncMode;
 use crate::transform::Transformer;
 use crate::wire::Msg;
@@ -142,6 +143,15 @@ pub struct Party {
     pub record_updates: bool,
     /// `(round, flat update)` log populated when `record_updates` is set.
     pub update_log: Vec<(u64, Vec<f32>)>,
+    /// The last uploaded update `(round, training id, post-LDP values)`,
+    /// kept so a failed round can be replayed idempotently after an
+    /// aggregator failover without re-training (training consumes no
+    /// party randomness, so the stored update is bit-identical to what a
+    /// re-run would produce).
+    last_upload: Option<(u64, [u8; 16], Vec<f32>)>,
+    /// Aggregators we are re-handshaking with after a failover rebind;
+    /// once the channel comes up we re-register with just that one.
+    rebinding: HashSet<String>,
 }
 
 impl Party {
@@ -188,6 +198,8 @@ impl Party {
             privacy: PrivacyAccountant::default(),
             record_updates: false,
             update_log: Vec::new(),
+            last_upload: None,
+            rebinding: HashSet::new(),
         }
     }
 
@@ -238,6 +250,111 @@ impl Party {
                 self.expected_tokens.insert(agg, k.clone());
             }
         }
+    }
+
+    /// Failover rebind: replaces the aggregator at fragment `index` with
+    /// a freshly attested replacement and starts a new challenge-response
+    /// handshake against its proxy-published token key. All state tied to
+    /// the old endpoint (channel, ack, collected fragments, token) is
+    /// dropped; once the new channel verifies, the party re-registers
+    /// with just that aggregator (see [`Party::handle_wire`]).
+    ///
+    /// No-op when `index` is out of range.
+    pub fn rebind(&mut self, index: usize, name: &str, token: VerifyingKey) {
+        let Some(slot) = self.aggregators.get_mut(index) else {
+            return;
+        };
+        let old = std::mem::replace(slot, name.to_string());
+        self.channels.remove(&old);
+        self.acks.remove(&old);
+        self.pending_handshakes.remove(&old);
+        self.collected.remove(&old);
+        self.collected_enc.remove(&old);
+        self.expected_tokens.remove(&old);
+        self.rebinding.remove(&old);
+        self.expected_tokens.insert(name.to_string(), token);
+        let hs = HandshakeInitiator::new(&mut self.rng);
+        let hello = Msg::Hello {
+            handshake: hs.hello().to_vec(),
+        };
+        if let Ok(frame) = hello.encode() {
+            let _ = self.endpoint.send(name, frame);
+        }
+        self.pending_handshakes.insert(name.to_string(), hs);
+        self.rebinding.insert(name.to_string());
+    }
+
+    /// Failover re-partition: swaps in a new mapper over the surviving
+    /// aggregator set `aggs` (keeping the session permutation key) and
+    /// drops every connection, ack, and collected fragment tied to
+    /// removed aggregators, plus any fragments collected for `round` or
+    /// later under the old partition (the failed round is discarded,
+    /// never merged — no survivor's old-epoch fragment is ever combined
+    /// with a new-epoch one).
+    ///
+    /// Returns `false` (leaving the party untouched) when the mapper
+    /// bytes are malformed or inconsistent with `aggs` / the model size.
+    pub fn apply_remap(&mut self, round: u64, mapper_bytes: &[u8], aggs: &[String]) -> bool {
+        let Some(mapper) = ModelMapper::from_bytes(mapper_bytes) else {
+            return false;
+        };
+        if mapper.n_aggregators() != aggs.len()
+            || mapper.n_params() != self.transformer.mapper().n_params()
+        {
+            return false;
+        }
+        self.transformer = self.transformer.with_mapper(mapper);
+        let keep: HashSet<&String> = aggs.iter().collect();
+        self.channels.retain(|k, _| keep.contains(k));
+        self.acks.retain(|k| keep.contains(k));
+        self.expected_tokens.retain(|k, _| keep.contains(k));
+        self.pending_handshakes.retain(|k, _| keep.contains(k));
+        self.rebinding.retain(|k| keep.contains(k));
+        self.aggregators = aggs.to_vec();
+        self.collected.retain(|_, (r, _)| *r < round);
+        self.collected_enc.retain(|_, (r, ..)| *r < round);
+        true
+    }
+
+    /// Replays the stored upload for `round` through the *current*
+    /// transformer and aggregator set — the idempotent re-upload step of
+    /// round replay after a failover. The update log is not re-appended
+    /// (one entry per trained round stays the audit ground truth).
+    ///
+    /// Returns `false` when this party has no stored upload for `round`
+    /// (it skipped the round under partial participation, or never
+    /// reached it) or when Paillier fusion is active (re-encryption would
+    /// consume fresh randomness and break replay determinism).
+    pub fn replay_upload(&mut self, round: u64) -> bool {
+        let Some((r, tid, update)) = self.last_upload.clone() else {
+            return false;
+        };
+        if r != round || self.paillier.is_some() {
+            return false;
+        }
+        let fragments = self.transformer.transform(&update, &tid);
+        for (j, frag) in fragments.into_iter().enumerate() {
+            let Some(agg) = self.aggregators.get(j).cloned() else {
+                return false;
+            };
+            let values = frag.len();
+            self.send_sealed(
+                &agg,
+                &Msg::Upload {
+                    round,
+                    fragment: frag,
+                },
+            );
+            deta_telemetry::event(
+                "upload_replayed",
+                &[
+                    ("round", TelemetryValue::from(round)),
+                    ("fragment", TelemetryValue::from(j)),
+                    ("values", TelemetryValue::from(values)),
+                ],
+            );
+        }
+        true
     }
 
     /// Phase II step 2: completes handshakes from queued replies, then
@@ -375,6 +492,7 @@ impl Party {
         if self.record_updates {
             self.update_log.push((round, update.clone()));
         }
+        self.last_upload = Some((round, tid, update.clone()));
         let t1 = Instant::now();
         let transform_span =
             deta_telemetry::span("transform").with_field("round", TelemetryValue::from(round));
@@ -603,6 +721,20 @@ impl Party {
             return;
         };
         self.channels.insert(from.to_string(), chan);
+        if self.rebinding.remove(from) {
+            // Failover rebind: the original registration round already
+            // happened, so re-register with just the replacement.
+            let weight = self.weight();
+            let name = self.name.clone();
+            self.send_sealed(
+                from,
+                &Msg::Register {
+                    party: name,
+                    weight,
+                },
+            );
+            return;
+        }
         if self.handshakes_complete() && !self.registration_sent {
             self.registration_sent = true;
             let weight = self.weight();

@@ -1,0 +1,112 @@
+//! Failover re-provisioning.
+//!
+//! When an aggregator dies mid-session, a replacement CVM must go
+//! through the exact same trust pipeline as the original fleet: Phase I
+//! attestation against the AMD root of trust, measurement verification
+//! against the reference guest image, and nonce-challenged token
+//! injection by the attestation proxy. [`RecoveryKit`] carries exactly
+//! the material needed to do that after setup has finished — the
+//! (simulated) RAS, the reference image, the proxy with its signing
+//! directory, and a dedicated RNG fork so respawns never perturb the
+//! deterministic streams of the original session (parity for fault-free
+//! runs is bit-exact whether or not a kit exists).
+
+use crate::agg::AggKind;
+use crate::aggregator::{AggRole, AggregatorNode};
+use crate::proxy::AttestationProxy;
+use crate::session::SetupError;
+use deta_crypto::{DetRng, VerifyingKey};
+use deta_paillier::PublicKey as PaillierPk;
+use deta_sev_sim::{AmdRas, GuestImage, Platform};
+use deta_transport::Endpoint;
+
+/// Everything needed to attest and provision a replacement aggregator
+/// after the original session bootstrap.
+pub struct RecoveryKit {
+    ras: AmdRas,
+    image: GuestImage,
+    proxy: AttestationProxy,
+    rng: DetRng,
+    algorithm: AggKind,
+    quorum: Option<usize>,
+    paillier_pk: Option<PaillierPk>,
+    /// Respawn generation counter: each replacement gets a fresh
+    /// platform identity and RNG fork.
+    respawned: u64,
+}
+
+impl RecoveryKit {
+    /// Packs the post-setup attestation material. Internal to session
+    /// construction ([`crate::session::SessionParts::build`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ras: AmdRas,
+        image: GuestImage,
+        proxy: AttestationProxy,
+        rng: DetRng,
+        algorithm: AggKind,
+        quorum: Option<usize>,
+        paillier_pk: Option<PaillierPk>,
+    ) -> RecoveryKit {
+        RecoveryKit {
+            ras,
+            image,
+            proxy,
+            rng,
+            algorithm,
+            quorum,
+            paillier_pk,
+            respawned: 0,
+        }
+    }
+
+    /// Number of replacements provisioned so far.
+    pub fn respawned(&self) -> u64 {
+        self.respawned
+    }
+
+    /// Brings a replacement aggregator online: launches a fresh genuine
+    /// platform, re-runs Phase I verification and the nonce challenge
+    /// through the proxy (which mints a *new* token signing key — the
+    /// dead node's credentials are never reused), and builds the node
+    /// on the provided endpoint.
+    ///
+    /// Returns the node together with the token verifying key parties
+    /// must pin before re-registering (the Phase II trust anchor).
+    ///
+    /// # Errors
+    ///
+    /// Fails if attestation or token provisioning fails — the caller
+    /// must treat this as an unrecoverable node, not retry blindly.
+    pub fn respawn(
+        &mut self,
+        name: &str,
+        endpoint: Endpoint,
+        role: AggRole,
+    ) -> Result<(AggregatorNode, VerifyingKey), SetupError> {
+        let generation = self.respawned;
+        self.respawned += 1;
+        let mut platform = Platform::genuine(
+            &self.ras,
+            &format!("EPYC-7642-r{generation:03}"),
+            &mut self.rng.fork_indexed(b"platform", generation),
+        );
+        let prov = self
+            .proxy
+            .verify_and_provision(&mut platform, &self.image)?;
+        let token = prov.token_key.clone();
+        let mut node = AggregatorNode::new(
+            name,
+            prov.cvm,
+            endpoint,
+            self.algorithm.build(),
+            role,
+            self.rng.fork_indexed(b"agg-rng-r", generation),
+        )?;
+        node.set_quorum(self.quorum);
+        if let Some(pk) = self.paillier_pk.clone() {
+            node.set_paillier_key(pk);
+        }
+        Ok((node, token))
+    }
+}

@@ -22,6 +22,7 @@ use crate::mapper::ModelMapper;
 use crate::paillier_fusion::{PaillierFusion, PaillierFusionConfig};
 use crate::party::{Party, PartyConfig, PartyError, PartyTimers};
 use crate::proxy::AttestationProxy;
+use crate::recovery::RecoveryKit;
 use crate::transform::{TransformConfig, Transformer};
 use deta_crypto::{DetRng, VerifyingKey};
 use deta_nn::train::LabeledData;
@@ -214,6 +215,11 @@ pub struct SessionParts {
     /// privacy auditor) can recompute which shuffled partition each
     /// aggregator is entitled to see.
     pub transformer: Transformer,
+    /// Attestation material for mid-session aggregator failover: the
+    /// proxy (with its token directory), RAS, and reference image move
+    /// in here instead of being dropped after setup, plus a dedicated
+    /// RNG fork so respawns never perturb the original node streams.
+    pub recovery: RecoveryKit,
 }
 
 impl SessionParts {
@@ -360,6 +366,15 @@ impl SessionParts {
         } else {
             LatencyModel::ffl_default(config.link)
         };
+        let recovery = RecoveryKit::new(
+            ras,
+            image,
+            proxy,
+            sev_rng.fork(b"respawn"),
+            config.algorithm,
+            config.participation,
+            paillier.as_ref().map(|f| f.aggregator_key()),
+        );
         Ok(SessionParts {
             config,
             network,
@@ -370,6 +385,7 @@ impl SessionParts {
             tokens,
             eval_model: template,
             transformer,
+            recovery,
         })
     }
 }
@@ -416,6 +432,7 @@ impl DetaSession {
             tokens,
             eval_model: _,
             transformer: _,
+            recovery: _,
         } = SessionParts::build(config, model_builder, party_data)?;
 
         // --- Phase II: verify aggregators, register, open channels. ---

@@ -96,6 +96,20 @@ impl Transformer {
         &self.mapper
     }
 
+    /// A transformer with the same permutation key and configuration but
+    /// a different mapper — the re-partition step of aggregator failover,
+    /// where survivors absorb a dead aggregator's parameters under a
+    /// freshly generated partition while the keyed shuffle stays bound to
+    /// the original session key.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same single-aggregator constraint as
+    /// [`Transformer::new`].
+    pub fn with_mapper(&self, mapper: ModelMapper) -> Transformer {
+        Transformer::new(mapper, self.perm_key, self.config)
+    }
+
     /// The active configuration.
     pub fn config(&self) -> TransformConfig {
         self.config

@@ -383,6 +383,7 @@ const RULE4_FILES: &[&str] = &[
     "crates/deta-core/src/party.rs",
     "crates/deta-core/src/proxy.rs",
     "crates/deta-core/src/mapper.rs",
+    "crates/deta-core/src/recovery.rs",
     "crates/deta-core/src/wire.rs",
 ];
 

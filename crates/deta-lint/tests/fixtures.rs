@@ -237,6 +237,32 @@ fn runtime_crate_is_in_rule4_scope() {
     assert!(rules_hit("crates/deta-runtime/src/rtmsg.rs", src2).is_empty());
 }
 
+#[test]
+fn panic_in_failover_handler_is_flagged() {
+    // The recovery module runs while the deployment is already degraded:
+    // a panic in a failover handler would turn a healable fault into a
+    // dead supervisor. Both the deta-core recovery kit and the session's
+    // failover path (deta-runtime, covered by the crate-wide prefix) are
+    // in rule 4 scope.
+    let src = r#"
+pub fn failover(&mut self, dead: &str) {
+    let role = self.roles.remove(dead).unwrap_or_else(|| panic!("unknown node {dead}"));
+    self.respawn(dead, role);
+}
+"#;
+    for path in [
+        "crates/deta-core/src/recovery.rs",
+        "crates/deta-runtime/src/session.rs",
+    ] {
+        let v = check_source(path, src);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "no-panic-in-aggregation" && v.ident == "panic"),
+            "rule 4 must flag panic! in a failover handler at {path}"
+        );
+    }
+}
+
 // -------------------------------------------------------------------
 // Rule 5: no-truncating-cast
 // -------------------------------------------------------------------

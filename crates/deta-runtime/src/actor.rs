@@ -15,7 +15,7 @@
 //! * the mailbox is closed and drained (`RecvError::Closed`).
 
 use crate::rtmsg::{CtlMsg, SUPERVISOR};
-use deta_core::aggregator::AggregatorNode;
+use deta_core::aggregator::{AggRole, AggregatorNode};
 use deta_core::party::Party;
 use deta_core::wire::Msg;
 use deta_crypto::VerifyingKey;
@@ -26,18 +26,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Shared per-deployment actor state.
+/// Shared per-deployment actor state, plus this node's private halt
+/// flag.
 #[derive(Clone)]
 pub struct ActorContext {
     /// Cooperative stop flag, set once by the supervisor at shutdown.
     pub stop: Arc<AtomicBool>,
+    /// Per-node halt flag: the supervisor sets it to retire exactly this
+    /// node during a failover (even one deliberately stalled), leaving
+    /// the rest of the deployment running.
+    pub halt: Arc<AtomicBool>,
     /// Mailbox poll tick (and heartbeat cadence when idle).
     pub tick: Duration,
 }
 
 impl ActorContext {
     fn stopped(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
+        self.stop.load(Ordering::Relaxed) || self.halt.load(Ordering::Relaxed)
     }
 }
 
@@ -116,6 +121,28 @@ pub fn run_aggregator(
                                 );
                             }
                         }
+                        Ok(CtlMsg::Reopen { round }) => {
+                            deta_telemetry::event(
+                                "round_reopened",
+                                &[("round", TelemetryValue::from(round))],
+                            );
+                            agg.reopen_round(round);
+                            last_reported = last_reported.min(round.saturating_sub(1));
+                        }
+                        Ok(CtlMsg::Topology { initiator, aggs }) => {
+                            let role = if agg.name == initiator {
+                                AggRole::Initiator {
+                                    followers: aggs
+                                        .iter()
+                                        .filter(|a| **a != agg.name)
+                                        .cloned()
+                                        .collect(),
+                                }
+                            } else {
+                                AggRole::Follower { initiator }
+                            };
+                            agg.set_role(role);
+                        }
                         _ => {}
                     }
                 } else {
@@ -192,6 +219,41 @@ pub fn run_party(
                             train,
                             report_params,
                         }) => plan = Some((round, train, report_params)),
+                        Ok(CtlMsg::Rebind { rebinds }) => {
+                            for e in &rebinds {
+                                let Some(token) = VerifyingKey::from_bytes(&e.verifying_key) else {
+                                    continue;
+                                };
+                                party.rebind(e.index as usize, &e.name, token);
+                            }
+                            // Readiness must be re-proven against the
+                            // replacements: Ready fires again once every
+                            // new channel verifies and re-registers.
+                            ready_sent = false;
+                        }
+                        Ok(CtlMsg::Remap {
+                            round,
+                            mapper,
+                            aggs,
+                        }) => {
+                            if !party.apply_remap(round, &mapper, &aggs) {
+                                send_ctl(
+                                    &endpoint,
+                                    &CtlMsg::Failed {
+                                        reason: "re-partition mapper rejected".to_string(),
+                                    },
+                                );
+                                failed = true;
+                            }
+                            // Survivor channels persist, so readiness may
+                            // already hold; re-announce it so the
+                            // supervisor's failover barrier sees this
+                            // party.
+                            ready_sent = false;
+                        }
+                        Ok(CtlMsg::Replay { round }) => {
+                            party.replay_upload(round);
+                        }
                         _ => {}
                     }
                 } else {

@@ -37,8 +37,8 @@ pub mod rtmsg;
 pub mod session;
 pub mod supervisor;
 
-pub use rtmsg::{CtlMsg, SUPERVISOR};
-pub use session::ThreadedSession;
+pub use rtmsg::{CtlMsg, RebindEntry, SUPERVISOR};
+pub use session::{MapperEpoch, RoundCheckpoint, ThreadedSession};
 pub use supervisor::Supervisor;
 
 /// Telemetry wiring for a threaded deployment (see `deta-telemetry` and
@@ -78,8 +78,28 @@ pub struct StallFault {
     pub round: u64,
 }
 
-/// Runtime policy knobs: deadlines, tick rate, retry backoff, and fault
-/// injection.
+/// What the supervisor does when a round fails with aggregators
+/// implicated (see DESIGN.md §12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FailoverPolicy {
+    /// Today's behaviour: the first terminal failure ends the session
+    /// with a structured [`RuntimeError`].
+    #[default]
+    None,
+    /// Respawn each dead aggregator as a freshly attested CVM under a
+    /// new endpoint name, rebind every party to it (re-running the
+    /// Phase II challenge-response against the proxy's new token), and
+    /// replay the failed round from the checkpoint.
+    Restart,
+    /// Drop the dead aggregators and rebuild the model partition over
+    /// the survivors: the failed round is discarded (never merged), a
+    /// deterministic replacement `ModelMapper` is generated over the
+    /// surviving set, and the round replays under the new epoch.
+    Repartition,
+}
+
+/// Runtime policy knobs: deadlines, tick rate, retry backoff, fault
+/// injection, and failover.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Deadline for Phase II bootstrap (attested channels + registration
@@ -99,6 +119,16 @@ pub struct RuntimeConfig {
     /// Telemetry: global sink switch, flight-recorder depth, dump
     /// directory.
     pub telemetry: TelemetryConfig,
+    /// What to do when a round fails with aggregators implicated.
+    pub failover: FailoverPolicy,
+    /// Recovery budget: how many failovers each aggregator (counted by
+    /// its base name across reincarnations) may consume before the
+    /// session degrades to a terminal [`RuntimeError`].
+    pub recovery_attempts: u32,
+    /// Maintain per-round checkpoints (global model, round counter,
+    /// mapper bytes, training id). Required for any failover policy;
+    /// cheap enough to default on.
+    pub checkpoint: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -111,6 +141,9 @@ impl Default for RuntimeConfig {
             retry_max: Duration::from_secs(1),
             stalls: Vec::new(),
             telemetry: TelemetryConfig::default(),
+            failover: FailoverPolicy::default(),
+            recovery_attempts: 2,
+            checkpoint: true,
         }
     }
 }

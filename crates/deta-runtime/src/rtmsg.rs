@@ -13,6 +13,30 @@
 /// ever named this, so the sender check is unambiguous.
 pub const SUPERVISOR: &str = "supervisor";
 
+/// One aggregator replacement inside a [`CtlMsg::Rebind`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct RebindEntry {
+    /// Fragment index of the replaced aggregator.
+    pub index: u32,
+    /// Endpoint name of the replacement.
+    pub name: String,
+    /// The replacement's token verifying key bytes (public material,
+    /// published by the attestation proxy after the nonce challenge).
+    pub verifying_key: Vec<u8>,
+}
+
+impl std::fmt::Debug for RebindEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The verifying key is public material, but key bytes stay out
+        // of logs uniformly (see `SealedSecret`): debug output should
+        // never be a place to copy key material from.
+        f.debug_struct("RebindEntry")
+            .field("index", &self.index)
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Control messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CtlMsg {
@@ -74,6 +98,47 @@ pub enum CtlMsg {
     },
     /// Supervisor -> node: drain and exit.
     Shutdown,
+    /// Supervisor -> party: the listed aggregators were replaced by
+    /// freshly attested nodes; re-run Phase II against each
+    /// (challenge-response pinned to its token) and re-register. All
+    /// replacements ride one message so the party's readiness signal
+    /// can never fire between two rebinds of the same failover.
+    Rebind {
+        /// One entry per replaced aggregator.
+        rebinds: Vec<RebindEntry>,
+    },
+    /// Supervisor -> party: re-partition over the surviving aggregator
+    /// set before replaying `round` (the old epoch's fragments for that
+    /// round are discarded, never merged).
+    Remap {
+        /// The round being replayed under the new partition.
+        round: u64,
+        /// Serialized replacement `ModelMapper` assignment.
+        mapper: Vec<u8>,
+        /// Surviving aggregator endpoint names, index = fragment index.
+        aggs: Vec<String>,
+    },
+    /// Supervisor -> party: re-upload the stored update for `round` (the
+    /// idempotent round-replay step after a failover).
+    Replay {
+        /// Round to replay.
+        round: u64,
+    },
+    /// Supervisor -> aggregator: roll completed-round bookkeeping back
+    /// so replayed uploads for `round` are accepted again.
+    Reopen {
+        /// Round being replayed.
+        round: u64,
+    },
+    /// Supervisor -> aggregator: the post-failover synchronization
+    /// topology. The node named `initiator` adopts the initiator role
+    /// over the other listed aggregators; everyone else follows it.
+    Topology {
+        /// Endpoint name of the (possibly newly promoted) initiator.
+        initiator: String,
+        /// The full current aggregator set.
+        aggs: Vec<String>,
+    },
 }
 
 const TAG_READY: u8 = 1;
@@ -84,6 +149,11 @@ const TAG_ROUND_PLAN: u8 = 5;
 const TAG_PARTY_DONE: u8 = 6;
 const TAG_AGG_DONE: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
+const TAG_REBIND: u8 = 9;
+const TAG_REMAP: u8 = 10;
+const TAG_REPLAY: u8 = 11;
+const TAG_REOPEN: u8 = 12;
+const TAG_TOPOLOGY: u8 = 13;
 
 /// Decode errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +195,14 @@ fn put_f32s(out: &mut Vec<u8>, v: &[f32]) -> Result<(), CtlEncodeError> {
     put_len(out, v.len())?;
     for &x in v {
         out.extend_from_slice(&x.to_le_bytes());
+    }
+    Ok(())
+}
+
+fn put_strings(out: &mut Vec<u8>, v: &[String]) -> Result<(), CtlEncodeError> {
+    put_len(out, v.len())?;
+    for s in v {
+        put_bytes(out, s.as_bytes())?;
     }
     Ok(())
 }
@@ -194,6 +272,21 @@ impl<'a> Reader<'a> {
             return Err(CtlDecodeError);
         }
         (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CtlDecodeError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn strings(&mut self) -> Result<Vec<String>, CtlDecodeError> {
+        let n = self.u32()? as usize;
+        // Each entry costs at least a 4-byte length prefix; reject counts
+        // the buffer cannot possibly hold before allocating.
+        if self.pos + n.checked_mul(4).ok_or(CtlDecodeError)? > self.buf.len() {
+            return Err(CtlDecodeError);
+        }
+        (0..n).map(|_| self.string()).collect()
     }
 
     fn finish(self) -> Result<(), CtlDecodeError> {
@@ -269,6 +362,38 @@ impl CtlMsg {
                 out.extend_from_slice(&aggregate_s.to_le_bytes());
             }
             CtlMsg::Shutdown => out.push(TAG_SHUTDOWN),
+            CtlMsg::Rebind { rebinds } => {
+                out.push(TAG_REBIND);
+                put_len(&mut out, rebinds.len())?;
+                for e in rebinds {
+                    out.extend_from_slice(&e.index.to_le_bytes());
+                    put_bytes(&mut out, e.name.as_bytes())?;
+                    put_bytes(&mut out, &e.verifying_key)?;
+                }
+            }
+            CtlMsg::Remap {
+                round,
+                mapper,
+                aggs,
+            } => {
+                out.push(TAG_REMAP);
+                out.extend_from_slice(&round.to_le_bytes());
+                put_bytes(&mut out, mapper)?;
+                put_strings(&mut out, aggs)?;
+            }
+            CtlMsg::Replay { round } => {
+                out.push(TAG_REPLAY);
+                out.extend_from_slice(&round.to_le_bytes());
+            }
+            CtlMsg::Reopen { round } => {
+                out.push(TAG_REOPEN);
+                out.extend_from_slice(&round.to_le_bytes());
+            }
+            CtlMsg::Topology { initiator, aggs } => {
+                out.push(TAG_TOPOLOGY);
+                put_bytes(&mut out, initiator.as_bytes())?;
+                put_strings(&mut out, aggs)?;
+            }
         }
         Ok(out)
     }
@@ -309,6 +434,34 @@ impl CtlMsg {
                 aggregate_s: r.f64()?,
             },
             TAG_SHUTDOWN => CtlMsg::Shutdown,
+            TAG_REBIND => {
+                let n = r.u32()? as usize;
+                // Each entry costs at least 12 bytes of fixed prefixes.
+                if r.pos + n.checked_mul(12).ok_or(CtlDecodeError)? > r.buf.len() {
+                    return Err(CtlDecodeError);
+                }
+                let rebinds = (0..n)
+                    .map(|_| {
+                        Ok(RebindEntry {
+                            index: r.u32()?,
+                            name: r.string()?,
+                            verifying_key: r.bytes()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, CtlDecodeError>>()?;
+                CtlMsg::Rebind { rebinds }
+            }
+            TAG_REMAP => CtlMsg::Remap {
+                round: r.u64()?,
+                mapper: r.bytes()?,
+                aggs: r.strings()?,
+            },
+            TAG_REPLAY => CtlMsg::Replay { round: r.u64()? },
+            TAG_REOPEN => CtlMsg::Reopen { round: r.u64()? },
+            TAG_TOPOLOGY => CtlMsg::Topology {
+                initiator: r.string()?,
+                aggs: r.strings()?,
+            },
             _ => return Err(CtlDecodeError),
         };
         r.finish()?;
@@ -364,6 +517,39 @@ mod tests {
             aggregate_s: 0.5,
         });
         roundtrip(CtlMsg::Shutdown);
+        roundtrip(CtlMsg::Rebind {
+            rebinds: vec![
+                RebindEntry {
+                    index: 2,
+                    name: "agg-2#r1".to_string(),
+                    verifying_key: vec![1, 2, 3, 4],
+                },
+                RebindEntry {
+                    index: 0,
+                    name: "agg-0#r3".to_string(),
+                    verifying_key: vec![9; 32],
+                },
+            ],
+        });
+        roundtrip(CtlMsg::Rebind {
+            rebinds: Vec::new(),
+        });
+        roundtrip(CtlMsg::Remap {
+            round: 5,
+            mapper: vec![0, 0, 1, 0, 0, 0],
+            aggs: vec!["agg-0".to_string(), "agg-2".to_string()],
+        });
+        roundtrip(CtlMsg::Replay { round: 5 });
+        roundtrip(CtlMsg::Reopen { round: 5 });
+        roundtrip(CtlMsg::Topology {
+            initiator: "agg-2".to_string(),
+            aggs: vec!["agg-2".to_string(), "agg-0#r1".to_string()],
+        });
+        roundtrip(CtlMsg::Remap {
+            round: 1,
+            mapper: Vec::new(),
+            aggs: Vec::new(),
+        });
     }
 
     #[test]
@@ -387,5 +573,23 @@ mod tests {
         let last = plan.len() - 2;
         plan[last] = 7;
         assert!(CtlMsg::decode(&plan).is_err());
+        // Truncated Rebind token.
+        let mut rebind = CtlMsg::Rebind {
+            rebinds: vec![RebindEntry {
+                index: 0,
+                name: "agg-0#r1".to_string(),
+                verifying_key: vec![9; 32],
+            }],
+        }
+        .encode()
+        .expect("encode");
+        rebind.truncate(rebind.len() - 1);
+        assert!(CtlMsg::decode(&rebind).is_err());
+        // String-list count larger than the remaining buffer.
+        let mut topo = vec![TAG_TOPOLOGY];
+        topo.extend_from_slice(&1u32.to_le_bytes());
+        topo.push(b'a');
+        topo.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(CtlMsg::decode(&topo).is_err());
     }
 }

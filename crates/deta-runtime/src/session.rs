@@ -14,21 +14,62 @@
 //! either figure (DESIGN.md §7).
 
 use crate::actor::NodeExit;
-use crate::rtmsg::CtlMsg;
-use crate::supervisor::Supervisor;
-use crate::{Phase, RuntimeConfig, RuntimeError};
-use deta_core::aggregator::AggregatorNode;
+use crate::rtmsg::{CtlMsg, RebindEntry};
+use crate::supervisor::{implicated_nodes, Supervisor};
+use crate::{FailoverPolicy, Phase, RuntimeConfig, RuntimeError};
+use deta_core::agg::AggKind;
+use deta_core::aggregator::{AggRole, AggregatorNode};
 use deta_core::keybroker::KeyBroker;
 use deta_core::latency::{LatencyModel, RoundInputs};
+use deta_core::mapper::ModelMapper;
 use deta_core::party::Party;
+use deta_core::recovery::RecoveryKit;
 use deta_core::session::{DetaConfig, RoundMetrics, SessionParts};
 use deta_core::transform::Transformer;
 use deta_crypto::DetRng;
 use deta_nn::train::LabeledData;
 use deta_nn::Sequential;
+use deta_telemetry::TelemetryValue;
 use deta_transport::Network;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
+
+/// The minimal per-round state a failover replays from (DESIGN.md §12).
+///
+/// The checkpoint is refreshed after every successful round; a failed
+/// round is replayed *on top of* the checkpointed state — parties hold
+/// their last sealed upload for idempotent re-upload, so no private data
+/// ever leaves a party twice in different forms.
+#[derive(Clone, Debug)]
+pub struct RoundCheckpoint {
+    /// The last successfully completed round (0 right after setup).
+    pub round: u64,
+    /// Global model parameters after that round.
+    pub params: Vec<f32>,
+    /// The serialized [`ModelMapper`] in effect (current epoch).
+    pub mapper_bytes: Vec<u8>,
+    /// The broker's permutation round id used by that round (zero for
+    /// the setup checkpoint).
+    pub training_id: [u8; 16],
+}
+
+/// One model-partition epoch: the transformer (mapper + keyed shuffle)
+/// and aggregator set in effect from [`MapperEpoch::from_round`] until
+/// the next epoch begins.
+///
+/// A round healed by re-partition belongs to BOTH the epoch it started
+/// under and the epoch it completed under — its failed attempt put
+/// old-epoch fragments in flight, so auditors must accept either view
+/// for that round (and only that round).
+#[derive(Clone)]
+pub struct MapperEpoch {
+    /// First round this epoch applies to.
+    pub from_round: u64,
+    /// The party-side transformer of this epoch.
+    pub transformer: Transformer,
+    /// Aggregator endpoint names of this epoch, index 0 the initiator.
+    pub agg_names: Vec<String>,
+}
 
 /// A DeTA session deployed as concurrent, supervised node threads.
 pub struct ThreadedSession {
@@ -46,6 +87,14 @@ pub struct ThreadedSession {
     cumulative_latency_s: f64,
     prev_party_timers: HashMap<String, (f64, f64, f64)>,
     prev_agg_times: HashMap<String, f64>,
+    recovery: RecoveryKit,
+    checkpoint: Option<RoundCheckpoint>,
+    epochs: Vec<MapperEpoch>,
+    retired_aggs: Vec<String>,
+    failovers: u64,
+    /// Failovers consumed per aggregator *base* name (reincarnations
+    /// share one allowance).
+    budget_used: HashMap<String, u32>,
 }
 
 impl ThreadedSession {
@@ -102,6 +151,7 @@ impl ThreadedSession {
             tokens,
             eval_model,
             transformer,
+            recovery,
         } = parts;
         let agg_names: Vec<String> = aggregators.iter().map(|a| a.name.clone()).collect();
         let party_names: Vec<String> = parties.iter().map(|p| p.name.clone()).collect();
@@ -125,6 +175,24 @@ impl ThreadedSession {
             let _ = supervisor.shutdown();
             return Err(e);
         }
+        // The setup checkpoint (round 0): the freshly initialized global
+        // model under the initial partition, so even a first-round fault
+        // has a replay basis.
+        let checkpoint = if supervisor.config().checkpoint {
+            Some(RoundCheckpoint {
+                round: 0,
+                params: eval_model.flat_params(),
+                mapper_bytes: transformer.mapper().to_bytes(),
+                training_id: [0u8; 16],
+            })
+        } else {
+            None
+        };
+        let epochs = vec![MapperEpoch {
+            from_round: 1,
+            transformer: transformer.clone(),
+            agg_names: agg_names.clone(),
+        }];
         Ok(ThreadedSession {
             config,
             network,
@@ -139,6 +207,12 @@ impl ThreadedSession {
             cumulative_latency_s: 0.0,
             prev_party_timers: HashMap::new(),
             prev_agg_times: HashMap::new(),
+            recovery,
+            checkpoint,
+            epochs,
+            retired_aggs: Vec::new(),
+            failovers: 0,
+            budget_used: HashMap::new(),
         })
     }
 
@@ -166,18 +240,16 @@ impl ThreadedSession {
         Ok(out)
     }
 
-    /// One training round, fully message-driven.
+    /// One training round, fully message-driven. A failed attempt is
+    /// healed in place when the failover policy allows it: the loop
+    /// below re-enters the completion wait after each recovery, carrying
+    /// the completions already collected, until the round finishes or
+    /// the failure is terminal.
     fn run_round(&mut self, test: &LabeledData) -> Result<RoundMetrics, RuntimeError> {
         let round = self.next_round;
         self.next_round += 1;
         let tid = self.broker.training_id(round);
         let n = self.party_names.len();
-        let k = self.agg_names.len();
-        let Some(initiator) = self.agg_names.first().cloned() else {
-            return Err(self
-                .supervisor
-                .record_failure(RuntimeError::Protocol("no aggregators deployed")));
-        };
 
         // This round's participants: the sequential session's selection,
         // replicated exactly (same RNG fork, same shuffle).
@@ -199,8 +271,11 @@ impl ThreadedSession {
         // inter-aggregator traffic rides other links).
         let links0 = self.network.link_bytes();
 
-        // Marching orders to every party, then the round trigger to the
-        // initiator (retried with capped backoff below — idempotent).
+        // Marching orders to every party (sent once — a failover
+        // re-enters the completion wait without re-planning, so no party
+        // can be told to train the same round twice), then the round
+        // trigger to the initiator (retried with capped backoff —
+        // idempotent).
         for (i, name) in self.party_names.iter().enumerate() {
             let plan = CtlMsg::RoundPlan {
                 round,
@@ -209,60 +284,44 @@ impl ThreadedSession {
             };
             self.supervisor.send_ctl(name, &plan);
         }
-        let trigger = CtlMsg::Trigger {
-            round,
-            training_id: tid,
-        };
-        self.supervisor.send_ctl(&initiator, &trigger);
 
         // Collect completions: every aggregator's AggDone and every
-        // party's PartyDone, under the round deadline.
-        let mut losses: HashMap<String, f32> = HashMap::new();
-        let mut party_cum: HashMap<String, (f64, f64, f64)> = HashMap::new();
-        let mut agg_cum: HashMap<String, f64> = HashMap::new();
-        let mut params: Option<Vec<f32>> = None;
-        let expected: HashSet<String> = self
-            .agg_names
-            .iter()
-            .chain(self.party_names.iter())
-            .cloned()
-            .collect();
-        let deadline = self.supervisor.config().round_deadline;
-        self.supervisor.wait(
-            Phase::Round,
-            round,
-            deadline,
-            expected,
-            Some((initiator, trigger)),
-            |from, msg| match msg {
-                CtlMsg::AggDone {
-                    round: r,
-                    aggregate_s,
-                } if r >= round => {
-                    agg_cum.insert(from.to_string(), aggregate_s);
-                    true
-                }
-                CtlMsg::PartyDone {
-                    round: r,
-                    trained,
-                    train_loss,
-                    train_s,
-                    transform_s,
-                    crypto_s,
-                    params: p,
-                } if r == round => {
-                    if trained {
-                        losses.insert(from.to_string(), train_loss);
-                    }
-                    party_cum.insert(from.to_string(), (train_s, transform_s, crypto_s));
-                    if let Some(p) = p {
-                        params = Some(p);
-                    }
-                    true
-                }
-                _ => false,
-            },
-        )?;
+        // party's PartyDone, under the round deadline. A recoverable
+        // failure runs a failover and re-enters the wait for whoever has
+        // not finished yet.
+        let mut progress = RoundProgress::default();
+        loop {
+            let Some(initiator) = self.agg_names.first().cloned() else {
+                return Err(self
+                    .supervisor
+                    .record_failure(RuntimeError::Protocol("no aggregators deployed")));
+            };
+            let trigger = CtlMsg::Trigger {
+                round,
+                training_id: tid,
+            };
+            self.supervisor.send_ctl(&initiator, &trigger);
+            let expected: HashSet<String> = self
+                .agg_names
+                .iter()
+                .chain(self.party_names.iter())
+                .filter(|name| !progress.done.contains(*name))
+                .cloned()
+                .collect();
+            let deadline = self.supervisor.config().round_deadline;
+            let attempt = self.supervisor.wait(
+                Phase::Round,
+                round,
+                deadline,
+                expected,
+                Some((initiator, trigger)),
+                |from, msg| progress.absorb(round, from, msg),
+            );
+            match attempt {
+                Ok(()) => break,
+                Err(err) => self.failover(err, round, &mut progress)?,
+            }
+        }
 
         // Byte attribution: exact window deltas over the per-link
         // counters. Uploads are party→aggregator deliveries, downloads
@@ -273,11 +332,12 @@ impl ThreadedSession {
         let download_total = link_window(&links0, &links1, &self.agg_names, &self.party_names);
 
         // Latency inputs from per-node cumulative timer deltas.
+        let k = self.agg_names.len();
         let mut max_train = 0.0f64;
         let mut max_transform = 0.0f64;
         let mut max_crypto = 0.0f64;
         for name in &self.party_names {
-            let cum = party_cum.get(name).copied().unwrap_or_default();
+            let cum = progress.party_cum.get(name).copied().unwrap_or_default();
             let prev = self
                 .prev_party_timers
                 .get(name)
@@ -290,7 +350,7 @@ impl ThreadedSession {
         }
         let mut max_agg = 0.0f64;
         for name in &self.agg_names {
-            let cum = agg_cum.get(name).copied().unwrap_or_default();
+            let cum = progress.agg_cum.get(name).copied().unwrap_or_default();
             let prev = self.prev_agg_times.get(name).copied().unwrap_or_default();
             max_agg = max_agg.max(cum - prev);
             self.prev_agg_times.insert(name.clone(), cum);
@@ -299,7 +359,7 @@ impl ThreadedSession {
         // reduction matches the sequential session bit for bit.
         let mut train_loss_sum = 0.0f32;
         for name in &self.party_names {
-            if let Some(l) = losses.get(name) {
+            if let Some(l) = progress.losses.get(name) {
                 train_loss_sum += *l;
             }
         }
@@ -318,11 +378,21 @@ impl ThreadedSession {
 
         // Evaluate on the supervisor's replica of the (synchronized,
         // therefore identical) party model.
-        let Some(params) = params else {
+        let Some(params) = progress.params else {
             return Err(self
                 .supervisor
                 .record_failure(RuntimeError::Protocol("missing parameter snapshot")));
         };
+        // Refresh the round checkpoint: the state the *next* round's
+        // failover would replay on top of.
+        if self.supervisor.config().checkpoint {
+            self.checkpoint = Some(RoundCheckpoint {
+                round,
+                params: params.clone(),
+                mapper_bytes: self.transformer.mapper().to_bytes(),
+                training_id: tid,
+            });
+        }
         self.eval_model.set_flat_params(&params);
         let (test_loss, test_accuracy) = deta_nn::train::evaluate(&mut self.eval_model, test, 128);
         Ok(RoundMetrics {
@@ -336,6 +406,297 @@ impl ThreadedSession {
             upload_bytes: upload_total,
             download_bytes: download_total,
         })
+    }
+
+    /// Attempts to heal a failed round attempt. On success the caller
+    /// re-enters the completion wait; any error returned here is
+    /// terminal (the session degrades to today's structured failure).
+    ///
+    /// Recoverable means: a failover policy is configured, a checkpoint
+    /// exists, the fault implicates at least one aggregator (parties own
+    /// private data no replacement could re-create), the Paillier path
+    /// is off (a replayed upload must be byte-identical, and
+    /// re-encrypting would consume party RNG state), and every target is
+    /// within its recovery budget.
+    fn failover(
+        &mut self,
+        err: RuntimeError,
+        round: u64,
+        progress: &mut RoundProgress,
+    ) -> Result<(), RuntimeError> {
+        let policy = self.supervisor.config().failover;
+        let budget = self.supervisor.config().recovery_attempts;
+        if policy == FailoverPolicy::None
+            || self.checkpoint.is_none()
+            || self.config.paillier.is_some()
+        {
+            return Err(err);
+        }
+        if policy == FailoverPolicy::Repartition && !partition_commutative(self.config.algorithm) {
+            // Krum / FLAME-lite score whole fragments, so survivors
+            // re-aggregating under a new partition would select
+            // differently than the original epoch — re-partition would
+            // silently change the round's semantics.
+            return Err(err);
+        }
+        let implicated = implicated_nodes(&err);
+        let targets: Vec<String> = self
+            .agg_names
+            .iter()
+            .filter(|n| implicated.contains(n))
+            .cloned()
+            .collect();
+        if targets.is_empty() {
+            return Err(err);
+        }
+        if policy == FailoverPolicy::Repartition && targets.len() >= self.agg_names.len() {
+            // Nobody would survive to absorb the dead partitions; degrade
+            // to the original (attributed) terminal error.
+            return Err(err);
+        }
+        // Bounded recovery budget, counted against each aggregator's
+        // base name so its reincarnations share one allowance.
+        for t in &targets {
+            let used = self
+                .budget_used
+                .entry(base_name(t).to_string())
+                .or_insert(0);
+            if *used >= budget {
+                return Err(err);
+            }
+            *used += 1;
+        }
+        self.failovers += 1;
+        self.supervisor.note(
+            "failover_started",
+            &[
+                ("round", TelemetryValue::from(round)),
+                ("policy", TelemetryValue::from(policy_tag(policy))),
+                ("targets", TelemetryValue::from(targets.len())),
+            ],
+        );
+        for t in &targets {
+            self.supervisor.kill_node(t);
+            self.retired_aggs.push(t.clone());
+            progress.done.remove(t);
+        }
+        match policy {
+            FailoverPolicy::None => return Err(err),
+            FailoverPolicy::Restart => self.failover_restart(&targets, round, progress)?,
+            FailoverPolicy::Repartition => self.failover_repartition(&targets, round, progress)?,
+        }
+        self.supervisor
+            .note("round_replayed", &[("round", TelemetryValue::from(round))]);
+        Ok(())
+    }
+
+    /// `FailoverPolicy::Restart`: respawn every dead aggregator as a
+    /// freshly attested CVM under a new incarnation name (same mapper
+    /// slot), rebind every party to the replacements (re-running the
+    /// Phase II challenge-response against the proxy's new token), wait
+    /// for readiness, then replay the failed round's sealed uploads.
+    fn failover_restart(
+        &mut self,
+        targets: &[String],
+        round: u64,
+        progress: &mut RoundProgress,
+    ) -> Result<(), RuntimeError> {
+        // New incarnation names, preserving each target's mapper slot.
+        let mut new_names = self.agg_names.clone();
+        let mut replaced: Vec<(usize, String)> = Vec::new();
+        for t in targets {
+            let Some(slot) = self.agg_names.iter().position(|n| n == t) else {
+                continue;
+            };
+            let generation = self.budget_used.get(base_name(t)).copied().unwrap_or(1);
+            let name = format!("{}#r{generation}", base_name(t));
+            new_names[slot] = name.clone();
+            replaced.push((slot, name));
+        }
+        let Some(initiator) = new_names.first().cloned() else {
+            return Err(RuntimeError::Protocol("no aggregators deployed"));
+        };
+        // Phase I for each replacement (attestation against the sev-sim
+        // AP, token provisioning into the fresh CVM), then its thread.
+        let mut rebinds: Vec<RebindEntry> = Vec::new();
+        for (slot, name) in &replaced {
+            let role = if *slot == 0 {
+                AggRole::Initiator {
+                    followers: new_names.iter().filter(|n| *n != name).cloned().collect(),
+                }
+            } else {
+                AggRole::Follower {
+                    initiator: initiator.clone(),
+                }
+            };
+            let endpoint = self.network.register(name);
+            let (node, token) = self.recovery.respawn(name, endpoint, role)?;
+            self.supervisor.spawn_aggregator(node)?;
+            self.supervisor.note(
+                "reattested",
+                &[
+                    ("node", TelemetryValue::from(name.as_str())),
+                    ("round", TelemetryValue::from(round)),
+                ],
+            );
+            let Ok(index) = u32::try_from(*slot) else {
+                return Err(RuntimeError::Protocol("aggregator slot exceeds u32"));
+            };
+            rebinds.push(RebindEntry {
+                index,
+                name: name.clone(),
+                verifying_key: token.to_bytes(),
+            });
+        }
+        // Survivors learn the new topology (replacement follower names,
+        // or a replacement initiator to report to).
+        for name in &new_names {
+            if replaced.iter().any(|(_, n)| n == name) {
+                continue;
+            }
+            self.supervisor.send_ctl(
+                name,
+                &CtlMsg::Topology {
+                    initiator: initiator.clone(),
+                    aggs: new_names.clone(),
+                },
+            );
+        }
+        // Every party re-runs Phase II against the replacements. The
+        // rebind is one batched message so no party can report readiness
+        // between two rebinds of the same failover.
+        for p in &self.party_names {
+            self.supervisor.send_ctl(
+                p,
+                &CtlMsg::Rebind {
+                    rebinds: rebinds.clone(),
+                },
+            );
+        }
+        // Barrier: every replacement's service loop up AND every party
+        // re-registered before any replay flows — a replacement must
+        // never aggregate over a partially re-registered party set.
+        let expected: HashSet<String> = replaced
+            .iter()
+            .map(|(_, n)| n.clone())
+            .chain(self.party_names.iter().cloned())
+            .collect();
+        let deadline = self.supervisor.config().setup_deadline;
+        self.supervisor.wait(
+            Phase::Setup,
+            round,
+            deadline,
+            expected,
+            None,
+            |from, msg| match msg {
+                CtlMsg::Ready => true,
+                other => {
+                    // Completions racing in from survivors mid-failover
+                    // still count toward the round.
+                    progress.absorb(round, from, other);
+                    false
+                }
+            },
+        )?;
+        self.agg_names = new_names;
+        // Idempotent re-upload of the failed round's sealed fragments.
+        for p in &self.party_names {
+            self.supervisor.send_ctl(p, &CtlMsg::Replay { round });
+        }
+        Ok(())
+    }
+
+    /// `FailoverPolicy::Repartition`: drop the dead aggregators and
+    /// rebuild the partition over the survivors. The failed round is
+    /// discarded at every survivor (never merged) before any new-epoch
+    /// fragment can arrive, a deterministic replacement mapper is
+    /// generated over the surviving set, and the round replays under
+    /// the new epoch. Privacy argument (DESIGN.md §12): a survivor sees
+    /// the failed round's fragments under exactly one partition per
+    /// epoch, and the keyed shuffle breaks positional correlation
+    /// between the two views of the boundary round.
+    fn failover_repartition(
+        &mut self,
+        targets: &[String],
+        round: u64,
+        progress: &mut RoundProgress,
+    ) -> Result<(), RuntimeError> {
+        let survivors: Vec<String> = self
+            .agg_names
+            .iter()
+            .filter(|n| !targets.contains(n))
+            .cloned()
+            .collect();
+        let Some(initiator) = survivors.first().cloned() else {
+            return Err(RuntimeError::Protocol(
+                "no surviving aggregators to re-partition over",
+            ));
+        };
+        // Survivors discard the failed round and (possibly) learn a
+        // promoted initiator. FIFO mailboxes order the Reopen ahead of
+        // every replayed upload the parties send later.
+        for s in &survivors {
+            self.supervisor.send_ctl(s, &CtlMsg::Reopen { round });
+            self.supervisor.send_ctl(
+                s,
+                &CtlMsg::Topology {
+                    initiator: initiator.clone(),
+                    aggs: survivors.clone(),
+                },
+            );
+            // Reopened survivors must re-complete the round.
+            progress.done.remove(s);
+        }
+        // Deterministic replacement partition: epoch `e` is a pure
+        // function of (seed, e), so a replay of the whole session
+        // rebuilds it bit-exactly.
+        let epoch_index = self.epochs.len() as u64;
+        let n_params = self.transformer.mapper().n_params();
+        let mut rng = DetRng::from_u64(self.config.seed).fork_indexed(b"mapper-epoch", epoch_index);
+        let mapper = ModelMapper::generate(n_params, survivors.len(), None, &mut rng);
+        let mapper_bytes = mapper.to_bytes();
+        self.transformer = self.transformer.with_mapper(mapper);
+        // Re-point every party at the new partition (drops dead
+        // channels, discards this round's old-epoch downloads) and make
+        // them re-prove readiness.
+        for p in &self.party_names {
+            self.supervisor.send_ctl(
+                p,
+                &CtlMsg::Remap {
+                    round,
+                    mapper: mapper_bytes.clone(),
+                    aggs: survivors.clone(),
+                },
+            );
+        }
+        let expected: HashSet<String> = self.party_names.iter().cloned().collect();
+        let deadline = self.supervisor.config().setup_deadline;
+        self.supervisor.wait(
+            Phase::Setup,
+            round,
+            deadline,
+            expected,
+            None,
+            |from, msg| match msg {
+                CtlMsg::Ready => true,
+                other => {
+                    progress.absorb(round, from, other);
+                    false
+                }
+            },
+        )?;
+        // The boundary round belongs to BOTH epochs for audit: its
+        // failed attempt put old-epoch fragments in flight.
+        self.epochs.push(MapperEpoch {
+            from_round: round,
+            transformer: self.transformer.clone(),
+            agg_names: survivors.clone(),
+        });
+        self.agg_names = survivors;
+        for p in &self.party_names {
+            self.supervisor.send_ctl(p, &CtlMsg::Replay { round });
+        }
+        Ok(())
     }
 
     /// Stops every node and joins all threads. Idempotent; [`run`]
@@ -389,6 +750,40 @@ impl ThreadedSession {
         }
     }
 
+    /// The latest round checkpoint (`None` while checkpointing is
+    /// disabled).
+    pub fn checkpoint(&self) -> Option<&RoundCheckpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Every model-partition epoch so far, oldest first. A session that
+    /// never re-partitioned has exactly one.
+    pub fn epochs(&self) -> &[MapperEpoch] {
+        &self.epochs
+    }
+
+    /// Number of failovers performed so far.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Endpoint names of aggregator incarnations retired by failovers,
+    /// in retirement order.
+    pub fn retired_agg_names(&self) -> &[String] {
+        &self.retired_aggs
+    }
+
+    /// An aggregator's final node state looked up by endpoint name.
+    /// Unlike [`ThreadedSession::recovered_aggregator`], this also
+    /// reaches incarnations retired by a failover — those are joined
+    /// (and therefore recoverable) the moment the failover kills them.
+    pub fn recovered_aggregator_named(&self, name: &str) -> Option<&AggregatorNode> {
+        match self.supervisor.recovered(name)? {
+            NodeExit::Aggregator(a) => Some(a),
+            NodeExit::Party(_) => None,
+        }
+    }
+
     /// The key broker (per-round training ids and the permutation key).
     pub fn broker(&self) -> &KeyBroker {
         &self.broker
@@ -426,6 +821,81 @@ impl ThreadedSession {
     pub fn dump_trace(&mut self) -> Option<PathBuf> {
         self.supervisor.dump_trace()
     }
+}
+
+/// Completion state for one round, carried across failover attempts so
+/// a healed wait doesn't forget who already finished.
+#[derive(Default)]
+struct RoundProgress {
+    /// Nodes whose round obligation is fulfilled.
+    done: HashSet<String>,
+    losses: HashMap<String, f32>,
+    party_cum: HashMap<String, (f64, f64, f64)>,
+    agg_cum: HashMap<String, f64>,
+    params: Option<Vec<f32>>,
+}
+
+impl RoundProgress {
+    /// Records a completion message for `round`; returns whether it
+    /// fulfilled the sender's obligation.
+    fn absorb(&mut self, round: u64, from: &str, msg: CtlMsg) -> bool {
+        match msg {
+            CtlMsg::AggDone {
+                round: r,
+                aggregate_s,
+            } if r >= round => {
+                self.agg_cum.insert(from.to_string(), aggregate_s);
+                self.done.insert(from.to_string());
+                true
+            }
+            CtlMsg::PartyDone {
+                round: r,
+                trained,
+                train_loss,
+                train_s,
+                transform_s,
+                crypto_s,
+                params,
+            } if r == round => {
+                if trained {
+                    self.losses.insert(from.to_string(), train_loss);
+                }
+                self.party_cum
+                    .insert(from.to_string(), (train_s, transform_s, crypto_s));
+                if let Some(p) = params {
+                    self.params = Some(p);
+                }
+                self.done.insert(from.to_string());
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The stable base of an aggregator name across reincarnations
+/// (`agg-1#r2` → `agg-1`).
+fn base_name(name: &str) -> &str {
+    match name.split('#').next() {
+        Some(base) => base,
+        None => name,
+    }
+}
+
+/// A short static tag for a failover policy (telemetry fields).
+fn policy_tag(policy: FailoverPolicy) -> &'static str {
+    match policy {
+        FailoverPolicy::None => "none",
+        FailoverPolicy::Restart => "restart",
+        FailoverPolicy::Repartition => "repartition",
+    }
+}
+
+/// Whether an aggregation algorithm commutes with re-partitioning: its
+/// output at each coordinate depends only on the parties' values at
+/// that coordinate, never on whole-fragment geometry.
+fn partition_commutative(algorithm: AggKind) -> bool {
+    !matches!(algorithm, AggKind::Krum { .. } | AggKind::FlameLite)
 }
 
 /// Sums the delivered-byte delta between two [`Network::link_bytes`]

@@ -23,6 +23,9 @@ pub struct Supervisor {
     ctl: Endpoint,
     cfg: RuntimeConfig,
     stop: Arc<AtomicBool>,
+    /// Per-node halt flags (see [`ActorContext::halt`]): lets the
+    /// supervisor retire exactly one node during a failover.
+    halts: HashMap<String, Arc<AtomicBool>>,
     nodes: HashMap<String, JoinHandle<NodeExit>>,
     recovered: HashMap<String, NodeExit>,
     last_seen: HashMap<String, Instant>,
@@ -49,6 +52,7 @@ impl Supervisor {
             ctl,
             cfg,
             stop: Arc::new(AtomicBool::new(false)),
+            halts: HashMap::new(),
             nodes: HashMap::new(),
             recovered: HashMap::new(),
             last_seen: HashMap::new(),
@@ -71,9 +75,12 @@ impl Supervisor {
         names
     }
 
-    fn context(&self) -> ActorContext {
+    fn context_for(&mut self, name: &str) -> ActorContext {
+        let halt = Arc::new(AtomicBool::new(false));
+        self.halts.insert(name.to_string(), Arc::clone(&halt));
         ActorContext {
             stop: Arc::clone(&self.stop),
+            halt,
             tick: self.cfg.tick,
         }
     }
@@ -105,7 +112,7 @@ impl Supervisor {
             .iter()
             .find(|s| s.node == name)
             .map(|s| s.round);
-        let ctx = self.context();
+        let ctx = self.context_for(&name);
         let recorder = self.recorder_for(&name);
         self.spawn(name, move || {
             actor::run_aggregator(agg, stall, ctx, recorder)
@@ -124,7 +131,7 @@ impl Supervisor {
         tokens: HashMap<String, VerifyingKey>,
     ) -> Result<(), RuntimeError> {
         let name = party.name.clone();
-        let ctx = self.context();
+        let ctx = self.context_for(&name);
         let recorder = self.recorder_for(&name);
         self.spawn(name, move || actor::run_party(party, tokens, ctx, recorder))
     }
@@ -143,6 +150,39 @@ impl Supervisor {
         if let Ok(frame) = msg.encode() {
             self.ctl_bytes += frame.len() as u64;
             let _ = self.ctl.send(to, frame);
+        }
+    }
+
+    /// Retires one node during a failover: sets its private halt flag
+    /// (which also wakes a deliberately stalled node), closes its mailbox
+    /// (which wakes a blocked `recv_timeout`), joins the thread, and
+    /// records its final state under [`Supervisor::recovered`]. A
+    /// panicked thread is absorbed rather than propagated — failover
+    /// exists precisely to outlive it.
+    pub fn kill_node(&mut self, name: &str) {
+        if let Some(halt) = self.halts.remove(name) {
+            halt.store(true, Ordering::Relaxed);
+        }
+        self.network.close(name);
+        if let Some(handle) = self.nodes.remove(name) {
+            match handle.join() {
+                Ok(exit) => {
+                    self.recovered.insert(name.to_string(), exit);
+                }
+                Err(_) => {
+                    self.note("panic_absorbed", &[("node", TelemetryValue::from(name))]);
+                }
+            }
+        }
+        self.last_seen.remove(name);
+    }
+
+    /// Emits an event on the supervisor's own flight-recorder ring (used
+    /// by the session layer for failover milestones, so they appear in
+    /// trace dumps). A no-op while telemetry is disabled.
+    pub fn note(&self, name: &'static str, fields: &[(&'static str, TelemetryValue)]) {
+        if deta_telemetry::enabled() {
+            self.own.event(name, fields);
         }
     }
 
@@ -321,9 +361,12 @@ impl Supervisor {
         None
     }
 
-    /// Stops every node and joins all threads: sets the stop flag, sends
-    /// `Shutdown`, closes every node mailbox (which wakes blocked
-    /// receivers with a distinguishable "closed" result), then joins.
+    /// Stops every node and joins all threads: sets the stop flag and
+    /// every per-node halt flag, then closes *all* node mailboxes before
+    /// joining *any* thread (so a node blocked in `recv_timeout` — e.g.
+    /// mid-failover, or one deliberately stalled — wakes immediately
+    /// instead of extending shutdown by a full deadline), sends
+    /// `Shutdown` as a courtesy to actors mid-drain, then joins.
     /// Idempotent — a second call is a no-op over an empty node set.
     ///
     /// # Errors
@@ -332,6 +375,10 @@ impl Supervisor {
     /// (remaining threads are still joined first, so nothing leaks).
     pub fn shutdown(&mut self) -> Result<(), RuntimeError> {
         self.stop.store(true, Ordering::Relaxed);
+        for halt in self.halts.values() {
+            halt.store(true, Ordering::Relaxed);
+        }
+        self.halts.clear();
         let names: Vec<String> = self.nodes.keys().cloned().collect();
         for name in &names {
             self.send_ctl(name, &CtlMsg::Shutdown);
@@ -444,10 +491,11 @@ fn error_kind(err: &RuntimeError) -> &'static str {
     }
 }
 
-/// The node(s) a fault verdict blames, for the dump's `meta` line. A
-/// timeout blames the stalled subset when there is one (those nodes also
-/// stopped heartbeating), otherwise everything still missing.
-fn implicated_nodes(err: &RuntimeError) -> Vec<String> {
+/// The node(s) a fault verdict blames, for the dump's `meta` line (and
+/// for failover target selection). A timeout blames the stalled subset
+/// when there is one (those nodes also stopped heartbeating), otherwise
+/// everything still missing.
+pub(crate) fn implicated_nodes(err: &RuntimeError) -> Vec<String> {
     match err {
         RuntimeError::NodeFailed { node, .. } | RuntimeError::NodePanicked { node } => {
             vec![node.clone()]

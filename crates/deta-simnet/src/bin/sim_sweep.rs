@@ -9,11 +9,14 @@
 //!   sim_sweep --seed 17 --trace  # ...plus a flight-recorder dump under results/traces/
 //!   sim_sweep --seeds 50       # sweep the first 50 seeds
 //!   sim_sweep --json PATH      # corpus location (default results/SIM_SEEDS.json)
+//!   sim_sweep --failover none  # supervisor policy (default restart)
+//!   sim_sweep --only-class recovered  # list matching seeds, skip corpus verify
 //!   DETA_SIM_REWRITE=1 sim_sweep   # regenerate the corpus instead of verifying
 //!
 //! `--trace` is single-seed only: telemetry enablement is sticky
 //! process-wide, so tracing a whole sweep would contaminate every run.
 
+use deta_runtime::FailoverPolicy;
 use deta_simnet::{FaultPlan, SeedReport, SimFleet, SimSpec};
 use std::collections::BTreeSet;
 use std::sync::Mutex;
@@ -26,6 +29,8 @@ fn main() {
     let mut json_path = DEFAULT_JSON.to_string();
     let mut single: Option<u64> = None;
     let mut trace = false;
+    let mut failover = FailoverPolicy::Restart;
+    let mut only_class: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -33,6 +38,18 @@ fn main() {
             "--seeds" => seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or(seeds),
             "--json" => json_path = args.next().unwrap_or(json_path),
             "--trace" => trace = true,
+            "--failover" => {
+                failover = match args.next().as_deref() {
+                    Some("none") => FailoverPolicy::None,
+                    Some("restart") => FailoverPolicy::Restart,
+                    Some("repartition") => FailoverPolicy::Repartition,
+                    other => {
+                        eprintln!("--failover expects none|restart|repartition, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--only-class" => only_class = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -46,6 +63,7 @@ fn main() {
 
     let fleet = SimFleet::new(SimSpec {
         trace,
+        failover,
         ..SimSpec::default()
     });
 
@@ -134,6 +152,28 @@ fn main() {
         }
     }
 
+    if let Some(class) = &only_class {
+        // Exploration mode: list the matching seeds (e.g. every
+        // `recovered` seed to drill into) and skip corpus verification —
+        // a filtered view must not overwrite or judge the full corpus.
+        let mut matched = 0usize;
+        for (seed, c, kinds) in &corpus {
+            if c == class {
+                println!("seed {seed}: {c} {kinds:?}");
+                matched += 1;
+            }
+        }
+        println!(
+            "swept {seeds} seeds x2: {matched} seed(s) in class {class:?} \
+             (corpus verification skipped)"
+        );
+        if failures > 0 {
+            eprintln!("{failures} sweep failure(s)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let json = render_corpus(&corpus);
     let rewrite = std::env::var("DETA_SIM_REWRITE").is_ok_and(|v| v == "1");
     match std::fs::read_to_string(&json_path) {
@@ -160,9 +200,11 @@ fn main() {
     }
 
     let parity = corpus.iter().filter(|(_, c, _)| c == "parity").count();
+    let recovered = corpus.iter().filter(|(_, c, _)| c == "recovered").count();
     println!(
-        "swept {seeds} seeds x2 on {workers} workers: {parity} parity, {} failed, fired kinds {:?}",
-        corpus.len() - parity,
+        "swept {seeds} seeds x2 on {workers} workers: {parity} parity, {recovered} recovered, \
+         {} failed, fired kinds {:?}",
+        corpus.len() - parity - recovered,
         fired_union
     );
     if failures > 0 {

@@ -22,11 +22,15 @@ use crate::tap::TapLog;
 use deta_core::aggregator::parse_breached_memory;
 use deta_core::session::{DetaConfig, DetaSession, SessionParts};
 use deta_core::shuffle::RoundPermutation;
+use deta_core::transform::Transformer;
 use deta_core::wire::Msg;
 use deta_datasets::{iid_partition, DatasetSpec};
 use deta_nn::models::mlp;
 use deta_nn::train::LabeledData;
-use deta_runtime::{RuntimeConfig, RuntimeError, TelemetryConfig, ThreadedSession, SUPERVISOR};
+use deta_runtime::{
+    FailoverPolicy, MapperEpoch, RuntimeConfig, RuntimeError, TelemetryConfig, ThreadedSession,
+    SUPERVISOR,
+};
 use deta_transport::FaultPolicy;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -69,6 +73,11 @@ pub struct SimSpec {
     /// Telemetry enablement is sticky process-wide, so leave this off
     /// for sweeps and on only for single-seed drill-downs.
     pub trace: bool,
+    /// What the supervisor does when a round fails with aggregators
+    /// implicated. With a policy armed, seeds whose faults hit an
+    /// aggregator can end in [`Verdict::Recovered`] instead of
+    /// [`Verdict::Failed`].
+    pub failover: FailoverPolicy,
 }
 
 impl Default for SimSpec {
@@ -86,6 +95,7 @@ impl Default for SimSpec {
             round_deadline: Duration::from_secs(2),
             tick: Duration::from_millis(5),
             trace: false,
+            failover: FailoverPolicy::None,
         }
     }
 }
@@ -120,14 +130,27 @@ impl SimSpec {
                 enabled: self.trace,
                 ..TelemetryConfig::default()
             },
+            failover: self.failover,
+            recovery_attempts: 2,
+            checkpoint: true,
         }
     }
 
     /// Upper bound on one run's wall clock: every phase deadline plus
-    /// generous join/teardown slack. Exceeding it is a termination
-    /// violation (the deployment hung past its own supervision budget).
+    /// generous join/teardown slack, plus — when a failover policy is
+    /// armed — the full recovery budget (each failover costs at most one
+    /// extra failed round wait plus one re-bootstrap barrier). Exceeding
+    /// it is a termination violation (the deployment hung past its own
+    /// supervision budget).
     pub fn termination_bound(&self) -> Duration {
-        self.setup_deadline + self.round_deadline * self.rounds as u32 + Duration::from_secs(10)
+        let base = self.setup_deadline
+            + self.round_deadline * self.rounds as u32
+            + Duration::from_secs(10);
+        if self.failover == FailoverPolicy::None {
+            return base;
+        }
+        let max_failovers = (self.n_aggregators * 2) as u32;
+        base + (self.round_deadline + self.setup_deadline) * max_failovers
     }
 }
 
@@ -136,6 +159,10 @@ impl SimSpec {
 pub enum Verdict {
     /// Bit-identical parameters to the sequential reference.
     Parity,
+    /// The run was hit by a terminal fault mid-round, the supervisor
+    /// healed it (failover + replay), and the final parameters still
+    /// match the sequential reference bit-for-bit.
+    Recovered,
     /// A structured runtime error naming the dark node(s).
     Failed {
         /// The implicated nodes that are also incident to a fired fault.
@@ -144,10 +171,12 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    /// Stable class name for the seed corpus ("parity" / "failed").
+    /// Stable class name for the seed corpus
+    /// ("parity" / "recovered" / "failed").
     pub fn class(&self) -> &'static str {
         match self {
             Verdict::Parity => "parity",
+            Verdict::Recovered => "recovered",
             Verdict::Failed { .. } => "failed",
         }
     }
@@ -249,17 +278,27 @@ impl SimFleet {
         // An error with no fired fault — or with faults fired but naming
         // only bystanders — breaks the termination invariant's "names
         // the dark node" half.
-        if let Verdict::Failed { dark } = &report.verdict {
-            if report.fired_kinds.is_empty() {
+        match &report.verdict {
+            Verdict::Failed { dark } => {
+                if report.fired_kinds.is_empty() {
+                    report
+                        .violations
+                        .push("termination: run failed but no fault fired".into());
+                } else if dark.is_empty() {
+                    report.violations.push(format!(
+                        "termination: error implicates no fault-incident node ({:?})",
+                        report.error
+                    ));
+                }
+            }
+            // A failover with no fault fired means the supervisor healed
+            // a round nothing broke — an infrastructure bug.
+            Verdict::Recovered if report.fired_kinds.is_empty() => {
                 report
                     .violations
-                    .push("termination: run failed but no fault fired".into());
-            } else if dark.is_empty() {
-                report.violations.push(format!(
-                    "termination: error implicates no fault-incident node ({:?})",
-                    report.error
-                ));
+                    .push("termination: run recovered but no fault fired".into());
             }
+            _ => {}
         }
         report
     }
@@ -331,10 +370,12 @@ impl SimFleet {
                                 ));
                             }
                         }
-                        if parity {
-                            (Verdict::Parity, None)
-                        } else {
+                        if !parity {
                             (Verdict::Failed { dark: Vec::new() }, None)
+                        } else if thr.failover_count() > 0 {
+                            (Verdict::Recovered, None)
+                        } else {
+                            (Verdict::Parity, None)
                         }
                     }
                     Err(e) => {
@@ -377,22 +418,36 @@ impl SimFleet {
 
     /// Invariant 2. For every fragment an aggregator materialized
     /// (breached CVM memory + pending upload buffers), recompute — from
-    /// the producing party's raw update log, the shared mapper, and the
-    /// round's permutation — the one fragment that aggregator was
-    /// entitled to, and demand bit-equality. Then replay the tap: the
-    /// fragment must be backed by a delivered frame on the party→agg
-    /// link whose size matches a sealed upload of exactly that length,
-    /// and every frame into the aggregator must come from a known
-    /// endpoint.
+    /// the producing party's raw update log, a mapper epoch covering
+    /// that round, and the round's permutation — the one fragment that
+    /// aggregator was entitled to, and demand bit-equality. Then replay
+    /// the tap: the fragment must be backed by a delivered frame on the
+    /// party→agg link whose size matches a sealed upload of exactly that
+    /// length, and every frame into the aggregator must come from a
+    /// known endpoint.
+    ///
+    /// The audit spans failovers: aggregator incarnations retired by a
+    /// failover are audited too (their threads were joined the moment
+    /// the failover killed them), and a round healed by re-partition is
+    /// checked against *both* of its epochs — its failed attempt
+    /// legitimately left old-epoch fragments behind. What must never
+    /// appear is a fragment matching no epoch the holder belonged to:
+    /// that would mean some aggregator saw a slice of the model it was
+    /// never entitled to under any partition of the session.
     fn privacy_check(&self, thr: &ThreadedSession, tap: &TapLog, violations: &mut Vec<String>) {
-        let transformer = thr.transformer();
-        let mapper = transformer.mapper();
-        let tcfg = transformer.config();
         let perm_key = thr.broker().permutation_key();
         let party_names = thr.party_names();
         let agg_names = thr.agg_names();
-        for (j, agg_name) in agg_names.iter().enumerate() {
-            let Some(agg) = thr.recovered_aggregator(j) else {
+        let epochs = thr.epochs();
+        // Every incarnation that ever held uploads: the final aggregator
+        // set plus everything a failover retired.
+        let incarnations: Vec<&str> = agg_names
+            .iter()
+            .chain(thr.retired_agg_names())
+            .map(String::as_str)
+            .collect();
+        for agg_name in &incarnations {
+            let Some(agg) = thr.recovered_aggregator_named(agg_name) else {
                 continue; // panicked thread: state unrecoverable
             };
             let mut materialized: Vec<(String, u64, Vec<f32>)> =
@@ -417,22 +472,25 @@ impl SimFleet {
                     ));
                     continue;
                 };
-                let entitled = if tcfg.partition {
-                    mapper.partition(update).swap_remove(j)
-                } else {
-                    update.clone()
-                };
-                let entitled = if tcfg.shuffle {
-                    let tid = thr.broker().training_id(*round);
-                    RoundPermutation::derive(&perm_key, &tid, j as u32, entitled.len())
-                        .apply(&entitled)
-                } else {
-                    entitled
-                };
-                if bits(&entitled) != bits(frag) {
+                let views = epoch_views(epochs, agg_name, *round);
+                if views.is_empty() {
+                    violations.push(format!(
+                        "privacy: {agg_name} holds a round-{round} fragment but belongs \
+                         to no mapper epoch covering round {round}"
+                    ));
+                    continue;
+                }
+                let tid = thr.broker().training_id(*round);
+                let entitled_somewhere = views.iter().any(|(j, transformer)| {
+                    let entitled = entitled_fragment(transformer, update, *j, &tid, &perm_key);
+                    bits(&entitled) == bits(frag)
+                });
+                if !entitled_somewhere {
                     violations.push(format!(
                         "privacy: {agg_name} materialized a round-{round} fragment from \
-                         {party} that is not the shuffled partition it is entitled to"
+                         {party} that is not the shuffled partition it is entitled to \
+                         under any of its {} epoch view(s)",
+                        views.len()
                     ));
                     continue;
                 }
@@ -452,7 +510,7 @@ impl SimFleet {
             for rec in tap.delivered_to(agg_name) {
                 let known = rec.from == SUPERVISOR
                     || party_names.contains(&rec.from)
-                    || agg_names.contains(&rec.from);
+                    || incarnations.iter().any(|n| *n == rec.from);
                 if !known {
                     violations.push(format!(
                         "privacy: {agg_name} received a frame from unregistered \
@@ -463,6 +521,58 @@ impl SimFleet {
             }
         }
     }
+}
+
+/// The one fragment slot `j` of `transformer` entitles an aggregator to,
+/// recomputed independently from the party's raw update.
+fn entitled_fragment(
+    transformer: &Transformer,
+    update: &[f32],
+    j: usize,
+    tid: &[u8; 16],
+    perm_key: &[u8; 32],
+) -> Vec<f32> {
+    let tcfg = transformer.config();
+    let entitled = if tcfg.partition {
+        transformer.mapper().partition(update).swap_remove(j)
+    } else {
+        update.to_vec()
+    };
+    if tcfg.shuffle {
+        RoundPermutation::derive(perm_key, tid, j as u32, entitled.len()).apply(&entitled)
+    } else {
+        entitled
+    }
+}
+
+/// The (slot, transformer) views `agg_name` legitimately had of `round`:
+/// one per mapper epoch that covers the round and lists the aggregator.
+/// Slots are matched by base name (`agg-1#r1` inherits `agg-1`'s slot),
+/// and an epoch covers `[from_round, next.from_round]` — the boundary
+/// round belongs to *both* epochs, because a re-partition replays the
+/// round whose old-epoch fragments were already in flight.
+fn epoch_views<'a>(
+    epochs: &'a [MapperEpoch],
+    agg_name: &str,
+    round: u64,
+) -> Vec<(usize, &'a Transformer)> {
+    let base = base_of(agg_name);
+    let mut views = Vec::new();
+    for (e, epoch) in epochs.iter().enumerate() {
+        let upper = epochs.get(e + 1).map_or(u64::MAX, |next| next.from_round);
+        if round < epoch.from_round || round > upper {
+            continue;
+        }
+        if let Some(j) = epoch.agg_names.iter().position(|n| base_of(n) == base) {
+            views.push((j, &epoch.transformer));
+        }
+    }
+    views
+}
+
+/// An incarnation's base endpoint name (`agg-1#r2` → `agg-1`).
+fn base_of(name: &str) -> &str {
+    name.split('#').next().unwrap_or(name)
 }
 
 /// Wire size of the sealed record that carries `fragment` for `round`:

@@ -52,6 +52,11 @@ fn main() {
                 "   verdict: PARITY with the sequential session ({:?}, fired {:?})",
                 report.elapsed, report.fired_kinds
             ),
+            Verdict::Recovered => println!(
+                "   verdict: RECOVERED — failover healed the round, parity holds \
+                 ({:?}, fired {:?})",
+                report.elapsed, report.fired_kinds
+            ),
             Verdict::Failed { dark } => println!(
                 "   verdict: FAILED, dark node(s) {dark:?} ({:?})\n   error:   {}",
                 report.elapsed,

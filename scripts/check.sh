@@ -21,6 +21,11 @@ echo "==> telemetry overhead (4 parties x 4 aggregators, gate: <5% enabled, <1% 
 # Writes results/BENCH_telemetry.json; exits non-zero past either gate.
 cargo run --release -q -p deta-bench --bin telemetry_overhead
 
+echo "==> recovery latency (4 parties x 4 aggregators, gate: <3% checkpoint overhead)"
+# Writes results/BENCH_recovery.json; also proves one stalled follower
+# heals under FailoverPolicy::Restart and reports the healing latency.
+cargo run --release -q -p deta-bench --bin recovery_latency
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -21,8 +21,10 @@ use deta::datasets::{iid_partition, DatasetSpec};
 use deta::nn::models::mlp;
 use deta::nn::train::LabeledData;
 use deta::runtime::{
-    Phase, RuntimeConfig, RuntimeError, StallFault, TelemetryConfig, ThreadedSession,
+    FailoverPolicy, Phase, RuntimeConfig, RuntimeError, StallFault, TelemetryConfig,
+    ThreadedSession,
 };
+use deta::transport::{FaultPolicy, SendVerdict};
 use deta_simnet::{Fault, FaultKind, FaultPlan, SimPolicy};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -343,6 +345,290 @@ fn partitioned_initiator_link_is_named() {
         ]),
     );
     assert_names_dark_node(&err, &["party-0", "agg-0"]);
+}
+
+// --- The same fault matrix, healed: `FailoverPolicy::Restart` turns
+// --- each terminal aggregator failure above into a completed session.
+
+/// The final flight-recorder dump must carry the failover event
+/// timeline. (The *first* fault verdict's automatic dump drains the
+/// rings before the failover runs, so the recovery events land in a
+/// fresh dump forced here.)
+fn assert_failover_events(session: &mut ThreadedSession) {
+    let path = session
+        .dump_trace()
+        .expect("telemetry is on, so a dump must be writable");
+    let text = std::fs::read_to_string(path).expect("dump must be readable");
+    for event in ["failover_started", "reattested", "round_replayed"] {
+        assert!(
+            text.contains(event),
+            "trace dump must record {event} for a recovered run"
+        );
+    }
+}
+
+/// Runs the same deployment as [`run_faulted`] with
+/// `FailoverPolicy::Restart` armed: the session must heal, complete
+/// every configured round, and record the failover in its trace.
+fn run_healed(seed: u64, plan: FaultPlan) {
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = seed;
+    let policy = Arc::new(SimPolicy::new(&plan));
+    let rt = RuntimeConfig {
+        failover: FailoverPolicy::Restart,
+        ..sim_rt()
+    };
+    let mut session = ThreadedSession::setup_with(
+        cfg,
+        &move |rng| mlp(&[dim, 12, classes], rng),
+        shards,
+        rt,
+        |parts| parts.network.set_fault_policy(policy),
+    )
+    .expect("faults strike after setup");
+    let t0 = Instant::now();
+    let metrics = session.run(&test).expect("restart failover must heal");
+    assert!(
+        t0.elapsed() < Duration::from_secs(15),
+        "recovery overran its budget: {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(metrics.len(), 2, "every configured round must complete");
+    assert!(
+        session.failover_count() > 0,
+        "healing this fault requires at least one failover"
+    );
+    assert_failover_events(&mut session);
+    session.shutdown().expect("clean shutdown after recovery");
+}
+
+#[test]
+fn stalled_follower_heals_under_restart() {
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = 5;
+    let rt = RuntimeConfig {
+        stalls: vec![StallFault {
+            node: "agg-1".to_string(),
+            round: 1,
+        }],
+        failover: FailoverPolicy::Restart,
+        ..sim_rt()
+    };
+    let mut session =
+        ThreadedSession::setup(cfg, &move |rng| mlp(&[dim, 12, classes], rng), shards, rt)
+            .expect("setup completes before the stall triggers");
+    // The stall is keyed to the original endpoint name, so the respawned
+    // incarnation services its mailbox and the round replays to
+    // completion.
+    let metrics = session
+        .run(&test)
+        .expect("restart heals a stalled follower");
+    assert_eq!(metrics.len(), 2);
+    assert!(session.failover_count() > 0);
+    assert_failover_events(&mut session);
+}
+
+#[test]
+fn stalled_initiator_heals_under_restart() {
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = 6;
+    let rt = RuntimeConfig {
+        stalls: vec![StallFault {
+            node: "agg-0".to_string(),
+            round: 1,
+        }],
+        failover: FailoverPolicy::Restart,
+        ..sim_rt()
+    };
+    let mut session =
+        ThreadedSession::setup(cfg, &move |rng| mlp(&[dim, 12, classes], rng), shards, rt)
+            .expect("setup completes before the stall triggers");
+    let metrics = session
+        .run(&test)
+        .expect("restart heals a stalled initiator");
+    assert_eq!(metrics.len(), 2);
+    assert!(session.failover_count() > 0);
+    assert_failover_events(&mut session);
+}
+
+#[test]
+fn crashed_follower_heals_under_restart() {
+    run_healed(
+        11,
+        FaultPlan::from_faults(vec![Fault {
+            kind: FaultKind::Crash,
+            from: "agg-1".into(),
+            to: "party-0".into(),
+            at: 2,
+        }]),
+    );
+}
+
+#[test]
+fn crashed_initiator_heals_under_restart() {
+    run_healed(
+        12,
+        FaultPlan::from_faults(vec![Fault {
+            kind: FaultKind::Crash,
+            from: "agg-0".into(),
+            to: "party-0".into(),
+            at: 2,
+        }]),
+    );
+}
+
+#[test]
+fn partitioned_follower_link_heals_under_restart() {
+    run_healed(
+        13,
+        FaultPlan::from_faults(vec![
+            Fault {
+                kind: FaultKind::Partition,
+                from: "party-0".into(),
+                to: "agg-1".into(),
+                at: 2,
+            },
+            Fault {
+                kind: FaultKind::Partition,
+                from: "agg-1".into(),
+                to: "party-0".into(),
+                at: 2,
+            },
+        ]),
+    );
+}
+
+#[test]
+fn partitioned_initiator_link_heals_under_restart() {
+    run_healed(
+        14,
+        FaultPlan::from_faults(vec![
+            Fault {
+                kind: FaultKind::Partition,
+                from: "party-0".into(),
+                to: "agg-0".into(),
+                at: 2,
+            },
+            Fault {
+                kind: FaultKind::Partition,
+                from: "agg-0".into(),
+                to: "party-0".into(),
+                at: 2,
+            },
+        ]),
+    );
+}
+
+// --- Shutdown during and after recovery. ---
+
+#[test]
+fn shutdown_after_failover_is_prompt() {
+    // Regression: `Supervisor::shutdown` closes every control channel
+    // *before* joining, so no node — original or respawned mid-failover
+    // — can extend shutdown by a blocking `recv_timeout` deadline. After
+    // a heal, the deployment contains replacement threads; an explicit
+    // shutdown must still complete well under one round deadline.
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = 15;
+    let plan = FaultPlan::from_faults(vec![Fault {
+        kind: FaultKind::Crash,
+        from: "agg-1".into(),
+        to: "party-0".into(),
+        at: 2,
+    }]);
+    let policy = Arc::new(SimPolicy::new(&plan));
+    let rt = RuntimeConfig {
+        failover: FailoverPolicy::Restart,
+        ..sim_rt()
+    };
+    let mut session = ThreadedSession::setup_with(
+        cfg,
+        &move |rng| mlp(&[dim, 12, classes], rng),
+        shards,
+        rt,
+        |parts| parts.network.set_fault_policy(policy),
+    )
+    .expect("faults strike after setup");
+    session.run(&test).expect("restart heals the crash");
+    assert!(session.failover_count() > 0);
+    let t0 = Instant::now();
+    session.shutdown().expect("clean shutdown");
+    assert!(
+        t0.elapsed() < Duration::from_secs(1),
+        "shutdown with replacement nodes took {:?} — a control channel \
+         was left open past a recv deadline",
+        t0.elapsed()
+    );
+}
+
+/// Blackholes every fragment-sized frame from `party-0` to any
+/// aggregator incarnation — unlike a simnet partition (keyed to one
+/// endpoint name), this chases replacements, so no restart can heal it
+/// and the recovery budget must run dry.
+struct UploadBlackhole;
+
+impl FaultPolicy for UploadBlackhole {
+    fn on_send(&self, from: &str, to: &str, payload: &[u8]) -> SendVerdict {
+        if from == "party-0" && to.starts_with("agg") && payload.len() > 200 {
+            SendVerdict::Drop
+        } else {
+            SendVerdict::Deliver
+        }
+    }
+}
+
+#[test]
+fn exhausted_recovery_budget_degrades_to_structured_error() {
+    // One recovery attempt per aggregator, against a fault that follows
+    // the replacements: the supervisor must try exactly one failover,
+    // then degrade to today's structured, attributed error — with every
+    // thread (including the mid-flight replacements) joined promptly.
+    let (shards, test, dim, classes) = data(3);
+    let mut cfg = DetaConfig::deta(3, 2);
+    cfg.n_aggregators = 2;
+    cfg.seed = 16;
+    let rt = RuntimeConfig {
+        failover: FailoverPolicy::Restart,
+        recovery_attempts: 1,
+        ..sim_rt()
+    };
+    let mut session = ThreadedSession::setup_with(
+        cfg,
+        &move |rng| mlp(&[dim, 12, classes], rng),
+        shards,
+        rt,
+        |parts| parts.network.set_fault_policy(Arc::new(UploadBlackhole)),
+    )
+    .expect("uploads only start after setup");
+    let t0 = Instant::now();
+    let err = session
+        .run(&test)
+        .expect_err("an incarnation-chasing blackhole cannot be healed");
+    // Two round-deadline waits (original + one replay), budget refusal,
+    // then shutdown — never a hang, and shutdown must not add a deadline.
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "degradation overran the recovery budget: {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(
+        session.failover_count(),
+        1,
+        "exactly one failover fits the budget"
+    );
+    assert!(
+        matches!(err, RuntimeError::Timeout { .. }),
+        "budget exhaustion surfaces the underlying timeout, got: {err}"
+    );
+    assert!(session.is_shut_down(), "threads leaked after degradation");
 }
 
 #[test]
