@@ -336,7 +336,11 @@ impl AggregatorNode {
             Msg::SyncDone { round } => {
                 *self.sync_done.entry(round).or_insert(0) += 1;
             }
-            _ => {}
+            // Party-bound replies and messages that must arrive inside a
+            // sealed Record; the drop is deliberate and counted.
+            other => {
+                deta_telemetry::metrics::counter_add("deta_wire_ignored_total", other.name(), 1);
+            }
         }
     }
 
@@ -395,7 +399,11 @@ impl AggregatorNode {
                     .insert(from.to_string(), (cts, value_count));
                 self.try_aggregate_encrypted(round);
             }
-            _ => {}
+            // Inner frames other than registration and uploads are
+            // out-of-protocol for the sealed channel; count each drop.
+            other => {
+                deta_telemetry::metrics::counter_add("deta_wire_ignored_total", other.name(), 1);
+            }
         }
     }
 

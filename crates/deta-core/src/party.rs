@@ -702,7 +702,12 @@ impl Party {
         match msg {
             Msg::HelloReply { handshake } => self.handle_hello_reply(from, &handshake),
             Msg::Record { sealed } => self.handle_record(from, &sealed),
-            _ => {}
+            // Everything else is aggregator-bound or must arrive inside
+            // a sealed Record; dropping it is correct, but the drop is
+            // counted so misrouted traffic shows up in metrics.
+            other => {
+                deta_telemetry::metrics::counter_add("deta_wire_ignored_total", other.name(), 1);
+            }
         }
     }
 
@@ -813,7 +818,12 @@ impl Party {
                 self.collected_enc
                     .insert(from.to_string(), (round, cts, value_count, summands));
             }
-            _ => {}
+            // Out-of-protocol inner messages and guard-failed stale
+            // rounds (RoundStart / Aggregated for already-synchronized
+            // rounds) land here; the drop is deliberate and counted.
+            other => {
+                deta_telemetry::metrics::counter_add("deta_wire_ignored_total", other.name(), 1);
+            }
         }
     }
 

@@ -239,6 +239,24 @@ impl<'a> Reader<'a> {
 }
 
 impl Msg {
+    /// The variant's name, for counted-drop telemetry labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Msg::Hello { .. } => "Hello",
+            Msg::HelloReply { .. } => "HelloReply",
+            Msg::Record { .. } => "Record",
+            Msg::Register { .. } => "Register",
+            Msg::RegisterAck => "RegisterAck",
+            Msg::RoundStart { .. } => "RoundStart",
+            Msg::Upload { .. } => "Upload",
+            Msg::UploadEncrypted { .. } => "UploadEncrypted",
+            Msg::Aggregated { .. } => "Aggregated",
+            Msg::AggregatedEncrypted { .. } => "AggregatedEncrypted",
+            Msg::SyncRound { .. } => "SyncRound",
+            Msg::SyncDone { .. } => "SyncDone",
+        }
+    }
+
     /// Serializes the message.
     ///
     /// Fails (instead of truncating a length prefix) when a field holds

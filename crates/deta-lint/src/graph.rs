@@ -1,0 +1,139 @@
+//! Per-crate call graph over the item-level parse.
+//!
+//! Resolution is purely name-based: a call site `f(..)` (or `x.f(..)`,
+//! `Path::f(..)`) resolves to every function named `f` in the same
+//! crate. Without type information this over-approximates, which is the
+//! right direction for a leak analysis — taint may flow along an edge
+//! that the program never takes, but no real edge is missed inside the
+//! crate boundary.
+
+use crate::parse::FileAnalysis;
+use std::collections::BTreeMap;
+
+/// Identifies one function: `(index into the file list, index into that
+/// file's `fns`)`.
+pub type FnId = (usize, usize);
+
+/// Name-indexed functions of one crate.
+pub struct CrateGraph<'a> {
+    /// The crate's files, in workspace scan order.
+    pub files: Vec<&'a FileAnalysis>,
+    /// Function name -> every definition with that name.
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+}
+
+impl<'a> CrateGraph<'a> {
+    /// Indexes all functions of `files` (one crate's worth).
+    pub fn new(files: Vec<&'a FileAnalysis>) -> CrateGraph<'a> {
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (fi, fa) in files.iter().enumerate() {
+            for (gi, f) in fa.fns.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push((fi, gi));
+            }
+        }
+        CrateGraph { files, by_name }
+    }
+
+    /// Every definition a callee name may resolve to in this crate.
+    pub fn resolve(&self, callee: &str) -> &[FnId] {
+        self.by_name.get(callee).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolves a call site, using its shape to narrow the candidates:
+    /// `Foo::f(..)` only reaches `fn f` inside `impl Foo` (`Self::f`
+    /// uses the caller's own impl), `x.f(..)` reaches any impl'd `fn f`,
+    /// and a bare `f(..)` prefers free functions. A qualified call whose
+    /// qualifier matches no impl in the crate resolves to nothing — the
+    /// target is another crate's (or std's) constructor, and smearing it
+    /// over same-named local functions would poison the analysis.
+    pub fn resolve_call(
+        &self,
+        call: &crate::parse::CallSite,
+        caller_owner: Option<&str>,
+    ) -> Vec<FnId> {
+        let candidates = self.resolve(&call.callee);
+        let owner_of = |id: &FnId| self.item(*id).owner.as_deref();
+        if let Some(q) = &call.qualifier {
+            let q = if q == "Self" {
+                match caller_owner {
+                    Some(o) => o,
+                    None => return Vec::new(),
+                }
+            } else {
+                q.as_str()
+            };
+            return candidates
+                .iter()
+                .filter(|id| owner_of(id) == Some(q))
+                .copied()
+                .collect();
+        }
+        if call.is_method {
+            return candidates
+                .iter()
+                .filter(|id| owner_of(id).is_some())
+                .copied()
+                .collect();
+        }
+        let free: Vec<FnId> = candidates
+            .iter()
+            .filter(|id| owner_of(id).is_none())
+            .copied()
+            .collect();
+        if free.is_empty() {
+            candidates.to_vec()
+        } else {
+            free
+        }
+    }
+
+    /// All function ids in deterministic order.
+    pub fn all_fns(&self) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for (fi, fa) in self.files.iter().enumerate() {
+            for gi in 0..fa.fns.len() {
+                out.push((fi, gi));
+            }
+        }
+        out
+    }
+
+    /// The function item for `id`.
+    pub fn item(&self, id: FnId) -> &crate::parse::FnItem {
+        &self.files[id.0].fns[id.1]
+    }
+}
+
+/// Groups parsed files by crate (see [`FileAnalysis::crate_name`]),
+/// keeping deterministic order.
+pub fn group_by_crate(files: &[FileAnalysis]) -> Vec<(String, CrateGraph<'_>)> {
+    let mut groups: BTreeMap<&str, Vec<&FileAnalysis>> = BTreeMap::new();
+    for fa in files {
+        groups.entry(fa.crate_name()).or_default().push(fa);
+    }
+    groups
+        .into_iter()
+        .map(|(name, members)| (name.to_string(), CrateGraph::new(members)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_is_per_crate() {
+        let a = FileAnalysis::new("crates/deta-core/src/a.rs", "fn shared() {} fn only_a() {}");
+        let b = FileAnalysis::new("crates/deta-core/src/b.rs", "fn shared() {}");
+        let c = FileAnalysis::new("crates/deta-runtime/src/c.rs", "fn shared() {}");
+        let files = vec![a, b, c];
+        let groups = group_by_crate(&files);
+        assert_eq!(groups.len(), 2);
+        let core = &groups.iter().find(|(n, _)| n == "deta-core").unwrap().1;
+        assert_eq!(core.resolve("shared").len(), 2);
+        assert_eq!(core.resolve("only_a").len(), 1);
+        assert!(core.resolve("missing").is_empty());
+        let rt = &groups.iter().find(|(n, _)| n == "deta-runtime").unwrap().1;
+        assert_eq!(rt.resolve("shared").len(), 1);
+    }
+}

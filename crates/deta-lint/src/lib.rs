@@ -1,22 +1,35 @@
-//! deta-lint: a dependency-free static analyzer enforcing DeTA's
-//! threat-model invariants across the workspace.
+//! deta-lint / deta-flow: a dependency-free static analyzer enforcing
+//! DeTA's threat-model invariants across the workspace.
 //!
 //! The DeTA design rests on code-level properties no type system checks:
 //! secrets must not reach logs, authentication comparisons must be
 //! constant-time, permutation-critical code must iterate
 //! deterministically, protocol hot paths must not panic on attacker
 //! input, wire serialization must not truncate, and secret material
-//! must not flow into telemetry sinks. This crate encodes those
-//! properties as six rules over a hand-rolled token stream (see
-//! [`lex`]) and resolves findings against a checked-in
-//! `lint-allow.toml` of justified suppressions (see [`allow`]).
+//! must not flow into telemetry sinks. The analyzer has two layers:
 //!
-//! Run it as `cargo run -p deta-lint`; `tests/lint_clean.rs` at the
-//! workspace root enforces a clean report in `cargo test`.
+//! * **Token rules** (1–6) over a hand-rolled token stream (see
+//!   [`lex`]): word-level heuristics that catch a secret *named* at a
+//!   sink.
+//! * **Flow passes** (7–9) over an item-level parse (see [`parse`]):
+//!   interprocedural secret-taint dataflow ([`taint`], with a per-crate
+//!   call graph in [`graph`]), channel-liveness (unbounded waits and
+//!   inconsistent lock order), and exhaustive protocol-message handling
+//!   — these catch the renamed, aliased, and cross-function flows the
+//!   token layer cannot see.
+//!
+//! Findings resolve against a checked-in `lint-allow.toml` of justified
+//! suppressions (see [`allow`]). Run it as `cargo run -p deta-lint`
+//! (`--json` for machine-readable output, `--self-check` for the CI
+//! meta-check); `tests/lint_clean.rs` at the workspace root enforces a
+//! clean report in `cargo test`.
 
 pub mod allow;
+pub mod graph;
 pub mod lex;
+pub mod parse;
 pub mod rules;
+pub mod taint;
 
 pub use allow::{parse_allowlist, AllowEntry, MAX_ALLOW_ENTRIES};
 pub use rules::{check_source, check_tokens, Violation};
@@ -42,6 +55,79 @@ impl LintReport {
     pub fn clean(&self) -> bool {
         self.violations.is_empty() && self.stale_allows.is_empty()
     }
+
+    /// Stable machine-readable form of the report, for CI artifacts.
+    ///
+    /// The schema is part of the tool's interface: top-level keys
+    /// `files_scanned`, `suppressed`, `clean`, `violations` (objects
+    /// with `rule`, `path`, `line`, `ident`, `message`), and
+    /// `stale_allows` (objects with `rule`, `path`, `identifier`,
+    /// `reason`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"ident\": {}, \
+                 \"message\": {}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.ident),
+                json_str(&v.message)
+            ));
+        }
+        out.push_str(if self.violations.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"stale_allows\": [");
+        for (i, e) in self.stale_allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"identifier\": {}, \"reason\": {}}}",
+                json_str(&e.rule),
+                json_str(&e.path),
+                json_str(&e.identifier),
+                json_str(&e.reason)
+            ));
+        }
+        out.push_str(if self.stale_allows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl std::fmt::Display for LintReport {
@@ -103,19 +189,31 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
         files_scanned: files.len(),
         ..LintReport::default()
     };
-    let mut used = vec![false; allows.len()];
+    // Parse every file once; the token rules and the flow passes share
+    // the stream.
+    let mut analyses = Vec::with_capacity(files.len());
     for file in &files {
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
         let rel = relative_path(root, file);
-        for v in check_source(&rel, &src) {
-            let allowed = allows.iter().enumerate().find(|(_, a)| a.matches(&v));
-            if let Some((idx, _)) = allowed {
-                used[idx] = true;
-                report.suppressed += 1;
-            } else {
-                report.violations.push(v);
-            }
+        analyses.push(parse::FileAnalysis::new(&rel, &src));
+    }
+    let mut found = Vec::new();
+    for fa in &analyses {
+        found.extend(check_tokens(&fa.path, &fa.toks));
+        found.extend(rules::channel_liveness(fa));
+        found.extend(rules::exhaustive_handling(fa));
+    }
+    found.extend(taint::check_taint(&analyses));
+    found.extend(rules::lock_order(&analyses.iter().collect::<Vec<_>>()));
+    let mut used = vec![false; allows.len()];
+    for v in found {
+        let allowed = allows.iter().enumerate().find(|(_, a)| a.matches(&v));
+        if let Some((idx, _)) = allowed {
+            used[idx] = true;
+            report.suppressed += 1;
+        } else {
+            report.violations.push(v);
         }
     }
     report.stale_allows = allows
@@ -128,6 +226,86 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
         .violations
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(report)
+}
+
+/// The deta-flow self-check, run by `scripts/check.sh`: verifies the
+/// analyzer's own guardrails rather than the workspace's code.
+///
+/// Fails when (a) any rule in [`rules::ALL_RULES`] appears fewer than
+/// twice in the fixture tests under `crates/deta-lint/tests/` — every
+/// rule must keep at least a positive and a negative fixture — or
+/// (b) `lint-allow.toml` is malformed or past [`MAX_ALLOW_ENTRIES`]
+/// (the parser enforces the cap; re-checked here so the failure names
+/// this check). Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// A human-readable list of everything that failed.
+pub fn self_check(root: &Path) -> Result<String, String> {
+    let mut problems = Vec::new();
+
+    let tests_dir = root.join("crates/deta-lint/tests");
+    let mut fixture_text = String::new();
+    let mut fixture_files = 0usize;
+    if let Ok(entries) = std::fs::read_dir(&tests_dir) {
+        let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for p in paths {
+            if p.extension().is_some_and(|e| e == "rs") {
+                fixture_files += 1;
+                fixture_text.push_str(&std::fs::read_to_string(&p).unwrap_or_default());
+            }
+        }
+    }
+    if fixture_files == 0 {
+        problems.push(format!(
+            "no fixture tests found under {}",
+            tests_dir.display()
+        ));
+    }
+    for rule in rules::ALL_RULES {
+        let count = fixture_text.matches(rule).count();
+        if count < 2 {
+            problems.push(format!(
+                "rule `{rule}` has {count} fixture reference(s); every rule needs \
+                 at least a positive and a negative fixture"
+            ));
+        }
+    }
+
+    let allow_path = root.join("lint-allow.toml");
+    let allow_count = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(entries) => entries.len(),
+            Err(e) => {
+                problems.push(format!("lint-allow.toml: {e}"));
+                0
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        Err(e) => {
+            problems.push(format!("cannot read {}: {e}", allow_path.display()));
+            0
+        }
+    };
+    if allow_count > MAX_ALLOW_ENTRIES {
+        problems.push(format!(
+            "lint-allow.toml has {allow_count} entries (max {MAX_ALLOW_ENTRIES})"
+        ));
+    }
+
+    if problems.is_empty() {
+        Ok(format!(
+            "self-check ok: {} rule(s) fixture-covered across {} test file(s), \
+             {} / {} allowlist entries used",
+            rules::ALL_RULES.len(),
+            fixture_files,
+            allow_count,
+            MAX_ALLOW_ENTRIES
+        ))
+    } else {
+        Err(problems.join("\n"))
+    }
 }
 
 /// Recursively collects `.rs` files under `dir` in sorted order.

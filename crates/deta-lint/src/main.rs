@@ -1,9 +1,16 @@
 //! The `deta-lint` binary: lints the workspace and exits non-zero on
 //! any unsuppressed violation or stale allowlist entry.
 //!
-//! Usage: `cargo run -p deta-lint [workspace-root]`. Without an
-//! argument the workspace root is found by walking up from the current
-//! directory to the first `Cargo.toml` declaring `[workspace]`.
+//! Usage: `cargo run -p deta-lint [--json] [--self-check] [workspace-root]`.
+//!
+//! * `--json` prints the report as stable machine-readable JSON (the CI
+//!   artifact format) instead of the human-readable listing.
+//! * `--self-check` runs the deta-flow meta-check (fixture coverage for
+//!   every rule, allowlist within budget) instead of linting.
+//!
+//! Without a root argument the workspace root is found by walking up
+//! from the current directory to the first `Cargo.toml` declaring
+//! `[workspace]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,8 +31,22 @@ fn find_workspace_root() -> Option<PathBuf> {
 }
 
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let mut json = false;
+    let mut self_check = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args_os().skip(1) {
+        match arg.to_str() {
+            Some("--json") => json = true,
+            Some("--self-check") => self_check = true,
+            Some(s) if s.starts_with("--") => {
+                eprintln!("deta-lint: unknown flag `{s}`");
+                return ExitCode::FAILURE;
+            }
+            _ => root_arg = Some(PathBuf::from(arg)),
+        }
+    }
+    let root = match root_arg {
+        Some(root) => root,
         None => match find_workspace_root() {
             Some(root) => root,
             None => {
@@ -34,9 +55,25 @@ fn main() -> ExitCode {
             }
         },
     };
+    if self_check {
+        return match deta_lint::self_check(&root) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(problems) => {
+                eprintln!("deta-lint self-check failed:\n{problems}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match deta_lint::run_lint(&root) {
         Ok(report) => {
-            println!("{report}");
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
             if report.files_scanned == 0 {
                 // A clean report over zero files is a mispointed root,
                 // not a clean workspace.

@@ -1,11 +1,30 @@
-//! The six DeTA threat-model rules.
+//! The DeTA threat-model rules.
 //!
-//! Each rule is a standalone function from `(workspace-relative path,
-//! token stream)` to violations, so the fixture tests can exercise every
-//! rule in isolation. Paths use forward slashes relative to the
+//! Two layers live here. Rules 1–6 are *token* rules: standalone
+//! functions from `(workspace-relative path, token stream)` to
+//! violations. Rules 8–9 are *flow* rules over the item-level parse
+//! ([`crate::parse`]); rule 7 (`secret-taint-flow`) is the
+//! interprocedural pass in [`crate::taint`]. Fixture tests exercise
+//! every rule in isolation. Paths use forward slashes relative to the
 //! workspace root (e.g. `crates/deta-core/src/wire.rs`).
 
 use crate::lex::{Tok, TokKind};
+use crate::parse::{split_top_level, FileAnalysis};
+
+/// Every rule name, token and flow layers together. The self-check and
+/// the JSON report treat this as the registry of record: a rule absent
+/// here is a rule CI cannot prove has fixture coverage.
+pub const ALL_RULES: &[&str] = &[
+    "no-secret-debug",
+    "no-variable-time-eq",
+    "deterministic-iteration",
+    "no-panic-in-aggregation",
+    "no-truncating-cast",
+    "no-secret-telemetry",
+    "secret-taint-flow",
+    "channel-liveness",
+    "exhaustive-handling",
+];
 
 /// One rule finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +71,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
 
 /// Splits an identifier into lowercase words at `_` and camel-case
 /// boundaries: `SigningKey` -> ["signing", "key"].
-fn words(ident: &str) -> Vec<String> {
+pub(crate) fn words(ident: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut cur = String::new();
     for c in ident.chars() {
@@ -73,7 +92,7 @@ fn words(ident: &str) -> Vec<String> {
     out
 }
 
-fn has_word(ident: &str, set: &[&str]) -> bool {
+pub(crate) fn has_word(ident: &str, set: &[&str]) -> bool {
     words(ident).iter().any(|w| set.contains(&w.as_str()))
 }
 
@@ -551,6 +570,195 @@ pub fn no_secret_telemetry(path: &str, toks: &[Tok]) -> Vec<Violation> {
             }
         }
         i = close.max(i + 1);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 8: channel-liveness
+// ---------------------------------------------------------------------
+
+fn rule8_in_scope(path: &str) -> bool {
+    path.starts_with("crates/deta-runtime/src/") || path.starts_with("crates/deta-transport/src/")
+}
+
+/// Blocking waits without a bound are how a lost wake-up becomes a hung
+/// deployment: `Condvar::wait` (one argument, no timeout) and a bare
+/// `.recv()` in actor loops park a thread forever if the peer dies
+/// between check and wait. Use the `_timeout` variants or a supervised
+/// loop. The transport's `recv` is a non-blocking pop and is exempt;
+/// multi-argument `wait(..)` methods (the supervisor's bounded wait)
+/// are not Condvar waits and are exempt by arity.
+pub fn channel_liveness(fa: &FileAnalysis) -> Vec<Violation> {
+    if !rule8_in_scope(&fa.path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &fa.fns {
+        for c in &f.calls {
+            if !c.is_method || c.is_macro {
+                continue;
+            }
+            let argc = call_arity(fa, c);
+            if c.callee == "wait" && argc == 1 {
+                out.push(Violation {
+                    rule: "channel-liveness",
+                    path: fa.path.clone(),
+                    line: c.line,
+                    ident: "wait".to_string(),
+                    message: format!(
+                        "`Condvar::wait` without a timeout in fn `{}` parks the thread \
+                         forever on a lost wake-up; use wait_timeout",
+                        f.name
+                    ),
+                });
+            }
+            if c.callee == "recv" && argc == 0 && fa.path.starts_with("crates/deta-runtime/src/") {
+                out.push(Violation {
+                    rule: "channel-liveness",
+                    path: fa.path.clone(),
+                    line: c.line,
+                    ident: "recv".to_string(),
+                    message: format!(
+                        "bare `.recv()` in fn `{}` blocks without a timeout or \
+                         supervision path; use recv_timeout",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Number of top-level arguments at a call site.
+fn call_arity(fa: &FileAnalysis, c: &crate::parse::CallSite) -> usize {
+    let (s, e) = c.args;
+    if s >= e {
+        return 0;
+    }
+    split_top_level(&fa.toks, s, e, ',')
+        .iter()
+        .filter(|(a, b)| a < b)
+        .count()
+}
+
+/// Cross-function Mutex acquisition order, per crate. Each function
+/// contributes ordered pairs of distinct lock identities (the receiver
+/// of `.lock()` or the last argument identifier of the workspace's
+/// poison-recovering `lock(&...)` helper); two functions acquiring the
+/// same pair in opposite orders is a latent deadlock the threaded
+/// deployment will eventually schedule.
+pub fn lock_order(files: &[&FileAnalysis]) -> Vec<Violation> {
+    use std::collections::BTreeMap;
+    // (first, second) -> first witness (path, line, fn name).
+    let mut edges: BTreeMap<(String, String), (String, u32, String)> = BTreeMap::new();
+    let mut out = Vec::new();
+    for fa in files {
+        if !rule8_in_scope(&fa.path) {
+            continue;
+        }
+        for f in &fa.fns {
+            let mut seq: Vec<(String, u32)> = Vec::new();
+            for c in &f.calls {
+                if c.callee != "lock" || c.is_macro {
+                    continue;
+                }
+                let identity = if c.is_method {
+                    c.receiver.clone()
+                } else {
+                    let (s, e) = c.args;
+                    fa.toks[s..e.min(fa.toks.len())]
+                        .iter()
+                        .rev()
+                        .find_map(|t| t.ident())
+                        .map(str::to_string)
+                };
+                if let Some(id) = identity {
+                    seq.push((id, c.line));
+                }
+            }
+            for i in 0..seq.len() {
+                for j in i + 1..seq.len() {
+                    let (a, _) = &seq[i];
+                    let (b, line_b) = &seq[j];
+                    if a == b {
+                        continue;
+                    }
+                    let key = (a.clone(), b.clone());
+                    let rev = (b.clone(), a.clone());
+                    if let Some((wp, wl, wf)) = edges.get(&rev) {
+                        out.push(Violation {
+                            rule: "channel-liveness",
+                            path: fa.path.clone(),
+                            line: *line_b,
+                            ident: b.clone(),
+                            message: format!(
+                                "fn `{}` locks `{a}` then `{b}`, but fn `{wf}` \
+                                 ({wp}:{wl}) acquires them in the opposite order; \
+                                 inconsistent lock order deadlocks under contention",
+                                f.name
+                            ),
+                        });
+                    } else {
+                        edges
+                            .entry(key)
+                            .or_insert_with(|| (fa.path.clone(), *line_b, f.name.clone()));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 9: exhaustive-handling
+// ---------------------------------------------------------------------
+
+/// Protocol enums whose silent partial handling this rule polices.
+const PROTOCOL_ENUMS: &[&str] = &["Msg", "CtlMsg", "WireMsg"];
+
+/// A `match` over a protocol message enum whose wildcard arm has an
+/// empty body silently discards every variant added after the match was
+/// written — exactly how a new control message becomes a no-op on old
+/// handlers. Enumerate the intentionally-ignored variants, or bind the
+/// wildcard (`other => ...`) and route it to a counted drop.
+pub fn exhaustive_handling(fa: &FileAnalysis) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &fa.fns {
+        for m in &f.matches {
+            let enum_name = m.arms.iter().find_map(|arm| {
+                let (s, e) = arm.pat;
+                let toks = &fa.toks[s..e.min(fa.toks.len())];
+                toks.iter().enumerate().find_map(|(i, t)| {
+                    t.ident()
+                        .filter(|id| PROTOCOL_ENUMS.contains(id))
+                        .filter(|_| {
+                            i + 2 < toks.len()
+                                && toks[i + 1].is_punct(':')
+                                && toks[i + 2].is_punct(':')
+                        })
+                })
+            });
+            let Some(enum_name) = enum_name else { continue };
+            for arm in &m.arms {
+                if arm.is_bare_wildcard(&fa.toks) && arm.body_is_empty(&fa.toks) {
+                    out.push(Violation {
+                        rule: "exhaustive-handling",
+                        path: fa.path.clone(),
+                        line: arm.line,
+                        ident: enum_name.to_string(),
+                        message: format!(
+                            "wildcard arm in fn `{}` silently discards `{enum_name}` \
+                             variants; enumerate the ignored variants or route them \
+                             to a counted drop",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
     }
     out
 }

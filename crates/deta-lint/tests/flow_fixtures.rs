@@ -1,0 +1,295 @@
+//! Fixtures for the three flow passes (rules 7–9): at least two
+//! positive and two negative cases each, plus the planted
+//! rename-evasion case that motivates the taint layer — caught by
+//! `secret-taint-flow`, provably missed by the token-level rule 1.
+
+use deta_lint::parse::FileAnalysis;
+use deta_lint::rules::{channel_liveness, exhaustive_handling, lock_order, no_secret_debug};
+use deta_lint::taint::check_taint;
+use deta_lint::Violation;
+
+fn taint(path: &str, src: &str) -> Vec<Violation> {
+    check_taint(&[FileAnalysis::new(path, src)])
+}
+
+const CORE: &str = "crates/deta-core/src/party.rs";
+const RUNTIME: &str = "crates/deta-runtime/src/actor.rs";
+
+// -------------------------------------------------------------------
+// Rule 7: secret-taint-flow
+// -------------------------------------------------------------------
+
+/// The planted evasion: one rename defeats the word-heuristic rules,
+/// but taint follows the binding.
+#[test]
+fn taint_positive_rename_evasion_caught_and_rule1_blind() {
+    let src = r#"
+fn report(signing_key: &[u8]) {
+    let leaked = signing_key;
+    let msg = format!("{leaked:?}");
+    log(msg);
+}
+"#;
+    let v = taint(CORE, src);
+    assert!(
+        v.iter().any(|v| v.rule == "secret-taint-flow"
+            && v.ident == "leaked"
+            && v.message.contains("signing_key")),
+        "taint must catch the renamed secret: {v:?}"
+    );
+    // The same source is invisible to the token layer: rule 1 keys on
+    // struct declarations and never sees a value flow.
+    let fa = FileAnalysis::new(CORE, src);
+    assert!(no_secret_debug(CORE, &fa.toks).is_empty());
+}
+
+#[test]
+fn taint_positive_chained_alias_into_telemetry() {
+    let src = r#"
+fn emit(sealed_fragment: &[u8]) {
+    let hop1 = sealed_fragment;
+    let hop2 = hop1;
+    deta_telemetry::event("upload", &[("payload", hop2)]);
+}
+"#;
+    let v = taint(CORE, src);
+    assert!(
+        v.iter().any(|v| v.rule == "secret-taint-flow"
+            && v.ident == "hop2"
+            && v.message.contains("sealed_fragment")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn taint_positive_interprocedural_leak() {
+    let src = r#"
+fn dump(buf: &[u8]) {
+    println!("{buf:?}");
+}
+fn upload(secret_share: &[u8]) {
+    let staged = secret_share;
+    dump(staged);
+}
+"#;
+    let v = taint(CORE, src);
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "secret-taint-flow" && v.ident == "dump"),
+        "the call passing the tainted value must be flagged: {v:?}"
+    );
+}
+
+#[test]
+fn taint_negative_sanitized_length_and_public_values() {
+    let src = r#"
+fn report(signing_key: &[u8], verifying_key: &[u8]) {
+    let n = signing_key.len();
+    println!("key bytes: {n}");
+    println!("{verifying_key:?}");
+}
+"#;
+    assert!(taint(CORE, src).is_empty(), "{:?}", taint(CORE, src));
+}
+
+#[test]
+fn taint_negative_sealed_bytes_on_the_wire() {
+    let src = r#"
+fn seal(plain: &[u8]) -> Vec<u8> { plain.to_vec() }
+fn send(secret_update: &[u8]) {
+    let sealed_frame = seal(secret_update);
+    sealed_frame.encode();
+}
+"#;
+    assert!(taint(CORE, src).is_empty(), "{:?}", taint(CORE, src));
+}
+
+#[test]
+fn taint_negative_operator_tooling_out_of_scope() {
+    let src = r#"
+fn banner(secret: &[u8]) { println!("{secret:?}"); }
+"#;
+    assert!(taint("crates/deta-cli/src/main.rs", src).is_empty());
+}
+
+// -------------------------------------------------------------------
+// Rule 8: channel-liveness
+// -------------------------------------------------------------------
+
+#[test]
+fn liveness_positive_unbounded_condvar_wait() {
+    let src = r#"
+fn serve(cv: &Condvar, m: &Mutex<u32>) {
+    let mut guard = m.lock().unwrap();
+    guard = cv.wait(guard).unwrap();
+}
+"#;
+    let fa = FileAnalysis::new(RUNTIME, src);
+    let v = channel_liveness(&fa);
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "channel-liveness" && v.ident == "wait"),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn liveness_positive_bare_recv_in_runtime() {
+    let src = r#"
+fn pump(endpoint: &Endpoint) {
+    let msg = endpoint.recv();
+    handle(msg);
+}
+"#;
+    let fa = FileAnalysis::new(RUNTIME, src);
+    let v = channel_liveness(&fa);
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "channel-liveness" && v.ident == "recv"),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn liveness_positive_inconsistent_lock_order() {
+    let src = r#"
+fn a(&self) {
+    let s = lock(&self.state);
+    let p = lock(&self.peers);
+}
+fn b(&self) {
+    let p = lock(&self.peers);
+    let s = lock(&self.state);
+}
+"#;
+    let fa = FileAnalysis::new("crates/deta-transport/src/lib.rs", src);
+    let v = lock_order(&[&fa]);
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "channel-liveness" && v.message.contains("opposite order")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn liveness_negative_timeouts_and_supervised_wait() {
+    let src = r#"
+fn serve(cv: &Condvar, m: &Mutex<u32>, sup: &Supervisor) {
+    let guard = m.lock().unwrap();
+    let (g, timed_out) = cv.wait_timeout(guard, TICK).unwrap();
+    let msg = endpoint.recv_timeout(TICK);
+    sup.wait(a, b, c, d, e);
+}
+"#;
+    let fa = FileAnalysis::new(RUNTIME, src);
+    assert!(
+        channel_liveness(&fa).is_empty(),
+        "{:?}",
+        channel_liveness(&fa)
+    );
+}
+
+#[test]
+fn liveness_negative_consistent_lock_order_and_other_crates() {
+    let src = r#"
+fn a(&self) {
+    let s = lock(&self.state);
+    let p = lock(&self.peers);
+}
+fn b(&self) {
+    let s = lock(&self.state);
+    let p = lock(&self.peers);
+}
+"#;
+    let fa = FileAnalysis::new("crates/deta-transport/src/lib.rs", src);
+    assert!(lock_order(&[&fa]).is_empty());
+    // The transport's non-blocking `recv` is out of the recv check's
+    // scope by design.
+    let recv_src = "fn drain(&self) { while let Some(m) = self.recv() { go(m); } }";
+    let fa2 = FileAnalysis::new("crates/deta-transport/src/lib.rs", recv_src);
+    assert!(channel_liveness(&fa2).is_empty());
+}
+
+// -------------------------------------------------------------------
+// Rule 9: exhaustive-handling
+// -------------------------------------------------------------------
+
+#[test]
+fn exhaustive_positive_silent_wire_wildcard() {
+    let src = r#"
+fn handle(&mut self, msg: Msg) {
+    match msg {
+        Msg::Hello { handshake } => self.hello(handshake),
+        Msg::Record { sealed } => self.record(sealed),
+        _ => {}
+    }
+}
+"#;
+    let fa = FileAnalysis::new(CORE, src);
+    let v = exhaustive_handling(&fa);
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "exhaustive-handling" && v.ident == "Msg"),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn exhaustive_positive_unit_body_ctl_wildcard() {
+    let src = r#"
+fn on_ctl(msg: Result<CtlMsg, E>) {
+    match msg {
+        Ok(CtlMsg::Shutdown) => stop(),
+        _ => (),
+    }
+}
+"#;
+    let fa = FileAnalysis::new(RUNTIME, src);
+    let v = exhaustive_handling(&fa);
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "exhaustive-handling" && v.ident == "CtlMsg"),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn exhaustive_negative_counted_drop_and_enumeration() {
+    let src = r#"
+fn handle(&mut self, msg: Msg) {
+    match msg {
+        Msg::Hello { handshake } => self.hello(handshake),
+        other => {
+            deta_telemetry::metrics::counter_add("ignored", other.name(), 1);
+        }
+    }
+}
+fn on_ctl(msg: Result<CtlMsg, E>) {
+    match msg {
+        Ok(CtlMsg::Shutdown) => stop(),
+        Ok(CtlMsg::Ready | CtlMsg::Heartbeat { .. }) => count(),
+        Err(_) => {}
+    }
+}
+"#;
+    let fa = FileAnalysis::new(CORE, src);
+    assert!(
+        exhaustive_handling(&fa).is_empty(),
+        "{:?}",
+        exhaustive_handling(&fa)
+    );
+}
+
+#[test]
+fn exhaustive_negative_non_protocol_enum_wildcard() {
+    let src = r#"
+fn verdict(v: Verdict) {
+    match v {
+        Verdict::Pass => ok(),
+        _ => {}
+    }
+}
+"#;
+    let fa = FileAnalysis::new("crates/deta-simnet/src/fleet.rs", src);
+    assert!(exhaustive_handling(&fa).is_empty());
+}

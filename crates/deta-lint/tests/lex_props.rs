@@ -1,0 +1,110 @@
+//! Property tests for the lexer via the in-repo `deta-proptest`
+//! harness: tokenization must never panic on arbitrary snippet
+//! mixes, and must be prefix-stable — tokens fully contained in a
+//! prefix of the source are unchanged when more source is appended
+//! after a clean token boundary.
+
+use deta_lint::lex::{tokenize, Tok};
+use deta_proptest::{cases, Gen};
+
+/// Generate one syntactically-plausible snippet fragment, biased
+/// toward the lexer's hard cases: raw strings, nested block
+/// comments, byte/char literals, and lifetimes.
+fn fragment(g: &mut Gen) -> String {
+    match g.u64_in(0, 12) {
+        0 => {
+            // Raw string with 0..=3 hashes. A raw string ends only at
+            // `"` + exactly `hashes` hashes, so the body must not
+            // contain `#` (and with no hashes, no `"` either) or the
+            // literal closes early, leaving an unterminated stray.
+            let hashes = "#".repeat(g.usize_in(0, 4));
+            let mut body = g.string_of("ab\" {}", 0, 8);
+            if hashes.is_empty() {
+                body = body.replace('"', "");
+            }
+            format!("r{hashes}\"{body}\"{hashes}")
+        }
+        1 => {
+            // Nested block comment, depth 1..=3. The interior alphabet
+            // has no `/`, so it cannot open or close a level itself.
+            let depth = g.usize_in(1, 4);
+            let mut s = String::new();
+            for _ in 0..depth {
+                s.push_str("/*");
+            }
+            s.push_str(&g.string_of("ab *", 0, 6));
+            for _ in 0..depth {
+                s.push_str("*/");
+            }
+            s
+        }
+        2 => format!("b'{}'", g.string_of("abz01", 1, 2)),
+        3 => format!("'{}'", g.string_of("abz01", 1, 2)),
+        4 => "'\\n'".to_string(),
+        5 => format!("&'{} str", g.string_of("abc", 1, 5)),
+        6 => format!("<'{}>", g.string_of("abc", 1, 5)),
+        7 => format!("\"{}\"", g.string_of("ab {}:?x", 0, 8)),
+        8 => format!("b\"{}\"", g.string_of("ab 01", 0, 6)),
+        9 => g.string_of("abcdefgh_", 1, 9),
+        10 => format!("{}", g.u64_in(0, 0xffff_ffff)),
+        _ => g.string_of("+-*/%&|^!<>=.,;:#(){}[]", 1, 4),
+    }
+}
+
+fn snippet(g: &mut Gen) -> String {
+    let parts = g.vec_of(0, 12, fragment);
+    parts.join(" ")
+}
+
+#[test]
+fn tokenize_never_panics() {
+    cases("lex-no-panic", 400, |g| {
+        let src = snippet(g);
+        let toks = tokenize(&src);
+        // Touch the output so the call is not optimized away and the
+        // token stream is structurally sane (offsets in bounds).
+        for t in &toks {
+            assert!(t.line >= 1, "line numbers are 1-based in {src:?}");
+        }
+    });
+}
+
+#[test]
+fn tokenize_never_panics_on_arbitrary_bytes() {
+    // Even non-snippet garbage (unterminated strings, lone
+    // backslashes, stray quotes) must lex without panicking.
+    cases("lex-no-panic-garbage", 400, |g| {
+        let src = g.string_of("r#\"'b/*\\ \n\u{1F980}abc0_!{}", 0, 40);
+        let _ = tokenize(&src);
+    });
+}
+
+#[test]
+fn tokenize_is_prefix_stable() {
+    // Appending more source after a whitespace boundary must not
+    // change the tokens of the original snippet: `tokenize(a)` is a
+    // prefix of `tokenize(a + "\n" + b)`.
+    cases("lex-prefix-stable", 300, |g| {
+        let a = snippet(g);
+        let b = snippet(g);
+        let whole = format!("{a}\n{b}");
+        let ta = tokenize(&a);
+        let tw = tokenize(&whole);
+        assert!(
+            tw.len() >= ta.len(),
+            "appending source lost tokens: {a:?} + {b:?}"
+        );
+        for (i, (x, y)) in ta.iter().zip(tw.iter()).enumerate() {
+            assert_eq!(
+                describe(x),
+                describe(y),
+                "token {i} changed when {b:?} was appended to {a:?}"
+            );
+        }
+    });
+}
+
+/// Stable comparison key for a token: kind tag, text, and line.
+fn describe(t: &Tok) -> String {
+    format!("{:?}@{}", t.kind, t.line)
+}

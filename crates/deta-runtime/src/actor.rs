@@ -143,7 +143,35 @@ pub fn run_aggregator(
                             };
                             agg.set_role(role);
                         }
-                        _ => {}
+                        // Supervisor-bound reports and party-only
+                        // directives are not for an aggregator; count
+                        // each drop so discarded control traffic stays
+                        // observable. Enumerated (not `_`) so adding a
+                        // CtlMsg variant forces a decision here.
+                        Ok(
+                            other @ (CtlMsg::Ready
+                            | CtlMsg::Failed { .. }
+                            | CtlMsg::Heartbeat { .. }
+                            | CtlMsg::RoundPlan { .. }
+                            | CtlMsg::PartyDone { .. }
+                            | CtlMsg::AggDone { .. }
+                            | CtlMsg::Rebind { .. }
+                            | CtlMsg::Remap { .. }
+                            | CtlMsg::Replay { .. }),
+                        ) => {
+                            deta_telemetry::metrics::counter_add(
+                                "deta_ctl_ignored_total",
+                                other.name(),
+                                1,
+                            );
+                        }
+                        Err(_) => {
+                            deta_telemetry::metrics::counter_add(
+                                "deta_ctl_ignored_total",
+                                "undecodable",
+                                1,
+                            );
+                        }
                     }
                 } else {
                     if let Some(at) = stall_at_round {
@@ -254,7 +282,34 @@ pub fn run_party(
                         Ok(CtlMsg::Replay { round }) => {
                             party.replay_upload(round);
                         }
-                        _ => {}
+                        // Supervisor-bound reports and aggregator-only
+                        // directives are not for a party; count each
+                        // drop so discarded control traffic stays
+                        // observable. Enumerated (not `_`) so adding a
+                        // CtlMsg variant forces a decision here.
+                        Ok(
+                            other @ (CtlMsg::Ready
+                            | CtlMsg::Failed { .. }
+                            | CtlMsg::Heartbeat { .. }
+                            | CtlMsg::Trigger { .. }
+                            | CtlMsg::PartyDone { .. }
+                            | CtlMsg::AggDone { .. }
+                            | CtlMsg::Reopen { .. }
+                            | CtlMsg::Topology { .. }),
+                        ) => {
+                            deta_telemetry::metrics::counter_add(
+                                "deta_ctl_ignored_total",
+                                other.name(),
+                                1,
+                            );
+                        }
+                        Err(_) => {
+                            deta_telemetry::metrics::counter_add(
+                                "deta_ctl_ignored_total",
+                                "undecodable",
+                                1,
+                            );
+                        }
                     }
                 } else {
                     party.handle_wire(&msg.from, &msg.payload);

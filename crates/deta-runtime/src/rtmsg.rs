@@ -299,6 +299,25 @@ impl<'a> Reader<'a> {
 }
 
 impl CtlMsg {
+    /// The variant's name, for counted-drop telemetry labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CtlMsg::Ready => "Ready",
+            CtlMsg::Failed { .. } => "Failed",
+            CtlMsg::Heartbeat { .. } => "Heartbeat",
+            CtlMsg::Trigger { .. } => "Trigger",
+            CtlMsg::RoundPlan { .. } => "RoundPlan",
+            CtlMsg::PartyDone { .. } => "PartyDone",
+            CtlMsg::AggDone { .. } => "AggDone",
+            CtlMsg::Shutdown => "Shutdown",
+            CtlMsg::Rebind { .. } => "Rebind",
+            CtlMsg::Remap { .. } => "Remap",
+            CtlMsg::Replay { .. } => "Replay",
+            CtlMsg::Reopen { .. } => "Reopen",
+            CtlMsg::Topology { .. } => "Topology",
+        }
+    }
+
     /// Serializes the message.
     ///
     /// # Errors

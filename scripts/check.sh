@@ -26,6 +26,17 @@ echo "==> recovery latency (4 parties x 4 aggregators, gate: <3% checkpoint over
 # heals under FailoverPolicy::Restart and reports the healing latency.
 cargo run --release -q -p deta-bench --bin recovery_latency
 
+echo "==> deta-lint self-check (fixture coverage per rule, allowlist cap)"
+# Fails when any registered rule has fewer than two fixture references
+# or the allowlist exceeds MAX_ALLOW_ENTRIES.
+cargo run --release -q -p deta-lint -- --self-check
+
+echo "==> deta-lint JSON report -> results/lint-report.json"
+# Machine-readable lint report; CI uploads it as an artifact. The exit
+# code still gates: any unsuppressed violation fails the run.
+mkdir -p results
+cargo run --release -q -p deta-lint -- --json > results/lint-report.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
