@@ -1,0 +1,212 @@
+//! Socket-bridge throughput: rounds/sec of the in-process threaded
+//! deployment vs. the same session bridged over real TCP loopback
+//! sockets, at 1, 2, and 4 aggregators. Emits
+//! `results/BENCH_socket.json`.
+//!
+//! Children are hosted on threads of this process, each speaking the
+//! full bridge protocol over a real socket (framing, sealed records,
+//! sequencing, challenge-response auth), so the delta measured here is
+//! the wire cost alone — serialization, sealing, kernel round-trips —
+//! with no process-spawn noise. Every TCP run is also a parity gate:
+//! the benchmark aborts if the bridged metrics diverge bit-for-bit from
+//! the in-process run.
+//!
+//! ```text
+//! cargo run --release -p deta-bench --bin socket_throughput
+//! ```
+
+use deta_bench::{results_dir, Args};
+use deta_core::{DetaConfig, RoundMetrics};
+use deta_datasets::{iid_partition, DatasetSpec};
+use deta_nn::models::mlp;
+use deta_nn::train::LabeledData;
+use deta_runtime::{RuntimeConfig, RuntimeError, ThreadedSession};
+use deta_socket::hub::seats_for;
+use deta_socket::SocketHub;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Sample {
+    aggregators: usize,
+    deployment: &'static str,
+    rounds: usize,
+    wall_s: f64,
+    rounds_per_s: f64,
+    final_accuracy: f32,
+}
+
+fn config(seed: u64, aggregators: usize, parties: usize, rounds: usize) -> DetaConfig {
+    let mut cfg = DetaConfig::deta(parties, rounds);
+    cfg.n_aggregators = aggregators;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The deterministic slice of the metrics (latency excluded).
+fn fingerprint(metrics: &[RoundMetrics]) -> Vec<(f32, f32, f32, u64, u64)> {
+    metrics
+        .iter()
+        .map(|m| {
+            (
+                m.train_loss,
+                m.test_loss,
+                m.test_accuracy,
+                m.upload_bytes,
+                m.download_bytes,
+            )
+        })
+        .collect()
+}
+
+/// Runs the session with every node detached behind the TCP bridge,
+/// children hosted on threads of this process.
+fn run_socket(
+    cfg: DetaConfig,
+    shards: &[LabeledData],
+    test: &LabeledData,
+    dim: usize,
+    classes: usize,
+) -> Vec<RoundMetrics> {
+    let seed = cfg.seed;
+    let mut hub_slot: Option<SocketHub> = None;
+    let mut children = Vec::new();
+    let child_cfg = cfg.clone();
+    let child_shards = shards.to_vec();
+    let mut session = ThreadedSession::setup_detached(
+        cfg,
+        &move |rng| mlp(&[dim, 16, classes], rng),
+        shards.to_vec(),
+        RuntimeConfig::default(),
+        |nodes, network| {
+            let seats = seats_for(&nodes, seed);
+            let names: Vec<String> = seats.iter().map(|s| s.name.clone()).collect();
+            drop(nodes);
+            let hub = SocketHub::bind(network.clone(), seats, seed)
+                .map_err(|_| RuntimeError::Protocol("socket hub failed to bind"))?;
+            let addr = hub.addr();
+            for name in names {
+                let cfg = child_cfg.clone();
+                let shards = child_shards.clone();
+                children.push(std::thread::spawn(move || {
+                    let builder =
+                        move |rng: &mut deta_crypto::DetRng| mlp(&[dim, 16, classes], rng);
+                    deta_socket::run_node(
+                        addr,
+                        &name,
+                        cfg,
+                        &builder,
+                        shards,
+                        Duration::from_millis(10),
+                    )
+                }));
+            }
+            hub_slot = Some(hub);
+            Ok(())
+        },
+    )
+    .expect("socket setup");
+    let metrics = session.run(test).expect("socket run");
+    for child in children {
+        child
+            .join()
+            .expect("child thread")
+            .expect("child exited cleanly");
+    }
+    let err = hub_slot.expect("hub bound").join();
+    assert!(err.is_none(), "hub error: {err:?}");
+    metrics
+}
+
+fn main() {
+    let args = Args::parse();
+    let parties: usize = args.get("parties", 4);
+    let rounds: usize = args.get("rounds", 6);
+    let per_party: usize = args.get("examples", 120);
+    let seed: u64 = args.get("seed", 42);
+
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(per_party * parties, 1);
+    let test = spec.generate(200, 2);
+    let shards = iid_partition(&train, parties, 3);
+    let (dim, classes) = (spec.dim(), spec.classes);
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for aggregators in [1usize, 2, 4] {
+        // In-process threaded deployment.
+        let cfg = config(seed, aggregators, parties, rounds);
+        let t0 = Instant::now();
+        let mut session = ThreadedSession::setup(
+            cfg,
+            &move |rng| mlp(&[dim, 16, classes], rng),
+            shards.clone(),
+            RuntimeConfig::default(),
+        )
+        .expect("in-process setup");
+        let local = session.run(&test).expect("in-process run");
+        let wall_s = t0.elapsed().as_secs_f64();
+        samples.push(Sample {
+            aggregators,
+            deployment: "in_process",
+            rounds,
+            wall_s,
+            rounds_per_s: rounds as f64 / wall_s,
+            final_accuracy: local.last().map_or(0.0, |m| m.test_accuracy),
+        });
+
+        // Same session over TCP loopback.
+        let cfg = config(seed, aggregators, parties, rounds);
+        let t0 = Instant::now();
+        let remote = run_socket(cfg, &shards, &test, dim, classes);
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            fingerprint(&local),
+            fingerprint(&remote),
+            "parity gate: TCP metrics diverged from in-process at k={aggregators}"
+        );
+        samples.push(Sample {
+            aggregators,
+            deployment: "tcp_loopback",
+            rounds,
+            wall_s,
+            rounds_per_s: rounds as f64 / wall_s,
+            final_accuracy: remote.last().map_or(0.0, |m| m.test_accuracy),
+        });
+    }
+
+    println!("\n=== socket throughput ({parties} parties, {rounds} rounds, parity-gated) ===");
+    for s in &samples {
+        println!(
+            "k={}  {:<12}  {:7.3}s wall  {:7.2} rounds/s  acc {:5.1}%",
+            s.aggregators,
+            s.deployment,
+            s.wall_s,
+            s.rounds_per_s,
+            s.final_accuracy * 100.0
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is dependency-free by design).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"socket_throughput\",");
+    let _ = writeln!(json, "  \"parties\": {parties},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"examples_per_party\": {per_party},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"parity_checked\": true,");
+    let _ = writeln!(json, "  \"samples\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"aggregators\": {}, \"deployment\": \"{}\", \"rounds\": {}, \
+             \"wall_s\": {:.6}, \"rounds_per_s\": {:.6}, \"final_accuracy\": {:.6}}}{comma}",
+            s.aggregators, s.deployment, s.rounds, s.wall_s, s.rounds_per_s, s.final_accuracy
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let path = results_dir().join("BENCH_socket.json");
+    std::fs::write(&path, json).expect("write BENCH_socket.json");
+    println!("\nwrote {}", path.display());
+}

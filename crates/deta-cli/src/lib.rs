@@ -22,8 +22,9 @@ use deta_core::paillier_fusion::PaillierFusionConfig;
 use deta_core::transform::TransformConfig;
 use deta_core::{AggKind, DetaConfig, SyncMode};
 use deta_crypto::DetRng;
-use deta_datasets::DatasetSpec;
+use deta_datasets::{iid_partition, noniid_skew_partition, DatasetSpec};
 use deta_nn::models;
+use deta_nn::train::LabeledData;
 use deta_nn::Sequential;
 use deta_transport::LinkModel;
 use std::collections::HashMap;
@@ -268,6 +269,45 @@ impl Config {
     pub fn noniid(&self) -> Result<bool, ConfigError> {
         self.parse_bool("noniid", false)
     }
+
+    /// Assembles everything a session run needs — config, model
+    /// builder, per-party shards, and the shared test set — all derived
+    /// deterministically from this configuration. The coordinator and
+    /// every spawned node process call this with the same file, so each
+    /// rebuilds bit-identical data without any of it crossing a socket.
+    pub fn prepare(&self) -> Result<Prepared, ConfigError> {
+        let spec = self.dataset()?;
+        let session = self.session_config()?;
+        let per_party = self.examples_per_party()?;
+        let n_parties = session.n_parties;
+        let train = spec.generate(per_party * n_parties, session.seed.wrapping_add(1));
+        let test = spec.generate((per_party / 2).max(50), session.seed.wrapping_add(2));
+        let shards = if self.noniid()? {
+            noniid_skew_partition(&train, n_parties, 0.9, session.seed.wrapping_add(3))
+        } else {
+            iid_partition(&train, n_parties, session.seed.wrapping_add(3))
+        };
+        let builder = self.model_builder(&spec)?;
+        Ok(Prepared {
+            session,
+            builder,
+            shards,
+            test,
+        })
+    }
+}
+
+/// A fully assembled run: the session configuration plus the
+/// deterministic model builder and data split it implies.
+pub struct Prepared {
+    /// The session configuration.
+    pub session: DetaConfig,
+    /// The model constructor.
+    pub builder: Box<dyn Fn(&mut DetRng) -> Sequential>,
+    /// One training shard per party.
+    pub shards: Vec<LabeledData>,
+    /// The shared test set.
+    pub test: LabeledData,
 }
 
 #[cfg(test)]

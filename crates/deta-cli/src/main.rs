@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! deta-cli run <config>            run a DeTA session (and FFL baseline)
+//! deta-cli cluster <config>        multi-process run: one OS process per node
 //! deta-cli attack [--images N]     DLG attack across defense configurations
 //! deta-cli help                    this message
 //! ```
@@ -13,15 +14,24 @@ use deta_attacks::harness::{breach_view, AttackTape, AttackView};
 use deta_attacks::metrics::mse;
 use deta_cli::Config;
 use deta_core::baseline::run_ffl;
+use deta_core::session::RoundMetrics;
 use deta_core::DetaSession;
 use deta_crypto::DetRng;
 use deta_datasets::{iid_partition, noniid_skew_partition, DatasetSpec};
+use deta_runtime::{FailoverPolicy, RuntimeConfig, RuntimeError, ThreadedSession};
+use deta_socket::hub::seats_for;
+use deta_socket::SocketHub;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 const HELP: &str = "deta-cli — DeTA federated learning driver
 
 USAGE:
     deta-cli run <config-file>     run a configured session, then the FFL baseline
+    deta-cli cluster <config-file> run the threaded deployment with each node as
+                                   its own OS process over TCP loopback
+                                   (--inprocess runs the same deployment on
+                                   threads instead, for output comparison)
     deta-cli attack [N]            run the DLG attack demo over N images (default 5)
     deta-cli help                  show this message
 
@@ -58,6 +68,29 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("cluster") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("error: `cluster` needs a config file\n\n{HELP}");
+                return ExitCode::FAILURE;
+            };
+            let inprocess = args.iter().any(|a| a == "--inprocess");
+            match cmd_cluster(path, inprocess) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        // Internal: one hosted node of a `cluster` run. Spawned by the
+        // coordinator, not meant for direct use.
+        Some("node") => match cmd_node(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("attack") => {
             let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(5usize);
             cmd_attack(n);
@@ -137,6 +170,127 @@ fn cmd_run(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     if f > 0.0 {
         println!("\nDeTA/FFL latency overhead: {:+.2}x", d / f - 1.0);
     }
+    Ok(())
+}
+
+/// Prints one line per round with every metric in Rust's shortest
+/// round-trip float formatting, so two runs printing identical lines
+/// have bit-identical metrics.
+fn print_rounds(metrics: &[RoundMetrics]) {
+    for m in metrics {
+        println!(
+            "round {} train_loss={} test_loss={} test_acc={} up={} down={}",
+            m.round, m.train_loss, m.test_loss, m.test_accuracy, m.upload_bytes, m.download_bytes
+        );
+    }
+}
+
+fn cluster_runtime() -> RuntimeConfig {
+    RuntimeConfig {
+        // Respawning an OS process is outside the supervisor's reach,
+        // so a cluster run never heals — it fails structurally instead.
+        failover: FailoverPolicy::None,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let config = Config::parse(&text)?;
+    let prepared = config.prepare()?;
+    let rt = cluster_runtime();
+    if inprocess {
+        let mut session = ThreadedSession::setup(
+            prepared.session,
+            prepared.builder.as_ref(),
+            prepared.shards,
+            rt,
+        )?;
+        let metrics = session.run(&prepared.test)?;
+        print_rounds(&metrics);
+        return Ok(());
+    }
+    let exe = std::env::current_exe()?;
+    let seed = prepared.session.seed;
+    let mut hub_slot: Option<SocketHub> = None;
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let mut session = ThreadedSession::setup_detached(
+        prepared.session,
+        prepared.builder.as_ref(),
+        prepared.shards,
+        rt,
+        |nodes, network| {
+            let seats = seats_for(&nodes, seed);
+            let names: Vec<String> = seats.iter().map(|s| s.name.clone()).collect();
+            drop(nodes);
+            let hub = SocketHub::bind(network.clone(), seats, seed)
+                .map_err(|_| RuntimeError::Protocol("socket hub failed to bind"))?;
+            let addr = hub.addr().to_string();
+            for name in &names {
+                let child = std::process::Command::new(&exe)
+                    .args(["node", path, "--name", name, "--addr", &addr])
+                    .spawn()
+                    .map_err(RuntimeError::Spawn)?;
+                children.push(child);
+            }
+            hub_slot = Some(hub);
+            Ok(())
+        },
+    )?;
+    let outcome = session.run(&prepared.test);
+    // Reap children with a bound so a wedged node cannot hang the
+    // coordinator; the session is already over at this point.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for child in &mut children {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(hub) = hub_slot {
+        if let Some(e) = hub.join() {
+            return Err(Box::new(e));
+        }
+    }
+    print_rounds(&outcome?);
+    Ok(())
+}
+
+fn cmd_node(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut path = None;
+    let mut name = None;
+    let mut addr = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--name" => name = it.next().cloned(),
+            "--addr" => addr = it.next().cloned(),
+            other => path = Some(other.to_string()),
+        }
+    }
+    let (Some(path), Some(name), Some(addr)) = (path, name, addr) else {
+        return Err("node needs <config> --name <node> --addr <host:port>".into());
+    };
+    let text = std::fs::read_to_string(path)?;
+    let config = Config::parse(&text)?;
+    let prepared = config.prepare()?;
+    deta_socket::run_node(
+        addr.parse()?,
+        &name,
+        prepared.session,
+        prepared.builder.as_ref(),
+        prepared.shards,
+        Duration::from_millis(20),
+    )?;
     Ok(())
 }
 

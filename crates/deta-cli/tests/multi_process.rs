@@ -1,0 +1,100 @@
+//! End-to-end multi-process parity: `deta-cli cluster` spawns one real
+//! OS process per node over TCP loopback, and its per-round metric
+//! lines must be byte-identical to the same config run in-process
+//! (`--inprocess`). The lines print floats in Rust's shortest
+//! round-trip formatting, so identical lines mean bit-identical
+//! metrics.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Generous wall-clock bound per run (debug builds, loaded CI hosts).
+const RUN_DEADLINE: Duration = Duration::from_secs(180);
+
+fn write_config() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "deta-multiproc-{}-{}.cfg",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace('/', "-")
+    ));
+    std::fs::write(
+        &path,
+        "dataset            = mnist\n\
+         resolution         = 8\n\
+         model              = mlp\n\
+         parties            = 3\n\
+         aggregators        = 2\n\
+         rounds             = 2\n\
+         algorithm          = avg\n\
+         seed               = 42\n\
+         examples_per_party = 40\n",
+    )
+    .expect("write config");
+    path
+}
+
+/// Runs the CLI with a hard deadline, killing the whole run on expiry.
+fn run_cli(args: &[&str]) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_deta-cli"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn deta-cli");
+    let deadline = Instant::now() + RUN_DEADLINE;
+    let status = loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => break status,
+            None if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("deta-cli {args:?} exceeded the {RUN_DEADLINE:?} deadline");
+            }
+        }
+    };
+    let mut out = String::new();
+    let mut err = String::new();
+    if let Some(mut stdout) = child.stdout.take() {
+        let _ = stdout.read_to_string(&mut out);
+    }
+    if let Some(mut stderr) = child.stderr.take() {
+        let _ = stderr.read_to_string(&mut err);
+    }
+    assert!(
+        status.success(),
+        "deta-cli {args:?} failed ({status}):\nstdout:\n{out}\nstderr:\n{err}"
+    );
+    out
+}
+
+fn round_lines(output: &str) -> Vec<&str> {
+    output.lines().filter(|l| l.starts_with("round ")).collect()
+}
+
+#[test]
+fn cluster_processes_match_inprocess_bit_for_bit() {
+    let cfg = write_config();
+    let cfg_str = cfg.to_str().expect("utf-8 temp path");
+    let local = run_cli(&["cluster", cfg_str, "--inprocess"]);
+    let remote = run_cli(&["cluster", cfg_str]);
+    let _ = std::fs::remove_file(&cfg);
+
+    let local_rounds = round_lines(&local);
+    let remote_rounds = round_lines(&remote);
+    assert_eq!(
+        local_rounds.len(),
+        2,
+        "expected one line per round, got:\n{local}"
+    );
+    assert_eq!(
+        local_rounds, remote_rounds,
+        "multi-process round metrics must be byte-identical to in-process"
+    );
+}

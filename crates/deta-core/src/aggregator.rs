@@ -218,6 +218,16 @@ impl AggregatorNode {
         self.endpoint.clone()
     }
 
+    /// Signs `msg` with the Phase II attestation token key provisioned
+    /// into this node's CVM — the same identity parties verify during
+    /// the challenge-response handshake. Deployed transports use this to
+    /// prove that a remote peer claiming this node's name holds the
+    /// attested token, so a socket endpoint carries exactly the identity
+    /// an in-process endpoint does.
+    pub fn sign_with_token(&self, msg: &[u8]) -> deta_crypto::Signature {
+        self.token.sign(msg)
+    }
+
     /// Initiator only: announces a round to all parties and followers.
     ///
     /// # Errors

@@ -412,6 +412,9 @@ fn rule4_in_scope(path: &str) -> bool {
         // The runtime's actor loops and supervisor process frames from
         // every node; a reachable panic there takes down the deployment.
         || path.starts_with("crates/deta-runtime/src/")
+        // The socket bridge parses attacker-reachable bytes straight off
+        // TCP; a reachable panic there is a remote kill switch.
+        || path.starts_with("crates/deta-socket/src/")
 }
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -66,6 +66,7 @@ fn in_scope(path: &str) -> bool {
         "crates/deta-crypto/src/",
         "crates/deta-transport/src/",
         "crates/deta-runtime/src/",
+        "crates/deta-socket/src/",
         "crates/deta-telemetry/src/",
         "crates/deta-sev-sim/src/",
         "crates/deta-paillier/src/",

@@ -263,6 +263,33 @@ pub fn failover(&mut self, dead: &str) {
     }
 }
 
+#[test]
+fn socket_bridge_is_in_rule4_scope() {
+    // The socket crate parses attacker-reachable bytes straight off
+    // TCP; a reachable panic there is a remote kill switch for the
+    // whole deployment.
+    let src =
+        "pub fn ingest(&mut self, raw: &[u8]) { let f = SocketFrame::decode(raw).unwrap(); }\n";
+    for path in [
+        "crates/deta-socket/src/frame.rs",
+        "crates/deta-socket/src/wire.rs",
+        "crates/deta-socket/src/hub.rs",
+    ] {
+        let v = check_source(path, src);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "no-panic-in-aggregation" && v.ident == "unwrap"),
+            "rule 4 must cover {path}"
+        );
+    }
+    // The sanctioned idioms stay allowed in the bridge too.
+    let src2 =
+        "fn lock(m: &Mutex<u32>) { m.lock().unwrap_or_else(std::sync::PoisonError::into_inner); }\n";
+    assert!(rules_hit("crates/deta-socket/src/hub.rs", src2).is_empty());
+    let src3 = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+    assert!(rules_hit("crates/deta-socket/src/wire.rs", src3).is_empty());
+}
+
 // -------------------------------------------------------------------
 // Rule 5: no-truncating-cast
 // -------------------------------------------------------------------

@@ -113,6 +113,92 @@ fn banner(secret: &[u8]) { println!("{secret:?}"); }
 }
 
 // -------------------------------------------------------------------
+// Rule 7 on the socket bridge: handshake and link keys must never
+// reach frame logs, telemetry, or the unsealed wire.
+// -------------------------------------------------------------------
+
+const SOCKET: &str = "crates/deta-socket/src/link.rs";
+
+#[test]
+fn taint_positive_socket_link_key_in_connection_log() {
+    // A hub logging the link signing key on a failed auth would hand the
+    // party identity to anyone reading the coordinator's output.
+    let src = r#"
+fn authenticate(link_signing_key: &[u8]) {
+    let staged = link_signing_key;
+    eprintln!("auth failed, key was {staged:?}");
+}
+"#;
+    let v = taint(SOCKET, src);
+    assert!(
+        v.iter().any(|v| v.rule == "secret-taint-flow"
+            && v.ident == "staged"
+            && v.message.contains("link_signing_key")),
+        "a link key reaching a connection log must be flagged: {v:?}"
+    );
+}
+
+#[test]
+fn taint_positive_socket_handshake_secret_framed_unsealed() {
+    // Encoding a handshake secret outside a sealing function puts raw
+    // key material on the wire — the exact leak the record layer exists
+    // to prevent.
+    let src = r#"
+fn frame(handshake_secret: &[u8]) {
+    let out = handshake_secret;
+    out.encode();
+}
+"#;
+    let v = taint(SOCKET, src);
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "secret-taint-flow" && v.message.contains("handshake_secret")),
+        "an unsealed secret hitting the frame encoder must be flagged: {v:?}"
+    );
+}
+
+#[test]
+fn taint_positive_socket_secret_into_link_telemetry() {
+    let src = r#"
+fn serve(channel_secret: &[u8]) {
+    let hop = channel_secret;
+    deta_telemetry::event("link-up", &[("material", hop)]);
+}
+"#;
+    let v = taint(SOCKET, src);
+    assert!(
+        v.iter().any(|v| v.rule == "secret-taint-flow"
+            && v.ident == "hop"
+            && v.message.contains("channel_secret")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn taint_negative_socket_sealed_records_may_be_framed() {
+    // The bridge's real data path: seal first (inside a sealing-named
+    // function), then frame the sealed record. No taint may fire.
+    let src = r#"
+fn seal_frame(record_secret: &[u8]) -> Vec<u8> {
+    let sealed_record = protect(record_secret);
+    sealed_record.encode()
+}
+"#;
+    assert!(taint(SOCKET, src).is_empty(), "{:?}", taint(SOCKET, src));
+}
+
+#[test]
+fn taint_negative_socket_key_lengths_and_public_keys_loggable() {
+    let src = r#"
+fn authenticate(link_signing_key: &[u8], peer_verifying_key: &[u8]) {
+    let n = link_signing_key.len();
+    eprintln!("auth with {n}-byte key for peer {peer_verifying_key:?}");
+}
+"#;
+    assert!(taint(SOCKET, src).is_empty(), "{:?}", taint(SOCKET, src));
+}
+
+// -------------------------------------------------------------------
 // Rule 8: channel-liveness
 // -------------------------------------------------------------------
 

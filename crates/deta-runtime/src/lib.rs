@@ -38,7 +38,7 @@ pub mod session;
 pub mod supervisor;
 
 pub use rtmsg::{CtlMsg, RebindEntry, SUPERVISOR};
-pub use session::{MapperEpoch, RoundCheckpoint, ThreadedSession};
+pub use session::{DetachedNodes, MapperEpoch, RoundCheckpoint, ThreadedSession};
 pub use supervisor::Supervisor;
 
 /// Telemetry wiring for a threaded deployment (see `deta-telemetry` and

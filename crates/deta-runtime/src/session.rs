@@ -26,7 +26,7 @@ use deta_core::party::Party;
 use deta_core::recovery::RecoveryKit;
 use deta_core::session::{DetaConfig, RoundMetrics, SessionParts};
 use deta_core::transform::Transformer;
-use deta_crypto::DetRng;
+use deta_crypto::{DetRng, VerifyingKey};
 use deta_nn::train::LabeledData;
 use deta_nn::Sequential;
 use deta_telemetry::TelemetryValue;
@@ -141,79 +141,60 @@ impl ThreadedSession {
         }
         let mut parts = SessionParts::build(config, model_builder, party_data)?;
         instrument(&mut parts);
-        let SessionParts {
-            config,
-            network,
-            parties,
-            aggregators,
-            broker,
-            latency_model,
-            tokens,
-            eval_model,
-            transformer,
-            recovery,
-        } = parts;
-        let agg_names: Vec<String> = aggregators.iter().map(|a| a.name.clone()).collect();
-        let party_names: Vec<String> = parties.iter().map(|p| p.name.clone()).collect();
-        let mut supervisor = Supervisor::new(network.clone(), rt);
-        for agg in aggregators {
+        let (pending, nodes) = PendingSession::split(parts);
+        let mut supervisor = Supervisor::new(pending.network.clone(), rt);
+        for agg in nodes.aggregators {
             supervisor.spawn_aggregator(agg)?;
         }
-        for party in parties {
-            supervisor.spawn_party(party, tokens.clone())?;
+        for party in nodes.parties {
+            supervisor.spawn_party(party, nodes.tokens.clone())?;
         }
-        let expected: HashSet<String> = agg_names
-            .iter()
-            .chain(party_names.iter())
-            .cloned()
-            .collect();
-        let deadline = supervisor.config().setup_deadline;
-        let readiness = supervisor.wait(Phase::Setup, 0, deadline, expected, None, |_, msg| {
-            matches!(msg, CtlMsg::Ready)
-        });
-        if let Err(e) = readiness {
+        pending.finish(supervisor)
+    }
+
+    /// [`ThreadedSession::setup`] for externally hosted nodes: the nodes
+    /// are built deterministically as usual, but instead of spawning one
+    /// thread per node, every node is handed to `host` — a transport
+    /// bridge that runs them elsewhere (another OS process over a
+    /// socket, a remote machine) and relays their traffic through this
+    /// session's [`Network`]. The supervisor then waits for every node
+    /// to report `Ready` over the bridge exactly as it would for thread
+    /// hosting, and the returned session drives rounds unchanged.
+    ///
+    /// `host` receives the built nodes (it may drop them when the remote
+    /// side rebuilds its own copy from the same seed) plus the session
+    /// network, and must arrange for each node's frames to flow through
+    /// that network — [`Network::send_as`] is the injection seam.
+    ///
+    /// Failover policies that respawn nodes are not supported over a
+    /// bridge (the supervisor cannot re-home a remote process), so runs
+    /// should use [`FailoverPolicy::None`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThreadedSession::setup`]; errors returned by
+    /// `host` abort the bootstrap after signalling every adopted node.
+    pub fn setup_detached(
+        config: DetaConfig,
+        model_builder: &dyn Fn(&mut DetRng) -> Sequential,
+        party_data: Vec<LabeledData>,
+        rt: RuntimeConfig,
+        host: impl FnOnce(DetachedNodes, &Network) -> Result<(), RuntimeError>,
+    ) -> Result<ThreadedSession, RuntimeError> {
+        if rt.telemetry.enabled {
+            deta_telemetry::enable();
+        }
+        let parts = SessionParts::build(config, model_builder, party_data)?;
+        let (pending, nodes) = PendingSession::split(parts);
+        let mut supervisor = Supervisor::new(pending.network.clone(), rt);
+        for name in pending.agg_names.iter().chain(pending.party_names.iter()) {
+            supervisor.adopt(name);
+        }
+        if let Err(e) = host(nodes, &pending.network) {
             let _ = supervisor.shutdown();
             return Err(e);
         }
-        // The setup checkpoint (round 0): the freshly initialized global
-        // model under the initial partition, so even a first-round fault
-        // has a replay basis.
-        let checkpoint = if supervisor.config().checkpoint {
-            Some(RoundCheckpoint {
-                round: 0,
-                params: eval_model.flat_params(),
-                mapper_bytes: transformer.mapper().to_bytes(),
-                training_id: [0u8; 16],
-            })
-        } else {
-            None
-        };
-        let epochs = vec![MapperEpoch {
-            from_round: 1,
-            transformer: transformer.clone(),
-            agg_names: agg_names.clone(),
-        }];
-        Ok(ThreadedSession {
-            config,
-            network,
-            broker,
-            transformer,
-            latency_model,
-            eval_model,
-            supervisor,
-            party_names,
-            agg_names,
-            next_round: 1,
-            cumulative_latency_s: 0.0,
-            prev_party_timers: HashMap::new(),
-            prev_agg_times: HashMap::new(),
-            recovery,
-            checkpoint,
-            epochs,
-            retired_aggs: Vec::new(),
-            failovers: 0,
-            budget_used: HashMap::new(),
-        })
+        pending.finish(supervisor)
     }
 
     /// Runs all configured rounds, evaluating on `test` after each, then
@@ -820,6 +801,143 @@ impl ThreadedSession {
     /// [`Supervisor::dump_trace`].
     pub fn dump_trace(&mut self) -> Option<PathBuf> {
         self.supervisor.dump_trace()
+    }
+}
+
+/// The deterministically built nodes of a deployment whose hosting is
+/// delegated to a transport bridge (see
+/// [`ThreadedSession::setup_detached`]). The token map is the Phase II
+/// verification material parties need; a bridge also uses it to check
+/// that a remote peer claiming an aggregator name can sign with the
+/// attested token key.
+pub struct DetachedNodes {
+    /// Every party node, in index order.
+    pub parties: Vec<Party>,
+    /// Every aggregator node, index 0 the initiator.
+    pub aggregators: Vec<AggregatorNode>,
+    /// Aggregator token verification keys by endpoint name.
+    pub tokens: HashMap<String, VerifyingKey>,
+}
+
+/// Everything [`ThreadedSession`] needs beyond the node values
+/// themselves: the shared bootstrap tail between thread hosting and
+/// detached (bridged) hosting.
+struct PendingSession {
+    config: DetaConfig,
+    network: Network,
+    broker: KeyBroker,
+    latency_model: LatencyModel,
+    eval_model: Sequential,
+    transformer: Transformer,
+    recovery: RecoveryKit,
+    party_names: Vec<String>,
+    agg_names: Vec<String>,
+}
+
+impl PendingSession {
+    /// Splits built session parts into the session skeleton and the node
+    /// values a host must take ownership of.
+    fn split(parts: SessionParts) -> (PendingSession, DetachedNodes) {
+        let SessionParts {
+            config,
+            network,
+            parties,
+            aggregators,
+            broker,
+            latency_model,
+            tokens,
+            eval_model,
+            transformer,
+            recovery,
+        } = parts;
+        let agg_names: Vec<String> = aggregators.iter().map(|a| a.name.clone()).collect();
+        let party_names: Vec<String> = parties.iter().map(|p| p.name.clone()).collect();
+        (
+            PendingSession {
+                config,
+                network,
+                broker,
+                latency_model,
+                eval_model,
+                transformer,
+                recovery,
+                party_names,
+                agg_names,
+            },
+            DetachedNodes {
+                parties,
+                aggregators,
+                tokens,
+            },
+        )
+    }
+
+    /// Waits for every node to report `Ready`, seeds the round-0
+    /// checkpoint, and assembles the session.
+    fn finish(self, mut supervisor: Supervisor) -> Result<ThreadedSession, RuntimeError> {
+        let PendingSession {
+            config,
+            network,
+            broker,
+            latency_model,
+            eval_model,
+            transformer,
+            recovery,
+            party_names,
+            agg_names,
+        } = self;
+        let expected: HashSet<String> = agg_names
+            .iter()
+            .chain(party_names.iter())
+            .cloned()
+            .collect();
+        let deadline = supervisor.config().setup_deadline;
+        let readiness = supervisor.wait(Phase::Setup, 0, deadline, expected, None, |_, msg| {
+            matches!(msg, CtlMsg::Ready)
+        });
+        if let Err(e) = readiness {
+            let _ = supervisor.shutdown();
+            return Err(e);
+        }
+        // The setup checkpoint (round 0): the freshly initialized global
+        // model under the initial partition, so even a first-round fault
+        // has a replay basis.
+        let checkpoint = if supervisor.config().checkpoint {
+            Some(RoundCheckpoint {
+                round: 0,
+                params: eval_model.flat_params(),
+                mapper_bytes: transformer.mapper().to_bytes(),
+                training_id: [0u8; 16],
+            })
+        } else {
+            None
+        };
+        let epochs = vec![MapperEpoch {
+            from_round: 1,
+            transformer: transformer.clone(),
+            agg_names: agg_names.clone(),
+        }];
+        Ok(ThreadedSession {
+            config,
+            network,
+            broker,
+            transformer,
+            latency_model,
+            eval_model,
+            supervisor,
+            party_names,
+            agg_names,
+            next_round: 1,
+            cumulative_latency_s: 0.0,
+            prev_party_timers: HashMap::new(),
+            prev_agg_times: HashMap::new(),
+            recovery,
+            checkpoint,
+            epochs,
+            retired_aggs: Vec::new(),
+            failovers: 0,
+            budget_used: HashMap::new(),
+        })
     }
 }
 

@@ -27,6 +27,11 @@ pub struct Supervisor {
     /// supervisor retire exactly one node during a failover.
     halts: HashMap<String, Arc<AtomicBool>>,
     nodes: HashMap<String, JoinHandle<NodeExit>>,
+    /// Nodes hosted outside this process (see [`Supervisor::adopt`]):
+    /// no join handle, but shutdown still sends them `Shutdown` and
+    /// closes their mailboxes so a transport bridge can propagate the
+    /// stop signal.
+    remote: HashSet<String>,
     recovered: HashMap<String, NodeExit>,
     last_seen: HashMap<String, Instant>,
     /// Control-plane payload bytes observed (sent by the supervisor plus
@@ -54,6 +59,7 @@ impl Supervisor {
             stop: Arc::new(AtomicBool::new(false)),
             halts: HashMap::new(),
             nodes: HashMap::new(),
+            remote: HashSet::new(),
             recovered: HashMap::new(),
             last_seen: HashMap::new(),
             ctl_bytes: 0,
@@ -145,6 +151,18 @@ impl Supervisor {
         recorder
     }
 
+    /// Registers a node that runs outside this process — behind a
+    /// transport bridge rather than on a spawned thread. The supervisor
+    /// waits on its control messages exactly as for a thread-hosted
+    /// node; there is no join handle, so `reap` never blames it for a
+    /// silent thread death (a dead remote peer surfaces as a closed
+    /// mailbox or a phase timeout instead). Shutdown and `kill_node`
+    /// still send `Shutdown` and close the node's mailbox, which the
+    /// bridge propagates to the remote process.
+    pub fn adopt(&mut self, name: &str) {
+        self.remote.insert(name.to_string());
+    }
+
     /// Sends a control message to a node, counting its bytes.
     pub fn send_ctl(&mut self, to: &str, msg: &CtlMsg) {
         if let Ok(frame) = msg.encode() {
@@ -164,6 +182,7 @@ impl Supervisor {
             halt.store(true, Ordering::Relaxed);
         }
         self.network.close(name);
+        self.remote.remove(name);
         if let Some(handle) = self.nodes.remove(name) {
             match handle.join() {
                 Ok(exit) => {
@@ -379,7 +398,12 @@ impl Supervisor {
             halt.store(true, Ordering::Relaxed);
         }
         self.halts.clear();
-        let names: Vec<String> = self.nodes.keys().cloned().collect();
+        let names: Vec<String> = self
+            .nodes
+            .keys()
+            .cloned()
+            .chain(self.remote.drain())
+            .collect();
         for name in &names {
             self.send_ctl(name, &CtlMsg::Shutdown);
         }
@@ -515,8 +539,9 @@ pub(crate) fn implicated_nodes(err: &RuntimeError) -> Vec<String> {
 
 impl Drop for Supervisor {
     fn drop(&mut self) {
-        if !self.nodes.is_empty() {
-            // Best effort: never leak running threads.
+        if !self.nodes.is_empty() || !self.remote.is_empty() {
+            // Best effort: never leak running threads (and always signal
+            // bridged remote nodes to stop).
             let _ = self.shutdown();
         }
     }

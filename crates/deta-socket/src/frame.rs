@@ -1,0 +1,107 @@
+//! Outer length-prefixed framing for the TCP byte stream.
+//!
+//! A frame is `[u32 little-endian length][length bytes]`. The decoder is
+//! incremental: bytes arrive in arbitrary chunks (TCP gives no message
+//! boundaries), are buffered, and complete frames are yielded as they
+//! become available. Torn reads — a length split across two `read`
+//! calls, a payload arriving one byte at a time — are the normal case,
+//! not an error.
+//!
+//! The decoder is total: no input byte sequence can make it panic, and
+//! the only error is a declared length above [`MAX_FRAME`] (a corrupt or
+//! hostile peer; honest frames are bounded by model size). That error is
+//! sticky — a stream that desynchronized once cannot be trusted to
+//! resynchronize, so the connection must be dropped.
+
+use std::fmt;
+
+/// Upper bound on a single frame's payload length. Honest traffic is a
+/// sealed model fragment plus header overhead, far below this; a length
+/// prefix above it is treated as stream corruption rather than an
+/// allocation request.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Length-prefixes `payload` into a wire frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Framing-layer failure: the stream declared an implausible length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// The declared payload length that exceeded [`MAX_FRAME`].
+    pub len: usize,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frame length {} exceeds the {} byte limit",
+            self.len, MAX_FRAME
+        )
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame decoder over an untrusted byte stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the stream (any chunking).
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Yields the next complete frame payload, `None` when more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when the stream declares a length above
+    /// [`MAX_FRAME`]; the error repeats on every subsequent call (the
+    /// stream is unrecoverable).
+    pub fn try_next(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&self.buf[..4]);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME {
+            let e = FrameError { len };
+            self.poisoned = Some(e.clone());
+            self.buf.clear();
+            return Err(e);
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}

@@ -1,0 +1,505 @@
+//! Coordinator-side bridge: one TCP listener, one authenticated link
+//! per child process, one pump per hosted node.
+//!
+//! The hub owns the *authoritative* [`Network`]: the supervisor, fault
+//! policy, tap, byte accounting, and telemetry all live there. Each
+//! remote node is represented on that network by its proxy mailbox (the
+//! node's own [`Endpoint`], surrendered by the child's coordinator-side
+//! twin). Traffic flows:
+//!
+//! * **ingress** — a child's frames arrive on its link; after the
+//!   replay window accepts them they are injected with
+//!   [`Network::send_as`], so verdicts, taps, and per-link byte counts
+//!   apply exactly as for an in-process sender;
+//! * **egress** — a pump thread drains each node's proxy mailbox and
+//!   forwards deliveries over that node's link, stamped with per-link
+//!   sequence numbers.
+//!
+//! A node's proxy mailbox closing (supervisor shutdown, kill, or child
+//! death) broadcasts [`SocketFrame::Close`] to every link so each child
+//! mirrors the closure into its local replica — a remote peer's
+//! disconnect surfaces as the same [`deta_transport::NetError::Closed`]
+//! the simulator returns.
+
+use crate::link::{LinkSender, SecureLink};
+use crate::wire::{auth_transcript, ReplayWindow, SeqTracker, SocketFrame};
+use crate::{hub_identity, party_link_key, SocketError};
+use deta_crypto::{DetRng, VerifyingKey};
+use deta_runtime::DetachedNodes;
+use deta_transport::{Endpoint, NetError, Network, RecvError};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often pumps and the acceptor recheck stop/closure conditions.
+const TICK: Duration = Duration::from_millis(20);
+
+/// Auth exchange deadline per connection.
+const AUTH_DEADLINE: Duration = Duration::from_secs(10);
+
+/// One hosted node as the hub sees it: the name a peer must prove, the
+/// key that proof is verified against, and the node's proxy mailbox on
+/// the hub network.
+pub struct HubSeat {
+    /// Node endpoint name (e.g. `party-0`, `agg-1`).
+    pub name: String,
+    /// Verifying key for the node's [`SocketFrame::AuthProof`]: the
+    /// Phase II attestation token key for aggregators, the derived link
+    /// key for parties.
+    pub key: VerifyingKey,
+    /// The node's mailbox on the hub network (its coordinator-side
+    /// proxy).
+    pub endpoint: Endpoint,
+}
+
+/// Builds the seat list for every node of a detached session:
+/// aggregators are keyed by their attestation token (the same key
+/// parties verify in Phase II), parties by their derived link key.
+pub fn seats_for(nodes: &DetachedNodes, seed: u64) -> Vec<HubSeat> {
+    let mut seats = Vec::new();
+    for agg in &nodes.aggregators {
+        // Every aggregator's token key is registered at build time; a
+        // missing entry would mean the session itself is unusable.
+        if let Some(key) = nodes.tokens.get(&agg.name) {
+            seats.push(HubSeat {
+                name: agg.name.clone(),
+                key: key.clone(),
+                endpoint: agg.endpoint(),
+            });
+        }
+    }
+    for party in &nodes.parties {
+        seats.push(HubSeat {
+            name: party.name.clone(),
+            key: party_link_key(seed, &party.name).verifying_key(),
+            endpoint: party.endpoint(),
+        });
+    }
+    seats
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// State shared by every hub thread.
+struct HubShared {
+    network: Network,
+    /// Per-connected-node egress queues; the map entry appearing is the
+    /// signal (via `connected`) that a node's link is live.
+    links: Mutex<HashMap<String, Sender<SocketFrame>>>,
+    connected: Condvar,
+    /// Strict per-(src, dst) ingress window across all links.
+    window: Mutex<ReplayWindow>,
+    /// First structured failure observed by any hub thread.
+    error: Mutex<Option<SocketError>>,
+    stop: Arc<AtomicBool>,
+    /// Connection counter, forked into each responder handshake RNG.
+    conns: AtomicU64,
+}
+
+impl HubShared {
+    fn record_error(&self, e: SocketError) {
+        let mut slot = lock(&self.error);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// Sends `frame` to every connected link (best effort — a link
+    /// whose writer is gone is skipped).
+    fn broadcast(&self, frame: &SocketFrame) {
+        let senders: Vec<Sender<SocketFrame>> = lock(&self.links).values().cloned().collect();
+        for s in senders {
+            let _ = s.send(frame.clone());
+        }
+    }
+
+    /// Removes a node's egress queue (dropping our sender lets the
+    /// writer thread drain and exit).
+    fn drop_link(&self, name: &str) {
+        lock(&self.links).remove(name);
+    }
+}
+
+/// The listener plus all bridge threads for one detached session.
+pub struct SocketHub {
+    addr: SocketAddr,
+    shared: Arc<HubShared>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl SocketHub {
+    /// Binds a loopback listener, starts the acceptor and one pump per
+    /// seat, and returns immediately; children may connect at any time
+    /// after this.
+    ///
+    /// # Errors
+    ///
+    /// [`SocketError::Io`] when the listener cannot bind.
+    pub fn bind(
+        network: Network,
+        seats: Vec<HubSeat>,
+        seed: u64,
+    ) -> Result<SocketHub, SocketError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(HubShared {
+            network,
+            links: Mutex::new(HashMap::new()),
+            connected: Condvar::new(),
+            window: Mutex::new(ReplayWindow::new()),
+            error: Mutex::new(None),
+            stop: Arc::clone(&stop),
+            conns: AtomicU64::new(0),
+        });
+        let roster: Arc<HashMap<String, VerifyingKey>> = Arc::new(
+            seats
+                .iter()
+                .map(|s| (s.name.clone(), s.key.clone()))
+                .collect(),
+        );
+        let mut threads = Vec::new();
+        for seat in seats {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || pump(seat, shared)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(listener, shared, roster, seed);
+            }));
+        }
+        Ok(SocketHub {
+            addr,
+            shared,
+            stop,
+            threads,
+        })
+    }
+
+    /// The address children connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The first structured failure any bridge thread observed, if any.
+    pub fn first_error(&self) -> Option<SocketError> {
+        lock(&self.shared.error)
+            .as_ref()
+            .map(SocketError::duplicate)
+    }
+
+    /// Stops every bridge thread and joins them. Call after the session
+    /// has shut down (pumps will already have drained and broadcast the
+    /// mailbox closures).
+    pub fn join(mut self) -> Option<SocketError> {
+        self.stop.store(true, Ordering::Relaxed);
+        // Dropping every egress sender lets writer threads drain their
+        // queues, emit Bye, and exit.
+        lock(&self.shared.links).clear();
+        self.shared.connected.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.first_error()
+    }
+}
+
+/// Drains one node's proxy mailbox onto its link. Exits when the
+/// mailbox closes (after forwarding everything still queued and
+/// broadcasting the closure) or on hub stop.
+fn pump(seat: HubSeat, shared: Arc<HubShared>) {
+    let mut seqs = SeqTracker::new();
+    loop {
+        match seat.endpoint.recv_timeout(TICK) {
+            Ok(msg) => {
+                let src: String = msg.from.to_string();
+                let seq = seqs.next(&src, &seat.name);
+                let frame = SocketFrame::Data {
+                    src,
+                    dst: seat.name.clone(),
+                    seq,
+                    payload: msg.payload,
+                };
+                if !forward(&shared, &seat.name, frame) {
+                    return;
+                }
+            }
+            Err(RecvError::Timeout) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvError::Closed) => {
+                // Queue fully drained (closed mailboxes keep yielding
+                // queued messages first), so the closure is causally
+                // after everything the node was sent.
+                shared.broadcast(&SocketFrame::Close {
+                    name: seat.name.clone(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Hands a frame to the destination node's egress queue, waiting for
+/// the link if the child has not connected yet. Returns `false` when
+/// the hub is stopping.
+fn forward(shared: &HubShared, name: &str, frame: SocketFrame) -> bool {
+    let mut links = lock(&shared.links);
+    loop {
+        if let Some(sender) = links.get(name) {
+            // A failed send means the writer died with the child; the
+            // closure path will surface it.
+            let _ = sender.send(frame);
+            return true;
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        let (guard, _) = shared
+            .connected
+            .wait_timeout(links, TICK)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        links = guard;
+    }
+}
+
+/// Accepts connections until stopped; each connection is served on its
+/// own thread.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<HubShared>,
+    roster: Arc<HashMap<String, VerifyingKey>>,
+    seed: u64,
+) {
+    let mut serve_threads = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let roster = Arc::clone(&roster);
+                let idx = shared.conns.fetch_add(1, Ordering::Relaxed);
+                serve_threads.push(std::thread::spawn(move || {
+                    serve(stream, shared, roster, seed, idx);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(TICK);
+            }
+            Err(_) => std::thread::sleep(TICK),
+        }
+    }
+    for t in serve_threads {
+        let _ = t.join();
+    }
+}
+
+/// Serves one connection: handshake, challenge auth, then the ingress
+/// loop (this thread) plus an egress writer thread.
+fn serve(
+    stream: TcpStream,
+    shared: Arc<HubShared>,
+    roster: Arc<HashMap<String, VerifyingKey>>,
+    seed: u64,
+    idx: u64,
+) {
+    // Unique responder randomness per connection; the identity key is
+    // the same for all (children pin its verifying half).
+    let identity = hub_identity(seed);
+    let mut rng = DetRng::from_u64(seed)
+        .fork(b"deta-socket/hub-conn")
+        .fork_indexed(b"conn", idx);
+    let mut link = match SecureLink::accept(stream, "incoming", &identity, &mut rng) {
+        Ok(l) => l,
+        Err(e) => {
+            shared.record_error(e);
+            return;
+        }
+    };
+    let name = match authenticate(&mut link, &roster, &mut rng) {
+        Ok(name) => name,
+        Err(e) => {
+            shared.record_error(e);
+            return;
+        }
+    };
+    let (tx, rx) = channel::<SocketFrame>();
+    {
+        let mut links = lock(&shared.links);
+        if links.contains_key(&name) {
+            shared.record_error(SocketError::Auth {
+                peer: name,
+                detail: "second connection for an already-linked node",
+            });
+            return;
+        }
+        links.insert(name.clone(), tx);
+        shared.connected.notify_all();
+    }
+    let (sender, mut receiver) = match link.split() {
+        Ok(pair) => pair,
+        Err(e) => {
+            shared.record_error(e);
+            shared.drop_link(&name);
+            return;
+        }
+    };
+    let writer = std::thread::spawn(move || write_loop(sender, rx));
+    // Ingress: inject every accepted frame into the hub network.
+    let mut clean_exit = false;
+    loop {
+        match receiver.recv(None, Some(&shared.stop)) {
+            Ok(Some(SocketFrame::Data {
+                src,
+                dst,
+                seq,
+                payload,
+            })) => {
+                if src != name {
+                    shared.record_error(SocketError::Auth {
+                        peer: name.clone(),
+                        detail: "data frame with spoofed source name",
+                    });
+                    break;
+                }
+                if let Err(v) = lock(&shared.window).accept(&src, &dst, seq) {
+                    let link_name = format!("{src}->{dst}");
+                    if deta_telemetry::enabled() {
+                        deta_telemetry::metrics::counter_add(
+                            "deta_socket_rejects_total",
+                            &link_name,
+                            1,
+                        );
+                    }
+                    shared.record_error(SocketError::Replay {
+                        link: link_name,
+                        seq: v.seq,
+                        expected: v.expected,
+                    });
+                    break;
+                }
+                if deta_telemetry::enabled() {
+                    let link_name = format!("{src}->{dst}");
+                    deta_telemetry::metrics::counter_add("deta_socket_frames_total", &link_name, 1);
+                    deta_telemetry::metrics::counter_add(
+                        "deta_socket_bytes_total",
+                        &link_name,
+                        payload.len() as u64,
+                    );
+                }
+                match shared.network.send_as(&src, &dst, payload) {
+                    Ok(()) => {}
+                    Err(NetError::UnknownEndpoint(_)) | Err(NetError::Closed(_)) => {
+                        if deta_telemetry::enabled() {
+                            deta_telemetry::metrics::counter_add(
+                                "deta_socket_drops_total",
+                                &format!("{src}->{dst}"),
+                                1,
+                            );
+                        }
+                    }
+                }
+            }
+            Ok(Some(SocketFrame::Bye)) => {
+                clean_exit = true;
+                break;
+            }
+            Ok(Some(SocketFrame::Close { .. })) => {
+                // The hub is authoritative for closures; a child telling
+                // us about one is harmless.
+            }
+            Ok(Some(_)) => {
+                shared.record_error(SocketError::Malformed {
+                    link: receiver.label().to_string(),
+                });
+                break;
+            }
+            Ok(None) => {
+                // EOF. Normal after shutdown (the child exits once its
+                // mailbox closes); abnormal mid-session.
+                if !shared.stop.load(Ordering::Relaxed) && !shared.network.is_closed(&name) {
+                    shared.record_error(SocketError::Disconnected { peer: name.clone() });
+                }
+                break;
+            }
+            Err(e) => {
+                shared.record_error(e);
+                break;
+            }
+        }
+    }
+    // Whatever ended the link: close the node's mailbox so hub-side
+    // senders observe `Closed`, tell every child, and release the
+    // writer.
+    if !clean_exit || !shared.stop.load(Ordering::Relaxed) {
+        shared.network.close(&name);
+        shared.broadcast(&SocketFrame::Close { name: name.clone() });
+    }
+    shared.drop_link(&name);
+    let _ = writer.join();
+}
+
+/// Challenge/response over the fresh channel: the peer proves control
+/// of a seat's key.
+fn authenticate(
+    link: &mut SecureLink,
+    roster: &HashMap<String, VerifyingKey>,
+    rng: &mut DetRng,
+) -> Result<String, SocketError> {
+    let mut nonce = [0u8; 32];
+    rng.fill_bytes(&mut nonce);
+    link.send(&SocketFrame::Challenge { nonce })?;
+    let deadline = Some(Instant::now() + AUTH_DEADLINE);
+    match link.recv(deadline, None)? {
+        Some(SocketFrame::AuthProof { name, sig }) => {
+            let Some(key) = roster.get(&name) else {
+                return Err(SocketError::Auth {
+                    peer: name,
+                    detail: "unknown node name",
+                });
+            };
+            let Some(sig) = deta_crypto::Signature::from_bytes(&sig) else {
+                return Err(SocketError::Auth {
+                    peer: name,
+                    detail: "unparseable signature",
+                });
+            };
+            if !key.verify(&auth_transcript(&nonce, &name), &sig) {
+                return Err(SocketError::Auth {
+                    peer: name,
+                    detail: "signature does not verify against the node key",
+                });
+            }
+            link.send(&SocketFrame::Welcome)?;
+            Ok(name)
+        }
+        Some(_) | None => Err(SocketError::Auth {
+            peer: "unknown".to_string(),
+            detail: "peer did not present an auth proof",
+        }),
+    }
+}
+
+/// Egress writer: drains the node's queue onto the socket, then signs
+/// off with `Bye` when the hub drops the queue.
+fn write_loop(mut sender: LinkSender, rx: Receiver<SocketFrame>) {
+    while let Ok(frame) = rx.recv() {
+        if sender.send(&frame).is_err() {
+            return;
+        }
+    }
+    let _ = sender.send(&SocketFrame::Bye);
+}

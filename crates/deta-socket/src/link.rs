@@ -1,0 +1,263 @@
+//! One secured TCP link: length-prefixed frames carrying sealed records
+//! of the [`deta_transport::secure`] channel.
+//!
+//! A link is built in two steps. [`SecureLink::connect`] /
+//! [`SecureLink::accept`] run the handshake over raw frames (hello and
+//! response are self-authenticating; everything after is sealed). The
+//! caller then performs the challenge/auth exchange at the
+//! [`crate::wire::SocketFrame`] layer and finally [`SecureLink::split`]s
+//! the link into an independently-owned sender and receiver so one
+//! thread can write while another blocks reading.
+//!
+//! All reads poll with a short OS timeout so reader threads can observe
+//! stop flags and deadlines instead of blocking forever in `read`.
+
+use crate::frame::{encode_frame, FrameDecoder};
+use crate::wire::SocketFrame;
+use crate::SocketError;
+use deta_crypto::{DetRng, SigningKey, VerifyingKey};
+use deta_transport::secure::{self, HandshakeInitiator, SecureChannel};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// OS-level read poll granularity: how often a blocked reader rechecks
+/// its stop flag or deadline.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Handshake messages must arrive within this window.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Recovers a channel guard even if a peer thread panicked mid-seal;
+/// channel state is a pair of counters and keys, always consistent.
+fn lock_channel(m: &Mutex<SecureChannel>) -> MutexGuard<'_, SecureChannel> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Seals one frame for the wire (encode then record-protect).
+fn seal_frame(channel: &Mutex<SecureChannel>, frame: &SocketFrame) -> Vec<u8> {
+    lock_channel(channel).seal_msg(&frame.encode())
+}
+
+/// Opens one record and parses the frame inside it.
+fn unseal_frame(
+    channel: &Mutex<SecureChannel>,
+    label: &str,
+    record: &[u8],
+) -> Result<SocketFrame, SocketError> {
+    let plain = lock_channel(channel)
+        .open_msg(record)
+        .map_err(|_| SocketError::Record {
+            link: label.to_string(),
+        })?;
+    SocketFrame::decode(&plain).ok_or_else(|| SocketError::Malformed {
+        link: label.to_string(),
+    })
+}
+
+/// Raw framed IO over one stream (pre- and post-handshake transport).
+struct LinkIo {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    label: String,
+}
+
+impl LinkIo {
+    fn new(stream: TcpStream, label: String) -> Result<LinkIo, SocketError> {
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(POLL))?;
+        Ok(LinkIo {
+            stream,
+            decoder: FrameDecoder::new(),
+            label,
+        })
+    }
+
+    fn write_frame(&mut self, payload: &[u8]) -> Result<(), SocketError> {
+        self.stream.write_all(&encode_frame(payload))?;
+        Ok(())
+    }
+
+    /// Blocks (polling) until a complete frame, EOF (`None`), the
+    /// deadline, or the stop flag. Deadline expiry is an `Io` timeout
+    /// error; a stop request reads as EOF.
+    fn read_frame(
+        &mut self,
+        deadline: Option<Instant>,
+        stop: Option<&AtomicBool>,
+    ) -> Result<Option<Vec<u8>>, SocketError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(payload) = self.decoder.try_next().map_err(|e| SocketError::Frame {
+                link: self.label.clone(),
+                source: e,
+            })? {
+                return Ok(Some(payload));
+            }
+            if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                return Ok(None);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(SocketError::Io(std::io::Error::from(ErrorKind::TimedOut)));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.decoder.push(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                // A peer process exiting surfaces as a reset on some
+                // platforms and EOF on others; treat both as closure.
+                Err(e) if e.kind() == ErrorKind::ConnectionReset => return Ok(None),
+                Err(e) => return Err(SocketError::Io(e)),
+            }
+        }
+    }
+}
+
+/// An established secure link (handshake done, records flowing).
+pub(crate) struct SecureLink {
+    io: LinkIo,
+    channel: Arc<Mutex<SecureChannel>>,
+}
+
+impl SecureLink {
+    /// Client side: connect to `addr`, run the handshake as initiator,
+    /// and verify the responder against `hub_key`.
+    pub fn connect(
+        addr: SocketAddr,
+        label: &str,
+        hub_key: &VerifyingKey,
+        rng: &mut DetRng,
+    ) -> Result<SecureLink, SocketError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut io = LinkIo::new(stream, label.to_string())?;
+        let init = HandshakeInitiator::new(rng);
+        io.write_frame(init.hello())?;
+        let deadline = Some(Instant::now() + HANDSHAKE_DEADLINE);
+        let response = match io.read_frame(deadline, None)? {
+            Some(r) => r,
+            None => {
+                return Err(SocketError::Handshake {
+                    link: label.to_string(),
+                    source: deta_transport::TransportError::Malformed,
+                })
+            }
+        };
+        let channel =
+            init.complete(&response, hub_key)
+                .map_err(|source| SocketError::Handshake {
+                    link: label.to_string(),
+                    source,
+                })?;
+        Ok(SecureLink {
+            io,
+            channel: Arc::new(Mutex::new(channel)),
+        })
+    }
+
+    /// Server side: run the handshake as responder over an accepted
+    /// stream, authenticating with `identity`.
+    pub fn accept(
+        stream: TcpStream,
+        label: &str,
+        identity: &SigningKey,
+        rng: &mut DetRng,
+    ) -> Result<SecureLink, SocketError> {
+        let mut io = LinkIo::new(stream, label.to_string())?;
+        let deadline = Some(Instant::now() + HANDSHAKE_DEADLINE);
+        let hello = match io.read_frame(deadline, None)? {
+            Some(h) => h,
+            None => {
+                return Err(SocketError::Handshake {
+                    link: label.to_string(),
+                    source: deta_transport::TransportError::Malformed,
+                })
+            }
+        };
+        let (response, channel) =
+            secure::respond(&hello, identity, rng).map_err(|source| SocketError::Handshake {
+                link: label.to_string(),
+                source,
+            })?;
+        io.write_frame(&response)?;
+        Ok(SecureLink {
+            io,
+            channel: Arc::new(Mutex::new(channel)),
+        })
+    }
+
+    /// Seals and writes one frame.
+    pub fn send(&mut self, frame: &SocketFrame) -> Result<(), SocketError> {
+        let record = seal_frame(&self.channel, frame);
+        self.io.write_frame(&record)
+    }
+
+    /// Blocks until the next frame, EOF/stop (`None`), or a deadline.
+    pub fn recv(
+        &mut self,
+        deadline: Option<Instant>,
+        stop: Option<&AtomicBool>,
+    ) -> Result<Option<SocketFrame>, SocketError> {
+        match self.io.read_frame(deadline, stop)? {
+            None => Ok(None),
+            Some(record) => unseal_frame(&self.channel, &self.io.label, &record).map(Some),
+        }
+    }
+
+    /// Splits into an independently-owned sender and receiver (the
+    /// record counters stay shared, each direction strictly ordered by
+    /// its single owning thread).
+    pub fn split(self) -> Result<(LinkSender, LinkReceiver), SocketError> {
+        let write_stream = self.io.stream.try_clone()?;
+        let sender = LinkSender {
+            stream: write_stream,
+            channel: Arc::clone(&self.channel),
+        };
+        let receiver = LinkReceiver {
+            io: self.io,
+            channel: self.channel,
+        };
+        Ok((sender, receiver))
+    }
+}
+
+/// Write half of a split link.
+pub(crate) struct LinkSender {
+    stream: TcpStream,
+    channel: Arc<Mutex<SecureChannel>>,
+}
+
+impl LinkSender {
+    /// Seals and writes one frame.
+    pub fn send(&mut self, frame: &SocketFrame) -> Result<(), SocketError> {
+        let record = seal_frame(&self.channel, frame);
+        self.stream.write_all(&encode_frame(&record))?;
+        Ok(())
+    }
+}
+
+/// Read half of a split link.
+pub(crate) struct LinkReceiver {
+    io: LinkIo,
+    channel: Arc<Mutex<SecureChannel>>,
+}
+
+impl LinkReceiver {
+    /// Blocks until the next frame, EOF/stop (`None`), or a deadline.
+    pub fn recv(
+        &mut self,
+        deadline: Option<Instant>,
+        stop: Option<&AtomicBool>,
+    ) -> Result<Option<SocketFrame>, SocketError> {
+        match self.io.read_frame(deadline, stop)? {
+            None => Ok(None),
+            Some(record) => unseal_frame(&self.channel, &self.io.label, &record).map(Some),
+        }
+    }
+
+    /// The link label errors are reported under.
+    pub fn label(&self) -> &str {
+        &self.io.label
+    }
+}

@@ -1,0 +1,317 @@
+//! Child-process side of the bridge: host exactly one node, rebuilt
+//! deterministically from the shared seed, and relay all its traffic
+//! through one authenticated link to the hub.
+//!
+//! The child rebuilds the *entire* `SessionParts` — same seed, same
+//! construction order, so its node is bit-identical to the one the
+//! coordinator built and dropped — keeps its own node, and runs the
+//! stock actor loop ([`deta_runtime::actor`]) against its local network
+//! replica. The replica carries only this node's mailbox; a
+//! [`FaultPolicy`] delivers frames addressed to the hosted node and
+//! drops everything else, and the [`NetTap::on_drop`] callback — which
+//! fires under the network lock, in exact send order — feeds those
+//! "drops" to the link writer. One queue, one writer, one TCP stream:
+//! the child's egress preserves the node's global causal send order,
+//! which is what makes hub-side byte accounting bit-exact with the
+//! in-process deployment.
+
+use crate::link::{LinkReceiver, LinkSender, SecureLink};
+use crate::wire::{auth_transcript, ReplayWindow, SeqTracker, SocketFrame};
+use crate::{hub_verifying_key, party_link_key, SocketError};
+use deta_core::aggregator::AggregatorNode;
+use deta_core::party::Party;
+use deta_core::session::{DetaConfig, SessionParts};
+use deta_crypto::DetRng;
+use deta_nn::train::LabeledData;
+use deta_nn::Sequential;
+use deta_runtime::actor::{run_aggregator, run_party, ActorContext};
+use deta_runtime::SUPERVISOR;
+use deta_telemetry::FlightRecorder;
+use deta_transport::{FaultPolicy, NetTap, Network, SendVerdict};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Auth exchange deadline against the hub.
+const AUTH_DEADLINE: Duration = Duration::from_secs(10);
+
+/// The one node this process hosts.
+enum OwnNode {
+    Party(Box<Party>),
+    Agg(Box<AggregatorNode>),
+}
+
+/// Delivers only frames addressed to the hosted node; everything else
+/// is "dropped" — which, combined with [`EgressTap`], means routed to
+/// the hub instead of enqueued locally. The sender still sees `Ok`,
+/// exactly as an in-process sender would.
+struct LocalOnlyPolicy {
+    own: String,
+}
+
+impl FaultPolicy for LocalOnlyPolicy {
+    fn on_send(&self, _from: &str, to: &str, _payload: &[u8]) -> SendVerdict {
+        if to == self.own {
+            SendVerdict::Deliver
+        } else {
+            SendVerdict::Drop
+        }
+    }
+}
+
+/// Forwards every non-local "drop" to the link writer. Called under the
+/// network lock in exact send order, so the egress queue is a faithful
+/// serialization of the node's outbound traffic.
+struct EgressTap {
+    own: String,
+    egress: Mutex<Sender<(String, String, Vec<u8>)>>,
+}
+
+impl NetTap for EgressTap {
+    fn on_deliver(&self, _from: &str, _to: &str, _payload: &[u8]) {}
+
+    fn on_drop(&self, from: &str, to: &str, payload: &[u8]) {
+        // Drops *to* the hosted node are real losses (its mailbox
+        // closed); everything else is egress.
+        if to != self.own {
+            let tx = self
+                .egress
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = tx.send((from.to_string(), to.to_string(), payload.to_vec()));
+        }
+    }
+}
+
+/// A no-op tap installed at teardown so dropping the [`EgressTap`]
+/// closes the egress queue and releases the writer thread.
+struct NullTap;
+
+impl NetTap for NullTap {
+    fn on_deliver(&self, _from: &str, _to: &str, _payload: &[u8]) {}
+}
+
+/// Hosts the named node: rebuilds the session replica from `config`,
+/// connects to the hub at `addr`, proves the node's identity, then runs
+/// the stock actor loop until shutdown. Blocks for the whole session.
+///
+/// # Errors
+///
+/// Structured [`SocketError`]s: replica build failures, handshake or
+/// auth rejection, and any link-level violation observed while the
+/// actor ran.
+pub fn run_node(
+    addr: SocketAddr,
+    name: &str,
+    config: DetaConfig,
+    model_builder: &dyn Fn(&mut DetRng) -> Sequential,
+    party_data: Vec<LabeledData>,
+    tick: Duration,
+) -> Result<(), SocketError> {
+    let seed = config.seed;
+    let parts =
+        SessionParts::build(config, model_builder, party_data).map_err(|e| SocketError::Build {
+            detail: e.to_string(),
+        })?;
+    let SessionParts {
+        network,
+        parties,
+        aggregators,
+        tokens,
+        ..
+    } = parts;
+    let mut own = None;
+    for p in parties {
+        if p.name == name {
+            own = Some(OwnNode::Party(Box::new(p)));
+        }
+    }
+    for a in aggregators {
+        if a.name == name {
+            own = Some(OwnNode::Agg(Box::new(a)));
+        }
+    }
+    let Some(own) = own else {
+        return Err(SocketError::Build {
+            detail: format!("no node named {name} in the session"),
+        });
+    };
+    // The supervisor lives on the hub; register a proxy so local sends
+    // to it pass the destination check (the policy routes them out).
+    let _supervisor_proxy = network.register(SUPERVISOR);
+
+    // Link up before the actor starts: handshake, then prove the node's
+    // identity against the hub's challenge.
+    let mut rng = DetRng::from_u64(seed)
+        .fork(b"deta-socket/child")
+        .fork(name.as_bytes());
+    let hub_key = hub_verifying_key(seed);
+    let mut link = SecureLink::connect(addr, name, &hub_key, &mut rng)?;
+    let deadline = Some(Instant::now() + AUTH_DEADLINE);
+    match link.recv(deadline, None)? {
+        Some(SocketFrame::Challenge { nonce }) => {
+            let msg = auth_transcript(&nonce, name);
+            let sig = match &own {
+                OwnNode::Agg(a) => a.sign_with_token(&msg),
+                OwnNode::Party(_) => party_link_key(seed, name).sign(&msg),
+            };
+            link.send(&SocketFrame::AuthProof {
+                name: name.to_string(),
+                sig: sig.to_bytes(),
+            })?;
+        }
+        _ => {
+            return Err(SocketError::Auth {
+                peer: name.to_string(),
+                detail: "hub did not issue a challenge",
+            })
+        }
+    }
+    match link.recv(deadline, None)? {
+        Some(SocketFrame::Welcome) => {}
+        _ => {
+            return Err(SocketError::Auth {
+                peer: name.to_string(),
+                detail: "hub did not accept the auth proof",
+            })
+        }
+    }
+    let (sender, receiver) = link.split()?;
+
+    // Bridge threads: writer (egress queue -> socket) and reader
+    // (socket -> local injection).
+    let (egress_tx, egress_rx) = channel::<(String, String, Vec<u8>)>();
+    network.set_fault_policy(Arc::new(LocalOnlyPolicy {
+        own: name.to_string(),
+    }));
+    network.set_tap(Arc::new(EgressTap {
+        own: name.to_string(),
+        egress: Mutex::new(egress_tx),
+    }));
+    let writer = std::thread::spawn(move || write_loop(sender, egress_rx));
+    let reader_stop = Arc::new(AtomicBool::new(false));
+    let reader_error: Arc<Mutex<Option<SocketError>>> = Arc::new(Mutex::new(None));
+    let reader = {
+        let network = network.clone();
+        let stop = Arc::clone(&reader_stop);
+        let slot = Arc::clone(&reader_error);
+        let own_name = name.to_string();
+        std::thread::spawn(move || read_loop(receiver, network, own_name, stop, slot))
+    };
+
+    // The actor runs on this thread, exactly as it would under the
+    // in-process supervisor.
+    let recorder = FlightRecorder::new(name, 256);
+    let ctx = ActorContext {
+        stop: Arc::new(AtomicBool::new(false)),
+        halt: Arc::new(AtomicBool::new(false)),
+        tick,
+    };
+    match own {
+        OwnNode::Party(p) => {
+            run_party(*p, tokens, ctx, recorder);
+        }
+        OwnNode::Agg(a) => {
+            run_aggregator(*a, None, ctx, recorder);
+        }
+    }
+
+    // Teardown: dropping the tap closes the egress queue; the writer
+    // drains it, signs off with Bye, and exits.
+    network.set_tap(Arc::new(NullTap));
+    let _ = writer.join();
+    reader_stop.store(true, Ordering::Relaxed);
+    let _ = reader.join();
+    let first = reader_error
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    match first {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Egress: drains the tap's queue onto the socket in order, then `Bye`.
+fn write_loop(mut sender: LinkSender, rx: Receiver<(String, String, Vec<u8>)>) {
+    let mut seqs = SeqTracker::new();
+    while let Ok((src, dst, payload)) = rx.recv() {
+        let seq = seqs.next(&src, &dst);
+        let frame = SocketFrame::Data {
+            src,
+            dst,
+            seq,
+            payload,
+        };
+        if sender.send(&frame).is_err() {
+            return;
+        }
+    }
+    let _ = sender.send(&SocketFrame::Bye);
+}
+
+/// Ingress: injects hub frames into the local replica and mirrors
+/// remote closures.
+fn read_loop(
+    mut receiver: LinkReceiver,
+    network: Network,
+    own: String,
+    stop: Arc<AtomicBool>,
+    slot: Arc<Mutex<Option<SocketError>>>,
+) {
+    let mut window = ReplayWindow::new();
+    let record = |e: SocketError| {
+        let mut s = slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if s.is_none() {
+            *s = Some(e);
+        }
+    };
+    loop {
+        match receiver.recv(None, Some(&stop)) {
+            Ok(Some(SocketFrame::Data {
+                src,
+                dst,
+                seq,
+                payload,
+            })) => {
+                if let Err(v) = window.accept(&src, &dst, seq) {
+                    record(SocketError::Replay {
+                        link: format!("{src}->{dst}"),
+                        seq: v.seq,
+                        expected: v.expected,
+                    });
+                    network.close(&own);
+                    return;
+                }
+                // Delivery failures mirror in-process semantics: a
+                // closed local mailbox means the actor is done.
+                let _ = network.send_as(&src, &dst, payload);
+            }
+            Ok(Some(SocketFrame::Close { name })) => {
+                network.close(&name);
+            }
+            Ok(Some(SocketFrame::Bye)) | Ok(None) => {
+                // Hub gone (orderly or not): nothing further can arrive,
+                // so the hosted node's mailbox is effectively closed.
+                network.close(&own);
+                return;
+            }
+            Ok(Some(_)) => {
+                record(SocketError::Malformed {
+                    link: receiver.label().to_string(),
+                });
+                network.close(&own);
+                return;
+            }
+            Err(e) => {
+                record(e);
+                network.close(&own);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Inner wire protocol: the frames carried inside the secure channel,
+//! plus the per-link sequencing that makes replay and reorder
+//! detectable above the record layer.
+//!
+//! The secure channel already binds each record to a send counter (the
+//! nonce), so a byte-identical replay fails decryption. The explicit
+//! `seq` on [`SocketFrame::Data`] defends one layer up: an
+//! authenticated peer re-sending a *re-sealed* copy of an old logical
+//! frame, or delivering frames out of order, is caught by the strict
+//! per-link window and rejected with an error naming the link.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One logical message between bridge endpoints. `Data` carries
+/// simulator traffic; the rest are bridge control frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketFrame {
+    /// A relayed network message: `src`'s payload for `dst`, the
+    /// `seq`-th frame on the (src, dst) link.
+    Data {
+        /// Originating endpoint name.
+        src: String,
+        /// Destination endpoint name.
+        dst: String,
+        /// Strictly increasing per-(src, dst) counter, from 0.
+        seq: u64,
+        /// The simulator payload, verbatim.
+        payload: Vec<u8>,
+    },
+    /// The named endpoint's mailbox closed; the receiver must propagate
+    /// the closure to its local network replica.
+    Close {
+        /// Endpoint whose mailbox closed.
+        name: String,
+    },
+    /// Hub → peer: prove control of your node's key by signing this.
+    Challenge {
+        /// Fresh challenge bytes.
+        nonce: [u8; 32],
+    },
+    /// Peer → hub: `sig` over the auth transcript, claiming `name`.
+    AuthProof {
+        /// The node name the peer claims to host.
+        name: String,
+        /// Signature bytes (64), verified against the node's key.
+        sig: Vec<u8>,
+    },
+    /// Hub → peer: authentication accepted, the link is live.
+    Welcome,
+    /// Orderly end of stream; the sender will write nothing further.
+    Bye,
+}
+
+/// Domain separator for auth-proof signatures, so a signature produced
+/// here can never be confused with a protocol-layer signature.
+pub const AUTH_DOMAIN: &[u8] = b"deta-socket-auth-v1";
+
+/// The message an [`SocketFrame::AuthProof`] signature covers.
+pub fn auth_transcript(nonce: &[u8; 32], name: &str) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(AUTH_DOMAIN.len() + 32 + name.len());
+    msg.extend_from_slice(AUTH_DOMAIN);
+    msg.extend_from_slice(nonce);
+    msg.extend_from_slice(name.as_bytes());
+    msg
+}
+
+const TAG_DATA: u8 = 1;
+const TAG_CLOSE: u8 = 2;
+const TAG_CHALLENGE: u8 = 3;
+const TAG_AUTH_PROOF: u8 = 4;
+const TAG_WELCOME: u8 = 5;
+const TAG_BYE: u8 = 6;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    // Endpoint names are short; anything longer is clamped rather than
+    // silently truncated by a narrowing cast.
+    let len = u16::try_from(s.len()).unwrap_or(u16::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..usize::from(len)]);
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    // Payloads above 4 GiB cannot exist (MAX_FRAME is far smaller); the
+    // clamp keeps the encoder total instead of panicking.
+    let len = u32::try_from(b.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&b[..len as usize]);
+}
+
+/// Bounds-checked sequential reader over an untrusted buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        let b = self.take(2)?;
+        Some(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Some(u64::from_le_bytes(a))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        self.take(len).map(<[u8]>::to_vec)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl SocketFrame {
+    /// Serializes the frame (the secure channel seals the result).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            SocketFrame::Data {
+                src,
+                dst,
+                seq,
+                payload,
+            } => {
+                out.push(TAG_DATA);
+                put_str(&mut out, src);
+                put_str(&mut out, dst);
+                out.extend_from_slice(&seq.to_le_bytes());
+                put_bytes(&mut out, payload);
+            }
+            SocketFrame::Close { name } => {
+                out.push(TAG_CLOSE);
+                put_str(&mut out, name);
+            }
+            SocketFrame::Challenge { nonce } => {
+                out.push(TAG_CHALLENGE);
+                out.extend_from_slice(nonce);
+            }
+            SocketFrame::AuthProof { name, sig } => {
+                out.push(TAG_AUTH_PROOF);
+                put_str(&mut out, name);
+                put_bytes(&mut out, sig);
+            }
+            SocketFrame::Welcome => out.push(TAG_WELCOME),
+            SocketFrame::Bye => out.push(TAG_BYE),
+        }
+        out
+    }
+
+    /// Parses a frame; `None` on any malformed input (truncated,
+    /// trailing bytes, unknown tag, invalid UTF-8). Total — never
+    /// panics.
+    pub fn decode(buf: &[u8]) -> Option<SocketFrame> {
+        let mut r = Reader { buf, pos: 0 };
+        let frame = match r.u8()? {
+            TAG_DATA => SocketFrame::Data {
+                src: r.str()?,
+                dst: r.str()?,
+                seq: r.u64()?,
+                payload: r.bytes()?,
+            },
+            TAG_CLOSE => SocketFrame::Close { name: r.str()? },
+            TAG_CHALLENGE => {
+                let b = r.take(32)?;
+                let mut nonce = [0u8; 32];
+                nonce.copy_from_slice(b);
+                SocketFrame::Challenge { nonce }
+            }
+            TAG_AUTH_PROOF => SocketFrame::AuthProof {
+                name: r.str()?,
+                sig: r.bytes()?,
+            },
+            TAG_WELCOME => SocketFrame::Welcome,
+            TAG_BYE => SocketFrame::Bye,
+            _ => return None,
+        };
+        if r.done() {
+            Some(frame)
+        } else {
+            None
+        }
+    }
+}
+
+/// Sender-side per-link counters: the next `seq` to stamp on a
+/// (src, dst) link.
+#[derive(Debug, Default)]
+pub struct SeqTracker {
+    next: BTreeMap<(String, String), u64>,
+}
+
+impl SeqTracker {
+    /// An empty tracker (every link starts at 0).
+    pub fn new() -> SeqTracker {
+        SeqTracker::default()
+    }
+
+    /// Returns the sequence number for the next frame on (src, dst) and
+    /// advances the counter.
+    pub fn next(&mut self, src: &str, dst: &str) -> u64 {
+        let entry = self
+            .next
+            .entry((src.to_string(), dst.to_string()))
+            .or_insert(0);
+        let seq = *entry;
+        *entry += 1;
+        seq
+    }
+}
+
+/// A strict-ordering violation on one link: the frame's `seq` did not
+/// match the expected next value (a replay when low, a reorder or gap
+/// when high).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqViolation {
+    /// The sequence number the offending frame carried.
+    pub seq: u64,
+    /// The sequence number the window required.
+    pub expected: u64,
+}
+
+impl fmt::Display for SeqViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "got seq {} but expected {}", self.seq, self.expected)
+    }
+}
+
+/// Receiver-side replay/reorder window. The policy is strict in-order
+/// delivery per link: TCP already guarantees ordered bytes, so the only
+/// way a link's `seq` can deviate from 0, 1, 2, … is a peer replaying,
+/// reordering, or dropping logical frames above the transport — all of
+/// which must kill the link, not be smoothed over.
+#[derive(Debug, Default)]
+pub struct ReplayWindow {
+    next: BTreeMap<(String, String), u64>,
+}
+
+impl ReplayWindow {
+    /// An empty window (every link expects seq 0 first).
+    pub fn new() -> ReplayWindow {
+        ReplayWindow::default()
+    }
+
+    /// Accepts the frame if `seq` is exactly the next expected value on
+    /// (src, dst), advancing the window.
+    ///
+    /// # Errors
+    ///
+    /// [`SeqViolation`] with the expected value on any deviation; the
+    /// window does not advance.
+    pub fn accept(&mut self, src: &str, dst: &str, seq: u64) -> Result<(), SeqViolation> {
+        let entry = self
+            .next
+            .entry((src.to_string(), dst.to_string()))
+            .or_insert(0);
+        if seq != *entry {
+            return Err(SeqViolation {
+                seq,
+                expected: *entry,
+            });
+        }
+        *entry += 1;
+        Ok(())
+    }
+}

@@ -375,6 +375,33 @@ impl Network {
         lock(&self.state).tap = Some(tap);
     }
 
+    /// Sends `payload` to `to` attributed to the sender name `from`,
+    /// without holding an [`Endpoint`] for `from`.
+    ///
+    /// This is the bridge seam for alternative transport backends: a
+    /// process that receives a frame over an external medium (e.g. a TCP
+    /// socket) re-emits it here so the [`FaultPolicy`], the [`NetTap`],
+    /// the per-link byte counters, and the close semantics all observe
+    /// the frame exactly as if `from` had sent it in-process. The
+    /// attributed sender does not need to be a registered endpoint
+    /// (interned names are reused when it is); the destination rules are
+    /// identical to [`Endpoint::send`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownEndpoint`] / [`NetError::Closed`] exactly as
+    /// for [`Endpoint::send`].
+    pub fn send_as(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
+        let from: Arc<str> = {
+            let st = lock(&self.state);
+            match st.queues.get_key_value(from) {
+                Some((name, _)) => Arc::clone(name),
+                None => Arc::from(from),
+            }
+        };
+        self.send(&from, to, payload)
+    }
+
     /// Delivers `payload` into `to`'s mailbox (stats + tap), then releases
     /// any held messages whose same-link delivery countdown reaches zero.
     /// Releases are themselves deliveries, so chained holds drain in FIFO
@@ -1030,6 +1057,55 @@ mod tests {
         let d = lock(&tap.delivered);
         assert_eq!(d[0].0, "a");
         assert_eq!(d[0].1, "b");
+    }
+
+    #[test]
+    fn send_as_attributes_sender_and_bills_link() {
+        let net = Network::new(LinkModel::lan());
+        let b = net.register("b");
+        // "remote" is not a registered endpoint — a bridged sender.
+        net.send_as("remote", "b", b"x".to_vec()).unwrap();
+        let m = b.recv().unwrap();
+        assert_eq!(&*m.from, "remote");
+        // Registered senders reuse the interned name.
+        let a = net.register("a");
+        net.send_as("a", "b", vec![0u8; 4]).unwrap();
+        let m = b.recv().unwrap();
+        let direct = {
+            a.send("b", &b"y"[..]).unwrap();
+            b.recv().unwrap()
+        };
+        assert!(Arc::ptr_eq(&m.from, &direct.from));
+        assert_eq!(
+            net.link_bytes().get(&("a".to_string(), "b".to_string())),
+            Some(&5)
+        );
+    }
+
+    #[test]
+    fn send_as_observed_by_policy_and_tap() {
+        let (net, tap) = fault_net(vec![SendVerdict::Drop]);
+        let _b = net.register("b");
+        net.send_as("remote", "b", b"lost".to_vec()).unwrap();
+        net.send_as("remote", "b", b"kept".to_vec()).unwrap();
+        assert_eq!(lock(&tap.dropped).len(), 1);
+        assert_eq!(lock(&tap.delivered).len(), 1);
+        assert_eq!(lock(&tap.delivered)[0].0, "remote");
+    }
+
+    #[test]
+    fn send_as_honors_close_and_unknown() {
+        let net = Network::new(LinkModel::lan());
+        let _b = net.register("b");
+        net.close("b");
+        assert_eq!(
+            net.send_as("remote", "b", b"x".to_vec()),
+            Err(NetError::Closed("b".to_string()))
+        );
+        assert_eq!(
+            net.send_as("remote", "ghost", b"x".to_vec()),
+            Err(NetError::UnknownEndpoint("ghost".to_string()))
+        );
     }
 
     #[test]

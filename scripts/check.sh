@@ -26,6 +26,39 @@ echo "==> recovery latency (4 parties x 4 aggregators, gate: <3% checkpoint over
 # heals under FailoverPolicy::Restart and reports the healing latency.
 cargo run --release -q -p deta-bench --bin recovery_latency
 
+echo "==> socket throughput (in-process vs TCP loopback at k=1/2/4, parity-gated)"
+# Writes results/BENCH_socket.json; every TCP sample is asserted
+# bit-identical to its in-process twin before timing is reported.
+cargo run --release -q -p deta-bench --bin socket_throughput
+
+echo "==> multi-process parity smoke (real OS processes over TCP loopback)"
+# One process per node via `deta-cli cluster`, fixed seed, round lines
+# diffed byte-for-byte against the same run in-process. The hard
+# timeout turns any wedged child/coordinator into a loud failure.
+# The root `cargo build` covers only the root package, so the CLI
+# binary needs its own build before we can exec it under `timeout`.
+cargo build --release -q -p deta-cli
+SMOKE_CFG="$(mktemp /tmp/deta-smoke-XXXXXX.cfg)"
+cat > "$SMOKE_CFG" <<'CFG'
+dataset            = mnist
+resolution         = 8
+model              = mlp
+parties            = 3
+aggregators        = 2
+rounds             = 2
+algorithm          = avg
+seed               = 42
+examples_per_party = 40
+CFG
+timeout 300 ./target/release/deta-cli cluster "$SMOKE_CFG" --inprocess > /tmp/deta-smoke-local.txt
+timeout 300 ./target/release/deta-cli cluster "$SMOKE_CFG"             > /tmp/deta-smoke-remote.txt
+rm -f "$SMOKE_CFG"
+if ! diff /tmp/deta-smoke-local.txt /tmp/deta-smoke-remote.txt; then
+  echo "FAIL: multi-process round metrics diverged from in-process" >&2
+  exit 1
+fi
+echo "    parity ok: $(grep -c '^round ' /tmp/deta-smoke-local.txt) rounds bit-identical"
+
 echo "==> deta-lint self-check (fixture coverage per rule, allowlist cap)"
 # Fails when any registered rule has fewer than two fixture references
 # or the allowlist exceeds MAX_ALLOW_ENTRIES.

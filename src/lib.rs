@@ -22,6 +22,7 @@ pub use deta_nn as nn;
 pub use deta_paillier as paillier;
 pub use deta_runtime as runtime;
 pub use deta_sev_sim as sev_sim;
+pub use deta_socket as socket;
 pub use deta_telemetry as telemetry;
 pub use deta_tensor as tensor;
 pub use deta_transport as transport;

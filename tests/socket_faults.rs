@@ -1,0 +1,301 @@
+//! Adversarial and fault-path behaviour of the TCP bridge, tested
+//! against a bare [`SocketHub`] with a hand-rolled client built from the
+//! public wire primitives — the client can misbehave in ways
+//! [`deta_socket::run_node`] never would.
+//!
+//! Covered here:
+//! * a replayed data frame is rejected with a structured error naming
+//!   the offending link;
+//! * a reordered (future-sequence) frame is rejected and not delivered;
+//! * a peer disconnecting mid-session surfaces as the same
+//!   distinguishable [`NetError::Closed`] the simulator returns;
+//! * a peer with the wrong key never gets past the auth challenge;
+//! * the `FaultPolicy` seam applies to socket-borne frames unchanged.
+
+use deta::crypto::{DetRng, SigningKey};
+use deta::socket::wire::auth_transcript;
+use deta::socket::{
+    encode_frame, hub_verifying_key, party_link_key, FrameDecoder, HubSeat, SocketError,
+    SocketFrame, SocketHub,
+};
+use deta::transport::secure::{HandshakeInitiator, SecureChannel};
+use deta::transport::{
+    Endpoint, FaultPolicy, LinkModel, NetError, Network, RecvError, SendVerdict,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 4242;
+
+/// Hub with one connectable seat (`party-0`) and one plain hub-network
+/// endpoint (`agg-0`) the test keeps for delivery assertions.
+fn start_hub() -> (SocketHub, Network, Endpoint, SigningKey) {
+    let network = Network::new(LinkModel::lan());
+    let agg = network.register("agg-0");
+    let key = party_link_key(SEED, "party-0");
+    let seats = vec![HubSeat {
+        name: "party-0".to_string(),
+        key: key.verifying_key(),
+        endpoint: network.register("party-0"),
+    }];
+    let hub = SocketHub::bind(network.clone(), seats, SEED).expect("hub bind");
+    (hub, network, agg, key)
+}
+
+/// A minimal client speaking the bridge protocol, free to violate the
+/// sequence discipline `run_node` enforces.
+struct Rogue {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    channel: SecureChannel,
+}
+
+impl Rogue {
+    /// Handshakes and authenticates as `name` using `key`. Returns
+    /// `None` when the hub refuses the auth proof.
+    fn connect(addr: SocketAddr, name: &str, key: &SigningKey) -> Option<Rogue> {
+        let mut rng = DetRng::from_u64(0xDEFEC8)
+            .fork(b"rogue-client")
+            .fork(name.as_bytes());
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .expect("read timeout");
+        let mut decoder = FrameDecoder::new();
+        let init = HandshakeInitiator::new(&mut rng);
+        let mut s = stream.try_clone().expect("clone stream");
+        s.write_all(&encode_frame(init.hello())).expect("hello");
+        let response = read_raw(&mut s, &mut decoder).expect("handshake response");
+        let channel = init
+            .complete(&response, &hub_verifying_key(SEED))
+            .expect("handshake");
+        let mut rogue = Rogue {
+            stream,
+            decoder,
+            channel,
+        };
+        let Some(SocketFrame::Challenge { nonce }) = rogue.recv() else {
+            panic!("hub must open with a challenge");
+        };
+        let sig = key.sign(&auth_transcript(&nonce, name));
+        rogue.send(&SocketFrame::AuthProof {
+            name: name.to_string(),
+            sig: sig.to_bytes(),
+        });
+        match rogue.recv() {
+            Some(SocketFrame::Welcome) => Some(rogue),
+            _ => None,
+        }
+    }
+
+    fn send(&mut self, frame: &SocketFrame) {
+        let record = self.channel.seal_msg(&frame.encode());
+        self.stream
+            .write_all(&encode_frame(&record))
+            .expect("rogue send");
+    }
+
+    /// Sends a data frame sealed as a *fresh* record but carrying an
+    /// arbitrary logical sequence number — a byte-level-valid replay.
+    fn send_data(&mut self, dst: &str, seq: u64, payload: &[u8]) {
+        self.send(&SocketFrame::Data {
+            src: "party-0".to_string(),
+            dst: dst.to_string(),
+            seq,
+            payload: payload.to_vec(),
+        });
+    }
+
+    /// Next frame from the hub, or `None` on EOF.
+    fn recv(&mut self) -> Option<SocketFrame> {
+        let record = read_raw(&mut self.stream, &mut self.decoder)?;
+        let plain = self.channel.open_msg(&record).expect("open record");
+        Some(SocketFrame::decode(&plain).expect("decode frame"))
+    }
+}
+
+/// Blocks (short-poll) until one complete frame or EOF.
+fn read_raw(stream: &mut TcpStream, decoder: &mut FrameDecoder) -> Option<Vec<u8>> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = decoder.try_next().expect("well-formed stream") {
+            return Some(frame);
+        }
+        assert!(Instant::now() < deadline, "hub went silent");
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => decoder.push(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::ConnectionReset => return None,
+            Err(e) => panic!("rogue read failed: {e}"),
+        }
+    }
+}
+
+/// Polls until the hub records its first structured error.
+fn wait_error(hub: &SocketHub) -> SocketError {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Some(e) = hub.first_error() {
+            return e;
+        }
+        assert!(Instant::now() < deadline, "hub recorded no error");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn replayed_frame_rejected_with_link_name() {
+    let (hub, _network, agg, key) = start_hub();
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &key).expect("auth");
+    rogue.send_data("agg-0", 0, b"upload");
+    let msg = agg
+        .recv_timeout(Duration::from_secs(2))
+        .expect("first frame delivered");
+    assert_eq!(&*msg.from, "party-0");
+    assert_eq!(msg.payload, b"upload");
+
+    // Same logical frame again, sealed as a fresh record: the secure
+    // channel accepts the bytes, the replay window must not.
+    rogue.send_data("agg-0", 0, b"upload");
+    match wait_error(&hub) {
+        SocketError::Replay {
+            link,
+            seq,
+            expected,
+        } => {
+            assert_eq!(link, "party-0->agg-0", "error must name the offending link");
+            assert_eq!(seq, 0);
+            assert_eq!(expected, 1);
+        }
+        other => panic!("expected a replay rejection, got: {other}"),
+    }
+    assert!(
+        matches!(
+            agg.recv_timeout(Duration::from_millis(200)),
+            Err(RecvError::Timeout)
+        ),
+        "the replayed frame must not be delivered"
+    );
+    hub.join();
+}
+
+#[test]
+fn reordered_frame_rejected_and_undelivered() {
+    let (hub, _network, agg, key) = start_hub();
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &key).expect("auth");
+    // First frame on the link claims sequence 5: a reorder (or a
+    // truncation attack hiding frames 0..5).
+    rogue.send_data("agg-0", 5, b"late");
+    match wait_error(&hub) {
+        SocketError::Replay {
+            link,
+            seq,
+            expected,
+        } => {
+            assert_eq!(link, "party-0->agg-0");
+            assert_eq!(seq, 5);
+            assert_eq!(expected, 0);
+        }
+        other => panic!("expected a sequence rejection, got: {other}"),
+    }
+    assert!(
+        matches!(
+            agg.recv_timeout(Duration::from_millis(200)),
+            Err(RecvError::Timeout)
+        ),
+        "an out-of-order frame must not be delivered"
+    );
+    hub.join();
+}
+
+/// Satellite regression: a TCP peer vanishing surfaces exactly like the
+/// simulator's closed endpoint — senders get `NetError::Closed`, not a
+/// hang or an unknown-endpoint error.
+#[test]
+fn peer_disconnect_surfaces_as_closed() {
+    let (hub, network, _agg, key) = start_hub();
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &key).expect("auth");
+    rogue.send_data("agg-0", 0, b"alive");
+    // Hard disconnect: drop the socket with no Bye.
+    drop(rogue);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !network.is_closed("party-0") {
+        assert!(
+            Instant::now() < deadline,
+            "disconnect must close the node's hub mailbox"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        matches!(
+            network.send_as("agg-0", "party-0", b"hello?".to_vec()),
+            Err(NetError::Closed(_))
+        ),
+        "sends to a disconnected peer must observe Closed, as in the simulator"
+    );
+    match wait_error(&hub) {
+        SocketError::Disconnected { peer } => assert_eq!(peer, "party-0"),
+        other => panic!("expected a disconnect report, got: {other}"),
+    }
+    hub.join();
+}
+
+#[test]
+fn wrong_key_never_authenticates() {
+    let (hub, network, _agg, _key) = start_hub();
+    let mut wrong_rng = DetRng::from_u64(1).fork(b"imposter");
+    let wrong_key = SigningKey::generate(&mut wrong_rng);
+    assert!(
+        Rogue::connect(hub.addr(), "party-0", &wrong_key).is_none(),
+        "a signature under the wrong key must not be welcomed"
+    );
+    match wait_error(&hub) {
+        SocketError::Auth { peer, .. } => assert_eq!(peer, "party-0"),
+        other => panic!("expected an auth rejection, got: {other}"),
+    }
+    assert!(
+        !network.is_closed("party-0"),
+        "a failed imposter must not close the real node's mailbox"
+    );
+    hub.join();
+}
+
+struct DropUploads;
+
+impl FaultPolicy for DropUploads {
+    fn on_send(&self, from: &str, to: &str, _payload: &[u8]) -> SendVerdict {
+        if from == "party-0" && to == "agg-0" {
+            SendVerdict::Drop
+        } else {
+            SendVerdict::Deliver
+        }
+    }
+}
+
+/// Fault-seam genericization: a policy installed on the hub network
+/// applies to frames that arrived over TCP exactly as to in-process
+/// sends — the socket layer injects through the same chokepoint.
+#[test]
+fn fault_policy_applies_to_socket_frames() {
+    let (hub, network, agg, key) = start_hub();
+    network.set_fault_policy(Arc::new(DropUploads));
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &key).expect("auth");
+    rogue.send_data("agg-0", 0, b"dropped");
+    assert!(
+        matches!(
+            agg.recv_timeout(Duration::from_millis(300)),
+            Err(RecvError::Timeout)
+        ),
+        "a Drop verdict must swallow a socket-borne frame"
+    );
+    assert!(
+        hub.first_error().is_none(),
+        "a policy drop is not a protocol error"
+    );
+    drop(rogue);
+    hub.join();
+}
