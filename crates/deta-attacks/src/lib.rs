@@ -25,6 +25,11 @@
 //! resolutions and iteration counts are scaled to CPU budgets (see
 //! `DESIGN.md`); neither changes who wins — only how long runs take.
 //! [`batch`] extends DLG to mini-batch mean gradients.
+//!
+//! [`poison`] adds the *active* adversary: untargeted model-poisoning
+//! generators (sign-flip, scaled update, collusion) that the
+//! adversarial drill suite mounts against live sessions to check the
+//! robust aggregation rules reject them (DESIGN.md §14).
 
 pub mod analytic;
 pub mod batch;
@@ -35,6 +40,8 @@ pub mod idlg;
 pub mod ig;
 pub mod metrics;
 pub mod optim;
+pub mod poison;
 
 pub use harness::{AttackView, BreachedView};
 pub use metrics::{cosine_distance, mse};
+pub use poison::PoisonKind;

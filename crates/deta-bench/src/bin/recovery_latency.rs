@@ -2,9 +2,10 @@
 //! fault-free threaded deployment, plus the latency of healing one
 //! mid-session aggregator failure under `FailoverPolicy::Restart`, at
 //! the 4-party / 4-aggregator configuration. Emits
-//! `results/BENCH_recovery.json` and exits non-zero when the fault-free
-//! checkpointing overhead exceeds 3% (or the faulted run fails to heal
-//! every round).
+//! `BENCH_recovery.json` (to a temp directory; into the committed
+//! `results/` tree only under `DETA_BENCH_REWRITE=1`) and exits
+//! non-zero when the fault-free checkpointing overhead exceeds 3% (or
+//! the faulted run fails to heal every round).
 //!
 //! ```text
 //! cargo run --release -p deta-bench --bin recovery_latency
@@ -25,7 +26,7 @@
 //! node, so an honest number needs a deadline proportioned to the
 //! machine actually running the bench.
 
-use deta_bench::{results_dir, Args};
+use deta_bench::{bench_output_dir, Args};
 use deta_core::DetaConfig;
 use deta_datasets::{iid_partition, DatasetSpec};
 use deta_nn::models::mlp;
@@ -158,7 +159,7 @@ fn main() {
     let _ = writeln!(json, "  \"gate_checkpoint_pct\": {gate_ckpt_pct},");
     let _ = writeln!(json, "  \"pass\": {pass}");
     let _ = writeln!(json, "}}");
-    let path = results_dir().join("BENCH_recovery.json");
+    let path = bench_output_dir().join("BENCH_recovery.json");
     std::fs::write(&path, json).expect("write BENCH_recovery.json");
     println!("[json] {}", path.display());
 

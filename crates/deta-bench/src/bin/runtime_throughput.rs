@@ -1,6 +1,7 @@
 //! Runtime throughput: rounds/sec of the threaded actor deployment
 //! (`deta-runtime`) vs. the sequential `DetaSession`, at 1, 2, and 4
-//! aggregators. Emits `results/BENCH_runtime.json`.
+//! aggregators. Emits `BENCH_runtime.json` (to a temp directory; into
+//! the committed `results/` tree only under `DETA_BENCH_REWRITE=1`).
 //!
 //! The threaded deployment pays for thread handoffs and control-plane
 //! messaging but overlaps party training across cores; the sequential
@@ -11,7 +12,7 @@
 //! cargo run --release -p deta-bench --bin runtime_throughput
 //! ```
 
-use deta_bench::{results_dir, Args};
+use deta_bench::{bench_output_dir, Args};
 use deta_core::{DetaConfig, DetaSession};
 use deta_datasets::{iid_partition, DatasetSpec};
 use deta_nn::models::mlp;
@@ -116,7 +117,7 @@ fn main() {
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
-    let path = results_dir().join("BENCH_runtime.json");
+    let path = bench_output_dir().join("BENCH_runtime.json");
     std::fs::write(&path, json).expect("write BENCH_runtime.json");
     println!("[json] {}", path.display());
 }

@@ -1,7 +1,8 @@
 //! Socket-bridge throughput: rounds/sec of the in-process threaded
 //! deployment vs. the same session bridged over real TCP loopback
-//! sockets, at 1, 2, and 4 aggregators. Emits
-//! `results/BENCH_socket.json`.
+//! sockets, at 1, 2, and 4 aggregators. Emits `BENCH_socket.json` (to
+//! a temp directory; into the committed `results/` tree only under
+//! `DETA_BENCH_REWRITE=1`).
 //!
 //! Children are hosted on threads of this process, each speaking the
 //! full bridge protocol over a real socket (framing, sealed records,
@@ -15,7 +16,7 @@
 //! cargo run --release -p deta-bench --bin socket_throughput
 //! ```
 
-use deta_bench::{results_dir, Args};
+use deta_bench::{bench_output_dir, Args};
 use deta_core::{DetaConfig, RoundMetrics};
 use deta_datasets::{iid_partition, DatasetSpec};
 use deta_nn::models::mlp;
@@ -206,7 +207,7 @@ fn main() {
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
-    let path = results_dir().join("BENCH_socket.json");
+    let path = bench_output_dir().join("BENCH_socket.json");
     std::fs::write(&path, json).expect("write BENCH_socket.json");
     println!("\nwrote {}", path.display());
 }

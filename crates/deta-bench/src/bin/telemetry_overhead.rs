@@ -1,8 +1,10 @@
 //! Telemetry overhead gate: wall-clock cost of the `deta-telemetry`
 //! sink on the threaded deployment, disabled and enabled, at the
 //! 4-party / 4-aggregator configuration. Emits
-//! `results/BENCH_telemetry.json` and exits non-zero when the enabled
-//! overhead exceeds 5% (or the disabled bound exceeds 1%).
+//! `BENCH_telemetry.json` (to a temp directory; into the committed
+//! `results/` tree only under `DETA_BENCH_REWRITE=1`) and exits
+//! non-zero when the enabled overhead exceeds 5% (or the disabled
+//! bound exceeds 1%).
 //!
 //! ```text
 //! cargo run --release -p deta-bench --bin telemetry_overhead
@@ -22,7 +24,7 @@
 //! baseline wall time. That bound is what the <1% acceptance gate
 //! checks.
 
-use deta_bench::{results_dir, Args};
+use deta_bench::{bench_output_dir, Args};
 use deta_core::DetaConfig;
 use deta_datasets::{iid_partition, DatasetSpec};
 use deta_nn::models::mlp;
@@ -152,7 +154,7 @@ fn main() {
     let _ = writeln!(json, "  \"gate_disabled_pct\": {gate_disabled_pct},");
     let _ = writeln!(json, "  \"pass\": {pass}");
     let _ = writeln!(json, "}}");
-    let path = results_dir().join("BENCH_telemetry.json");
+    let path = bench_output_dir().join("BENCH_telemetry.json");
     std::fs::write(&path, json).expect("write BENCH_telemetry.json");
     println!("[json] {}", path.display());
 

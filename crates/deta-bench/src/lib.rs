@@ -64,6 +64,20 @@ pub fn results_dir() -> PathBuf {
     dir.to_path_buf()
 }
 
+/// Returns (and creates) the directory benchmark JSON artifacts go to:
+/// a per-process temp directory by default, so a gate run (`check.sh`)
+/// leaves `git status` clean, and the committed `results/` tree only
+/// when `DETA_BENCH_REWRITE=1` explicitly asks for a rewrite.
+pub fn bench_output_dir() -> PathBuf {
+    let rewrite = std::env::var_os("DETA_BENCH_REWRITE").is_some_and(|v| v == "1");
+    if rewrite {
+        return results_dir();
+    }
+    let dir = std::env::temp_dir().join(format!("deta-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench output dir");
+    dir
+}
+
 /// Writes rows as CSV under `results/`.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let path = results_dir().join(name);

@@ -265,6 +265,21 @@ impl Config {
         self.parse_as("examples_per_party", 200)
     }
 
+    /// Supervisor round deadline in seconds for `cluster` runs
+    /// (`round_deadline_s`). Fault drills shorten it so a killed node
+    /// process turns into a structured timeout quickly; zero and
+    /// negative values are rejected.
+    pub fn round_deadline_s(&self) -> Result<f64, ConfigError> {
+        let s: f64 = self.parse_as("round_deadline_s", 60.0)?;
+        if s <= 0.0 || !s.is_finite() {
+            return Err(ConfigError::BadValue {
+                key: "round_deadline_s".to_string(),
+                value: s.to_string(),
+            });
+        }
+        Ok(s)
+    }
+
     /// Whether to use the non-IID 90-10 split (`noniid`).
     pub fn noniid(&self) -> Result<bool, ConfigError> {
         self.parse_bool("noniid", false)
@@ -400,6 +415,19 @@ mod tests {
         assert_eq!(ldp.epsilon, 8.0);
         assert_eq!(ldp.clip_norm, 2.5);
         assert_eq!(sc.participation, Some(3));
+    }
+
+    #[test]
+    fn round_deadline_defaults_and_rejects_nonpositive() {
+        let cfg = Config::parse("").unwrap();
+        assert_eq!(cfg.round_deadline_s().unwrap(), 60.0);
+        let cfg = Config::parse("round_deadline_s = 2.5").unwrap();
+        assert_eq!(cfg.round_deadline_s().unwrap(), 2.5);
+        let cfg = Config::parse("round_deadline_s = 0").unwrap();
+        assert!(matches!(
+            cfg.round_deadline_s(),
+            Err(ConfigError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -50,6 +50,7 @@ CONFIG KEYS (key = value; # comments):
     noniid       true uses the 90-10 skew split
     examples_per_party                                     (default 200)
     link         lan|wan                                   (default lan)
+    round_deadline_s  cluster round deadline in seconds    (default 60)
 ";
 
 fn main() -> ExitCode {
@@ -185,20 +186,21 @@ fn print_rounds(metrics: &[RoundMetrics]) {
     }
 }
 
-fn cluster_runtime() -> RuntimeConfig {
-    RuntimeConfig {
+fn cluster_runtime(config: &Config) -> Result<RuntimeConfig, deta_cli::ConfigError> {
+    Ok(RuntimeConfig {
         // Respawning an OS process is outside the supervisor's reach,
         // so a cluster run never heals — it fails structurally instead.
         failover: FailoverPolicy::None,
+        round_deadline: Duration::from_secs_f64(config.round_deadline_s()?),
         ..RuntimeConfig::default()
-    }
+    })
 }
 
 fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
     let config = Config::parse(&text)?;
     let prepared = config.prepare()?;
-    let rt = cluster_runtime();
+    let rt = cluster_runtime(&config)?;
     if inprocess {
         let mut session = ThreadedSession::setup(
             prepared.session,
@@ -256,12 +258,16 @@ fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Er
             }
         }
     }
-    if let Some(hub) = hub_slot {
-        if let Some(e) = hub.join() {
-            return Err(Box::new(e));
-        }
+    // Join the hub either way, but let the session outcome win: a dead
+    // node process must surface as the supervisor's structured
+    // RuntimeError (a timeout naming the node), never as the hub's
+    // secondary disconnect fallout.
+    let hub_err = hub_slot.and_then(SocketHub::join);
+    let metrics = outcome?;
+    if let Some(e) = hub_err {
+        return Err(Box::new(e));
     }
-    print_rounds(&outcome?);
+    print_rounds(&metrics);
     Ok(())
 }
 

@@ -1,0 +1,166 @@
+//! Cluster fault drill: SIGKILL one aggregator *process* mid-session
+//! and assert the coordinator fails with the supervisor's structured
+//! timeout naming the dead node — not the socket hub's secondary
+//! disconnect fallout. An in-process twin drives the same session with
+//! the runtime's own stall fault and asserts the identical error shape,
+//! pinning down that process death and thread stall surface as the same
+//! structured `RuntimeError::Timeout`.
+
+use deta_cli::Config;
+use deta_runtime::{
+    FailoverPolicy, Phase, RuntimeConfig, RuntimeError, StallFault, ThreadedSession,
+};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Small fixed-seed session with the supervisor round deadline
+/// shortened so a dead node is detected in seconds. The round count is
+/// deliberately large (~10s of training): the process drill must kill
+/// its victim *mid-session*, after Phase II bootstrap but well before
+/// the final round. Both the drill and the in-process twin run it.
+const CFG: &str = "dataset            = mnist\n\
+                   resolution         = 8\n\
+                   model              = mlp\n\
+                   parties            = 3\n\
+                   aggregators        = 2\n\
+                   rounds             = 60\n\
+                   algorithm          = avg\n\
+                   seed               = 7\n\
+                   examples_per_party = 40\n\
+                   round_deadline_s   = 3\n";
+
+const VICTIM: &str = "agg-1";
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Scans `/proc` for the spawned node process whose cmdline carries
+/// both this run's unique config path and `--name <node>`.
+fn wait_for_node_pid(cfg_path: &str, node: &str, timeout: Duration) -> Option<u32> {
+    let name_needle = format!("--name\0{node}\0");
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        let entries = std::fs::read_dir("/proc").ok()?;
+        for entry in entries.flatten() {
+            let file_name = entry.file_name();
+            let Ok(pid) = file_name.to_string_lossy().parse::<u32>() else {
+                continue;
+            };
+            let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+                continue;
+            };
+            if contains(&cmdline, cfg_path.as_bytes()) && contains(&cmdline, name_needle.as_bytes())
+            {
+                return Some(pid);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    None
+}
+
+#[test]
+fn killed_aggregator_process_yields_structured_timeout() {
+    let dir = std::env::temp_dir().join(format!("deta-cluster-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let cfg_path = dir.join("fault.cfg");
+    std::fs::write(&cfg_path, CFG).expect("write config");
+    let cfg_str = cfg_path.to_str().expect("utf-8 temp path");
+
+    let coordinator = Command::new(env!("CARGO_BIN_EXE_deta-cli"))
+        .args(["cluster", cfg_str])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cluster coordinator");
+    // Watchdog: a wedged coordinator becomes a loud kill, not a hang.
+    let coordinator_pid = coordinator.id();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(120));
+        let _ = Command::new("kill")
+            .args(["-9", &coordinator_pid.to_string()])
+            .status();
+    });
+
+    let victim_pid = wait_for_node_pid(cfg_str, VICTIM, Duration::from_secs(60))
+        .expect("the agg-1 node process never appeared");
+    // Let Phase II bootstrap finish so the kill lands mid-round (the
+    // 60-round session runs ~10s; this lands around round five).
+    std::thread::sleep(Duration::from_millis(1000));
+    let killed = Command::new("kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "SIGKILL of the node process failed");
+
+    let out = coordinator.wait_with_output().expect("reap coordinator");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "coordinator must fail after a node process dies; stderr:\n{stderr}"
+    );
+    // The supervisor's verdict, not the hub's: the structured timeout
+    // names the dead node, and the secondary socket-level disconnect is
+    // never what the user sees.
+    assert!(
+        stderr.contains("timed out"),
+        "stderr must carry the supervisor timeout, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(VICTIM),
+        "stderr must name the killed node, got:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("disconnected without Bye"),
+        "the hub's disconnect fallout must not mask the timeout, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn stalled_aggregator_thread_yields_same_structured_timeout() {
+    let config = Config::parse(CFG).expect("parse config");
+    let prepared = config.prepare().expect("prepare session");
+    let rt = RuntimeConfig {
+        failover: FailoverPolicy::None,
+        round_deadline: Duration::from_secs_f64(config.round_deadline_s().expect("deadline")),
+        tick: Duration::from_millis(10),
+        stalls: vec![StallFault {
+            node: VICTIM.to_string(),
+            round: 1,
+        }],
+        ..RuntimeConfig::default()
+    };
+    let mut session = ThreadedSession::setup(
+        prepared.session,
+        prepared.builder.as_ref(),
+        prepared.shards,
+        rt,
+    )
+    .expect("setup completes before the stall triggers");
+    let err = session
+        .run(&prepared.test)
+        .expect_err("a dark aggregator cannot converge without failover");
+    match &err {
+        RuntimeError::Timeout {
+            phase,
+            round,
+            missing,
+            stalled,
+            ..
+        } => {
+            assert_eq!(*phase, Phase::Round);
+            assert_eq!(*round, 1);
+            assert!(
+                missing.iter().any(|n| n == VICTIM),
+                "missing must name the dark aggregator, got {missing:?}"
+            );
+            assert!(
+                stalled.iter().any(|n| n == VICTIM),
+                "stalled must name the dark aggregator, got {stalled:?}"
+            );
+        }
+        other => panic!("expected a structured timeout, got: {other}"),
+    }
+    assert!(session.is_shut_down(), "threads leaked after the timeout");
+}

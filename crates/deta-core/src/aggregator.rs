@@ -292,6 +292,17 @@ impl AggregatorNode {
         }
     }
 
+    /// Adversarial-drill hook: sends an arbitrary protocol message to a
+    /// registered party over this node's established secure channel —
+    /// what a *compromised* aggregator (the paper's threat model) can do
+    /// after a breach: craft byte-level-valid sealed records carrying
+    /// hostile payloads, e.g. a stale round's `Aggregated` fragment.
+    /// No-op when no channel to `to` exists. Drill/test-harness hook,
+    /// like `Party::swap_fragment_routes`; never called in production.
+    pub fn drill_send_sealed(&mut self, to: &str, msg: &Msg) {
+        self.send_sealed(to, msg);
+    }
+
     fn send_sealed(&mut self, to: &str, msg: &Msg) {
         let Some(chan) = self.channels.get_mut(to) else {
             return;

@@ -93,6 +93,10 @@ impl std::fmt::Display for PartyError {
 
 impl std::error::Error for PartyError {}
 
+/// An update-rewriting closure installed by [`Party::set_update_tamper`]:
+/// called with the round number and the post-LDP update about to upload.
+pub type UpdateTamper = Box<dyn FnMut(u64, &mut Vec<f32>) + Send>;
+
 /// One FL party.
 pub struct Party {
     /// Endpoint name.
@@ -152,6 +156,11 @@ pub struct Party {
     /// Aggregators we are re-handshaking with after a failover rebind;
     /// once the channel comes up we re-register with just that one.
     rebinding: HashSet<String>,
+    /// Adversarial-drill hook (see [`Party::set_update_tamper`]):
+    /// mutates the post-LDP update before it is logged, retained, and
+    /// transformed, turning this party into an active model-poisoning
+    /// adversary. `None` in production use.
+    update_tamper: Option<UpdateTamper>,
 }
 
 impl Party {
@@ -200,7 +209,21 @@ impl Party {
             update_log: Vec::new(),
             last_upload: None,
             rebinding: HashSet::new(),
+            update_tamper: None,
         }
+    }
+
+    /// Turns this party into an active model-poisoning adversary: the
+    /// closure rewrites each round's update (post-LDP, pre-transform),
+    /// and the party uploads the poisoned fragments through the normal
+    /// transform path — exactly a malicious insider following the wire
+    /// protocol with hostile values. The tampered update is also what
+    /// lands in [`Party::update_log`] and the replay buffer, so privacy
+    /// audits stay consistent (a poisoner's entitled fragments are its
+    /// poisoned ones). Drill/test-harness hook, like
+    /// [`Party::swap_fragment_routes`]; never set in production use.
+    pub fn set_update_tamper(&mut self, tamper: UpdateTamper) {
+        self.update_tamper = Some(tamper);
     }
 
     /// Swaps the destination aggregators of fragments `a` and `b`: after
@@ -488,6 +511,9 @@ impl Party {
                     gaussian_mechanism(&mut update, &ldp, &mut self.privacy, &mut self.rng);
                 }
             }
+        }
+        if let Some(tamper) = self.update_tamper.as_mut() {
+            tamper(round, &mut update);
         }
         if self.record_updates {
             self.update_log.push((round, update.clone()));

@@ -668,6 +668,13 @@ impl DetaSession {
         &mut self.parties[i]
     }
 
+    /// Access to an aggregator node. Adversarial drills use this to act
+    /// as a breached, actively malicious aggregator (replaying stale
+    /// fragments through `AggregatorNode::drill_send_sealed`).
+    pub fn aggregator_mut(&mut self, j: usize) -> &mut AggregatorNode {
+        &mut self.aggregators[j]
+    }
+
     /// The transform configuration in effect.
     pub fn transform_config(&self) -> TransformConfig {
         self.config.transform

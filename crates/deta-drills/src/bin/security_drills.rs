@@ -1,0 +1,60 @@
+//! Runs the adversarial drill catalog and renders the machine-checked
+//! report. Exits non-zero when any drill FAILs, so CI can gate on it.
+//!
+//! Usage: `security_drills [--out PATH]` (default
+//! `results/SECURITY_DRILLS.md`, relative to the working directory).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: security_drills [--out PATH]");
+    exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out = PathBuf::from("results/SECURITY_DRILLS.md");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let mut reports = Vec::new();
+    for drill in deta_drills::catalog() {
+        let report = deta_drills::run_one(&drill);
+        eprintln!(
+            "{} {}",
+            if report.pass { "PASS" } else { "FAIL" },
+            report.id
+        );
+        if !report.pass {
+            eprintln!("     {}", report.observed);
+        }
+        reports.push(report);
+    }
+
+    let markdown = deta_drills::render_markdown(&reports);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create report directory");
+        }
+    }
+    std::fs::write(&out, markdown).expect("write drill report");
+
+    let passed = reports.iter().filter(|r| r.pass).count();
+    eprintln!(
+        "{passed}/{} drills passed; report: {}",
+        reports.len(),
+        out.display()
+    );
+    if passed != reports.len() {
+        exit(1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared fixtures for drills that drive full FL sessions: a small
+//! deterministic MNIST-like deployment matching the repo's integration
+//! tests, and the parameter-distance metric the poisoning gates use.
+
+use deta_datasets::{iid_partition, DatasetSpec};
+use deta_nn::train::LabeledData;
+
+/// A small MNIST-like workload split across `parties` shards, plus a
+/// held-out test set and the model dimensions.
+pub fn fl_data(parties: usize) -> (Vec<LabeledData>, LabeledData, usize, usize) {
+    let spec = DatasetSpec::mnist_like().at_resolution(8);
+    let train = spec.generate(80, 1);
+    let test = spec.generate(40, 2);
+    (
+        iid_partition(&train, parties, 3),
+        test,
+        spec.dim(),
+        spec.classes,
+    )
+}
+
+/// Relative L2 distance `‖a − b‖ / ‖b‖` between two parameter vectors
+/// (`b` is the reference). Infinite when the vectors disagree in length.
+pub fn rel_l2(a: &[f32], b: &[f32]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    let mut diff = 0.0f64;
+    let mut norm = 0.0f64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff += (f64::from(*x) - f64::from(*y)).powi(2);
+        norm += f64::from(*y).powi(2);
+    }
+    if norm == 0.0 {
+        return if diff == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (diff / norm).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_l2_basics() {
+        assert_eq!(rel_l2(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((rel_l2(&[2.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert_eq!(rel_l2(&[1.0], &[1.0, 2.0]), f64::INFINITY);
+    }
+}

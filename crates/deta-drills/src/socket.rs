@@ -1,0 +1,250 @@
+//! TCP-bridge drills: a hand-rolled rogue client (built from the public
+//! wire primitives, free to violate the discipline `run_node` enforces)
+//! replays frames, reorders frames, and impersonates an aggregator seat
+//! against a live [`SocketHub`].
+
+use crate::Drill;
+use deta_crypto::{DetRng, SigningKey};
+use deta_socket::wire::auth_transcript;
+use deta_socket::{
+    encode_frame, hub_verifying_key, party_link_key, FrameDecoder, HubSeat, SocketError,
+    SocketFrame, SocketHub,
+};
+use deta_transport::secure::{HandshakeInitiator, SecureChannel};
+use deta_transport::{Endpoint, LinkModel, Network, RecvError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xD0D0;
+
+/// A hub with one connectable party seat and one plain hub-network
+/// endpoint (`agg-0`) kept for delivery assertions.
+fn start_hub() -> (SocketHub, Endpoint, SigningKey) {
+    let network = Network::new(LinkModel::lan());
+    let agg = network.register("agg-0");
+    let link = party_link_key(SEED, "party-0");
+    let seats = vec![HubSeat {
+        name: "party-0".to_string(),
+        key: link.verifying_key(),
+        endpoint: network.register("party-0"),
+    }];
+    let hub = SocketHub::bind(network, seats, SEED).expect("hub bind");
+    (hub, agg, link)
+}
+
+/// A minimal bridge-protocol client that can misbehave at will.
+struct Rogue {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    channel: SecureChannel,
+}
+
+impl Rogue {
+    /// Handshakes and authenticates as `name`; `None` when the hub
+    /// refuses the auth proof.
+    fn connect(addr: SocketAddr, name: &str, link: &SigningKey) -> Option<Rogue> {
+        let mut rng = DetRng::from_u64(SEED)
+            .fork(b"rogue-client")
+            .fork(name.as_bytes());
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .expect("read timeout");
+        let mut decoder = FrameDecoder::new();
+        let init = HandshakeInitiator::new(&mut rng);
+        let mut s = stream.try_clone().expect("clone stream");
+        s.write_all(&encode_frame(init.hello())).expect("hello");
+        let response = read_raw(&mut s, &mut decoder).expect("handshake response");
+        let channel = init
+            .complete(&response, &hub_verifying_key(SEED))
+            .expect("handshake");
+        let mut rogue = Rogue {
+            stream,
+            decoder,
+            channel,
+        };
+        let Some(SocketFrame::Challenge { nonce }) = rogue.recv() else {
+            panic!("hub must open with a challenge");
+        };
+        let proof = link.sign(&auth_transcript(&nonce, name));
+        rogue.send(&SocketFrame::AuthProof {
+            name: name.to_string(),
+            sig: proof.to_bytes(),
+        });
+        match rogue.recv() {
+            Some(SocketFrame::Welcome) => Some(rogue),
+            _ => None,
+        }
+    }
+
+    fn send(&mut self, frame: &SocketFrame) {
+        let record = self.channel.seal_msg(&frame.encode());
+        self.stream
+            .write_all(&encode_frame(&record))
+            .expect("rogue send");
+    }
+
+    /// A data frame sealed as a *fresh* record but carrying an arbitrary
+    /// logical sequence number — a byte-level-valid replay.
+    fn send_data(&mut self, dst: &str, seq: u64, payload: &[u8]) {
+        self.send(&SocketFrame::Data {
+            src: "party-0".to_string(),
+            dst: dst.to_string(),
+            seq,
+            payload: payload.to_vec(),
+        });
+    }
+
+    fn recv(&mut self) -> Option<SocketFrame> {
+        let record = read_raw(&mut self.stream, &mut self.decoder)?;
+        let plain = self.channel.open_msg(&record).expect("open record");
+        Some(SocketFrame::decode(&plain).expect("decode frame"))
+    }
+}
+
+/// Short-polls until one complete frame or EOF.
+fn read_raw(stream: &mut TcpStream, decoder: &mut FrameDecoder) -> Option<Vec<u8>> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = decoder.try_next().expect("well-formed stream") {
+            return Some(frame);
+        }
+        assert!(Instant::now() < deadline, "hub went silent");
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => decoder.push(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::ConnectionReset => return None,
+            Err(e) => panic!("rogue read failed: {e}"),
+        }
+    }
+}
+
+/// Polls until the hub records its first structured error.
+fn wait_error(hub: &SocketHub) -> Result<SocketError, String> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Some(e) = hub.first_error() {
+            return Ok(e);
+        }
+        if Instant::now() >= deadline {
+            return Err("the hub recorded no error".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The TCP-bridge drill set.
+pub fn drills() -> Vec<Drill> {
+    vec![
+        Drill {
+            id: "socket-frame-replay",
+            claim: "the bridge rejects a re-sealed copy of an old logical \
+                    frame and names the offending link (deta-socket \
+                    replay window)",
+            attack: "an authenticated peer re-sends its first upload \
+                     frame, sealed as a fresh record",
+            run: frame_replay,
+        },
+        Drill {
+            id: "socket-frame-reorder",
+            claim: "the bridge delivers frames strictly in per-link \
+                    order; a future sequence number is rejected, not \
+                    buffered",
+            attack: "an authenticated peer opens its link with seq 5, \
+                     hiding frames 0..5",
+            run: frame_reorder,
+        },
+        Drill {
+            id: "socket-rogue-aggregator",
+            claim: "an aggregator seat on the hub is bound to its \
+                    attested token identity; a rogue binary without that \
+                    identity never comes online (deta-socket auth)",
+            attack: "a rogue process claims the agg-1 seat and answers \
+                     the hub's challenge with a self-generated key",
+            run: rogue_aggregator,
+        },
+    ]
+}
+
+fn frame_replay() -> Result<String, String> {
+    let (hub, agg, link) = start_hub();
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &link).ok_or("auth refused")?;
+    rogue.send_data("agg-0", 0, b"upload");
+    agg.recv_timeout(Duration::from_secs(2))
+        .map_err(|e| format!("honest frame not delivered: {e}"))?;
+    rogue.send_data("agg-0", 0, b"upload");
+    let err = wait_error(&hub)?;
+    let observed = format!("SocketError::Replay — {err}");
+    match err {
+        SocketError::Replay {
+            link,
+            seq: 0,
+            expected: 1,
+        } if link == "party-0->agg-0" => {}
+        other => return Err(format!("wrong rejection: {other}")),
+    }
+    if !matches!(
+        agg.recv_timeout(Duration::from_millis(200)),
+        Err(RecvError::Timeout)
+    ) {
+        return Err("the replayed frame was delivered".to_string());
+    }
+    hub.join();
+    Ok(format!("{observed}; the duplicate was never delivered"))
+}
+
+fn frame_reorder() -> Result<String, String> {
+    let (hub, agg, link) = start_hub();
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &link).ok_or("auth refused")?;
+    rogue.send_data("agg-0", 5, b"late");
+    let err = wait_error(&hub)?;
+    let observed = format!("SocketError::Replay — {err}");
+    match err {
+        SocketError::Replay {
+            link,
+            seq: 5,
+            expected: 0,
+        } if link == "party-0->agg-0" => {}
+        other => return Err(format!("wrong rejection: {other}")),
+    }
+    if !matches!(
+        agg.recv_timeout(Duration::from_millis(200)),
+        Err(RecvError::Timeout)
+    ) {
+        return Err("the out-of-order frame was delivered".to_string());
+    }
+    hub.join();
+    Ok(format!("{observed}; the frame was never delivered"))
+}
+
+fn rogue_aggregator() -> Result<String, String> {
+    // The agg-1 seat is keyed by its attested token identity, which the
+    // rogue does not hold.
+    let network = Network::new(LinkModel::lan());
+    let rng = DetRng::from_u64(SEED);
+    let attested = SigningKey::generate(&mut rng.fork(b"agg-1-identity"));
+    let seats = vec![HubSeat {
+        name: "agg-1".to_string(),
+        key: attested.verifying_key(),
+        endpoint: network.register("agg-1"),
+    }];
+    let hub = SocketHub::bind(network.clone(), seats, SEED).map_err(|e| format!("bind: {e}"))?;
+    let self_generated = SigningKey::generate(&mut rng.fork(b"rogue"));
+    if Rogue::connect(hub.addr(), "agg-1", &self_generated).is_some() {
+        return Err("a rogue binary was welcomed onto the agg-1 seat".to_string());
+    }
+    let err = wait_error(&hub)?;
+    let observed = format!("SocketError::Auth — {err}");
+    match err {
+        SocketError::Auth { peer, .. } if peer == "agg-1" => {}
+        other => return Err(format!("wrong rejection: {other}")),
+    }
+    if network.is_closed("agg-1") {
+        return Err("the failed impostor closed the real seat's mailbox".to_string());
+    }
+    hub.join();
+    Ok(format!("{observed}; the seat stayed live for its owner"))
+}

@@ -1,0 +1,33 @@
+//! The entire drill catalog must PASS: every mounted attack is rejected
+//! with its promised structured error. `scripts/check.sh` additionally
+//! regenerates the rendered report and diffs it against the committed
+//! copy, which pins the observed rejections across runs.
+
+#[test]
+fn every_drill_is_rejected() {
+    let reports = deta_drills::run_all();
+    assert!(
+        reports.len() >= 10,
+        "the catalog must hold at least ten drills, found {}",
+        reports.len()
+    );
+    let failures: Vec<String> = reports
+        .iter()
+        .filter(|r| !r.pass)
+        .map(|r| format!("{}: {}", r.id, r.observed))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "drills found falsified claims:\n{}",
+        failures.join("\n")
+    );
+    // Every PASS row must actually describe a structured rejection or
+    // an asserted numeric gate, not an empty string.
+    for r in &reports {
+        assert!(
+            !r.observed.is_empty(),
+            "drill {} passed without naming its rejection",
+            r.id
+        );
+    }
+}

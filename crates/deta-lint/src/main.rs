@@ -70,7 +70,14 @@ fn main() -> ExitCode {
     match deta_lint::run_lint(&root) {
         Ok(report) => {
             if json {
-                println!("{}", report.to_json());
+                let text = report.to_json();
+                // Self-guard: a schema regression must fail the gate
+                // loudly, never ship a malformed CI artifact.
+                if let Err(e) = deta_lint::validate_report_json(&text) {
+                    eprintln!("deta-lint: emitted JSON violates the report schema: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("{text}");
             } else {
                 println!("{report}");
             }

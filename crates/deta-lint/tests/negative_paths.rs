@@ -1,0 +1,135 @@
+//! Negative-path tests for the analyzer's two CI surfaces: the
+//! `--json` report schema and the `--self-check` meta-check. The
+//! positive paths run on every `check.sh`; these prove the *failure*
+//! modes are loud and name the offender — a corrupted report schema
+//! fails validation pointing at the broken key, and an under-fixtured
+//! rule fails the self-check by name.
+
+use deta_lint::rules::{Violation, ALL_RULES};
+use deta_lint::{self_check, validate_report_json, AllowEntry, LintReport};
+use std::path::PathBuf;
+
+/// A populated report whose JSON exercises every schema branch.
+fn sample_report() -> LintReport {
+    LintReport {
+        violations: vec![Violation {
+            rule: ALL_RULES[0],
+            path: "crates/deta-core/src/party.rs".to_string(),
+            line: 42,
+            ident: "secret_key".to_string(),
+            message: "example \"quoted\" finding\nwith a newline".to_string(),
+        }],
+        stale_allows: vec![AllowEntry {
+            rule: ALL_RULES[1].to_string(),
+            path: "crates/deta-crypto/src/lib.rs".to_string(),
+            identifier: "ct_eq".to_string(),
+            reason: "kept for the negative fixture".to_string(),
+        }],
+        files_scanned: 7,
+        suppressed: 3,
+    }
+}
+
+#[test]
+fn well_formed_report_json_validates() {
+    let populated = sample_report().to_json();
+    validate_report_json(&populated).expect("a populated report must validate");
+    let empty = LintReport::default().to_json();
+    validate_report_json(&empty).expect("an empty report must validate");
+}
+
+#[test]
+fn corrupt_report_schema_fails_naming_the_broken_key() {
+    let good = sample_report().to_json();
+
+    // A dropped top-level key is named in the failure.
+    let missing_clean = good.replace("\"clean\"", "\"cleaned\"");
+    let err = validate_report_json(&missing_clean).expect_err("schema must require `clean`");
+    assert!(err.contains("clean"), "error must name the key, got: {err}");
+
+    // A violation stripped of its `rule` field is located and named.
+    let missing_rule = good.replace("\"rule\":", "\"ruul\":");
+    let err = validate_report_json(&missing_rule).expect_err("schema must require `rule`");
+    assert!(
+        err.contains("rule") && err.contains("violations[0]"),
+        "error must locate the violation and name the field, got: {err}"
+    );
+
+    // A rule outside the registry is rejected by name.
+    let unknown_rule = good.replace(ALL_RULES[0], "no-such-rule");
+    let err = validate_report_json(&unknown_rule).expect_err("unknown rules must be rejected");
+    assert!(
+        err.contains("no-such-rule"),
+        "error must name the bogus rule, got: {err}"
+    );
+
+    // A type confusion (string where a number belongs) is named.
+    let bad_type = good.replace("\"files_scanned\": 7", "\"files_scanned\": \"7\"");
+    let err = validate_report_json(&bad_type).expect_err("schema must type-check");
+    assert!(
+        err.contains("files_scanned"),
+        "error must name the mistyped key, got: {err}"
+    );
+
+    // Truncation (a partial write of the artifact) is caught.
+    let truncated = &good[..good.len() - 2];
+    validate_report_json(truncated).expect_err("truncated JSON must fail");
+
+    // An internally inconsistent report — `clean: true` alongside
+    // findings — is rejected even though every key parses.
+    let lying = good.replace("\"clean\": false", "\"clean\": true");
+    let err = validate_report_json(&lying).expect_err("clean must match the findings");
+    assert!(err.contains("clean"), "error must name the lie, got: {err}");
+}
+
+/// Builds a throwaway workspace root whose deta-lint fixture directory
+/// mentions each rule the given number of times.
+fn synthetic_root(tag: &str, counts: &[(&str, usize)]) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("deta-lint-negative-{tag}-{}", std::process::id()));
+    let tests_dir = root.join("crates/deta-lint/tests");
+    std::fs::create_dir_all(&tests_dir).expect("create synthetic tests dir");
+    let mut text = String::from("// synthetic fixture inventory\n");
+    for (rule, count) in counts {
+        for _ in 0..*count {
+            text.push_str(&format!("// fixture for {rule}\n"));
+        }
+    }
+    std::fs::write(tests_dir.join("fixtures.rs"), text).expect("write synthetic fixture");
+    root
+}
+
+#[test]
+fn self_check_fails_naming_the_underfixtured_rule() {
+    // Every rule fixture-covered twice except the victim, covered once.
+    let victim = ALL_RULES[0];
+    let counts: Vec<(&str, usize)> = ALL_RULES
+        .iter()
+        .map(|&r| (r, if r == victim { 1 } else { 2 }))
+        .collect();
+    let root = synthetic_root("underfixtured", &counts);
+    let err = self_check(&root).expect_err("one under-fixtured rule must fail the check");
+    assert!(
+        err.contains(&format!("rule `{victim}` has 1 fixture reference(s)")),
+        "failure must name the rule and its count, got: {err}"
+    );
+    for &other in &ALL_RULES[1..] {
+        assert!(
+            !err.contains(&format!("rule `{other}`")),
+            "covered rule `{other}` must not be blamed, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn self_check_fails_when_fixtures_are_missing_entirely() {
+    let root = synthetic_root("empty", &[]);
+    let err = self_check(&root).expect_err("zero fixtures must fail the check");
+    // With an empty inventory every rule is named with a zero count.
+    for &rule in ALL_RULES {
+        assert!(
+            err.contains(&format!("rule `{rule}` has 0 fixture reference(s)")),
+            "failure must name `{rule}`, got: {err}"
+        );
+    }
+}

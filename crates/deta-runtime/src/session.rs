@@ -83,6 +83,10 @@ pub struct ThreadedSession {
     supervisor: Supervisor,
     party_names: Vec<String>,
     agg_names: Vec<String>,
+    /// Phase II token verifying keys by aggregator endpoint name.
+    /// Incarnations retired by a failover keep their (now-dead) entries
+    /// alongside their replacements' fresh ones.
+    tokens: HashMap<String, VerifyingKey>,
     next_round: u64,
     cumulative_latency_s: f64,
     prev_party_timers: HashMap<String, (f64, f64, f64)>,
@@ -512,6 +516,7 @@ impl ThreadedSession {
             };
             let endpoint = self.network.register(name);
             let (node, token) = self.recovery.respawn(name, endpoint, role)?;
+            self.tokens.insert(name.clone(), token.clone());
             self.supervisor.spawn_aggregator(node)?;
             self.supervisor.note(
                 "reattested",
@@ -790,6 +795,16 @@ impl ThreadedSession {
         &self.agg_names
     }
 
+    /// Phase II token verifying keys by aggregator endpoint name —
+    /// exactly what the attestation proxy published (and re-published
+    /// on every failover re-attestation). Retired incarnations keep
+    /// their entries next to their replacements', so adversarial drills
+    /// can prove a retired incarnation's key is dead: it must differ
+    /// from (and fail verification against) the live entry.
+    pub fn token_directory(&self) -> &HashMap<String, VerifyingKey> {
+        &self.tokens
+    }
+
     /// The flight-recorder dump written for the first fault verdict (if
     /// telemetry is enabled and a fault occurred). See
     /// [`Supervisor::trace_dump_path`].
@@ -832,6 +847,7 @@ struct PendingSession {
     recovery: RecoveryKit,
     party_names: Vec<String>,
     agg_names: Vec<String>,
+    tokens: HashMap<String, VerifyingKey>,
 }
 
 impl PendingSession {
@@ -863,6 +879,7 @@ impl PendingSession {
                 recovery,
                 party_names,
                 agg_names,
+                tokens: tokens.clone(),
             },
             DetachedNodes {
                 parties,
@@ -885,6 +902,7 @@ impl PendingSession {
             recovery,
             party_names,
             agg_names,
+            tokens,
         } = self;
         let expected: HashSet<String> = agg_names
             .iter()
@@ -927,6 +945,7 @@ impl PendingSession {
             supervisor,
             party_names,
             agg_names,
+            tokens,
             next_round: 1,
             cumulative_latency_s: 0.0,
             prev_party_timers: HashMap::new(),

@@ -375,20 +375,15 @@ fn serve(
                     });
                     break;
                 }
-                if let Err(v) = lock(&shared.window).accept(&src, &dst, seq) {
-                    let link_name = format!("{src}->{dst}");
+                if let Err(e) = lock(&shared.window).accept_named(&src, &dst, seq) {
                     if deta_telemetry::enabled() {
                         deta_telemetry::metrics::counter_add(
                             "deta_socket_rejects_total",
-                            &link_name,
+                            &format!("{src}->{dst}"),
                             1,
                         );
                     }
-                    shared.record_error(SocketError::Replay {
-                        link: link_name,
-                        seq: v.seq,
-                        expected: v.expected,
-                    });
+                    shared.record_error(e);
                     break;
                 }
                 if deta_telemetry::enabled() {

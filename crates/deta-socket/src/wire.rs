@@ -293,4 +293,29 @@ impl ReplayWindow {
         *entry += 1;
         Ok(())
     }
+
+    /// [`ReplayWindow::accept`] with full attribution: a violation comes
+    /// back as the structured [`SocketError::Replay`] naming the
+    /// offending link as `src->dst` — the exact error the hub reports,
+    /// so every reject is attributable by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`SocketError::Replay`] on any sequence deviation; the window
+    /// does not advance.
+    ///
+    /// [`SocketError::Replay`]: crate::SocketError::Replay
+    pub fn accept_named(
+        &mut self,
+        src: &str,
+        dst: &str,
+        seq: u64,
+    ) -> Result<(), crate::SocketError> {
+        self.accept(src, dst, seq)
+            .map_err(|v| crate::SocketError::Replay {
+                link: format!("{src}->{dst}"),
+                seq: v.seq,
+                expected: v.expected,
+            })
+    }
 }

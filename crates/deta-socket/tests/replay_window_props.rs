@@ -1,0 +1,126 @@
+//! Property tests for the receiver-side [`ReplayWindow`]: the bridge's
+//! last line of defence against logical-frame replay and reorder above
+//! TCP.
+//!
+//! The contract under test is strict in-order delivery per (src, dst)
+//! link: under *arbitrary* interleavings of links and sequence numbers,
+//! the window accepts exactly the frames forming the 0, 1, 2, …
+//! sequence on their link, every rejection names the offending link
+//! with the structured [`SocketError::Replay`], and a rejection never
+//! advances the window — an attacker cannot burn sequence numbers by
+//! sending garbage.
+
+use deta_proptest::{cases, Gen};
+use deta_socket::{ReplayWindow, SocketError};
+use std::collections::BTreeMap;
+
+/// A small universe of endpoint names, so interleavings collide on
+/// links often enough to be interesting.
+const NAMES: [&str; 4] = ["party-0", "party-1", "agg-0", "agg-1"];
+
+fn arbitrary_link(g: &mut Gen) -> (&'static str, &'static str) {
+    let src = NAMES[g.usize_in(0, NAMES.len())];
+    let dst = NAMES[g.usize_in(0, NAMES.len())];
+    (src, dst)
+}
+
+#[test]
+fn window_matches_the_strict_in_order_model_under_interleavings() {
+    cases("socket/replay-window-model", 400, |g: &mut Gen| {
+        let mut window = ReplayWindow::new();
+        // The reference model: one independent counter per link.
+        let mut model: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+        let events = g.usize_in(1, 120);
+        for _ in 0..events {
+            let (src, dst) = arbitrary_link(g);
+            let expected = *model.entry((src, dst)).or_insert(0);
+            // Bias toward the interesting neighbourhood of the counter:
+            // the correct value, a replayed old one, a skipped-ahead
+            // one, or arbitrary garbage.
+            let seq = match g.usize_in(0, 4) {
+                0 => expected,
+                1 => expected.saturating_sub(g.u64_in(1, 4)),
+                2 => expected + g.u64_in(1, 4),
+                _ => g.u64(),
+            };
+            match window.accept_named(src, dst, seq) {
+                Ok(()) => {
+                    assert_eq!(seq, expected, "accepted out-of-order seq on {src}->{dst}");
+                    model.insert((src, dst), expected + 1);
+                }
+                Err(SocketError::Replay {
+                    link,
+                    seq: got,
+                    expected: want,
+                }) => {
+                    assert_ne!(seq, expected, "rejected the in-order seq");
+                    assert_eq!(link, format!("{src}->{dst}"), "wrong link blamed");
+                    assert_eq!(got, seq);
+                    assert_eq!(want, expected, "reject must report the real expectation");
+                    // And the model deliberately does not advance.
+                }
+                Err(other) => panic!("unexpected error variant: {other}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn accepts_exactly_the_zero_based_in_order_subsequence() {
+    cases("socket/replay-window-subsequence", 300, |g: &mut Gen| {
+        let mut window = ReplayWindow::new();
+        let stream = g.vec_of(1, 80, |g| g.u64_in(0, 10));
+        let accepted: Vec<u64> = stream
+            .iter()
+            .filter(|&&seq| window.accept("party-0", "agg-0", seq).is_ok())
+            .copied()
+            .collect();
+        let want: Vec<u64> = (0..accepted.len() as u64).collect();
+        assert_eq!(
+            accepted, want,
+            "the accepted frames must be exactly 0, 1, 2, … in order (stream: {stream:?})"
+        );
+    });
+}
+
+#[test]
+fn rejects_never_advance_the_window_and_never_leak_across_links() {
+    cases("socket/replay-window-no-advance", 300, |g: &mut Gen| {
+        let mut window = ReplayWindow::new();
+        // Drive the victim link to an arbitrary position.
+        let position = g.u64_in(0, 20);
+        for seq in 0..position {
+            window
+                .accept("party-0", "agg-0", seq)
+                .expect("in-order prefix");
+        }
+        // A burst of wrong sequence numbers: every one rejected with the
+        // same unchanged expectation, whichever order they arrive in.
+        let burst = g.vec_of(1, 20, |g| g.u64());
+        for seq in burst.into_iter().filter(|&s| s != position) {
+            let err = window
+                .accept_named("party-0", "agg-0", seq)
+                .expect_err("wrong seq must be rejected");
+            match err {
+                SocketError::Replay {
+                    link,
+                    seq: got,
+                    expected,
+                } => {
+                    assert_eq!(link, "party-0->agg-0");
+                    assert_eq!(got, seq);
+                    assert_eq!(expected, position, "a reject advanced the window");
+                }
+                other => panic!("unexpected error variant: {other}"),
+            }
+        }
+        // An untouched link is unaffected by the victim link's rejects…
+        window
+            .accept("party-1", "agg-0", 0)
+            .expect("fresh link starts at 0");
+        // …and the victim link still accepts exactly its next seq.
+        window
+            .accept("party-0", "agg-0", position)
+            .expect("the window must still expect the pre-burst seq");
+    });
+}

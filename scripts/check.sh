@@ -18,18 +18,40 @@ echo "==> sim sweep (200 seeds x2, verdict determinism + corpus verify)"
 cargo run --release -q -p deta-simnet --bin sim_sweep
 
 echo "==> telemetry overhead (4 parties x 4 aggregators, gate: <5% enabled, <1% disabled)"
-# Writes results/BENCH_telemetry.json; exits non-zero past either gate.
+# Writes BENCH_telemetry.json to a temp dir (set DETA_BENCH_REWRITE=1 to
+# refresh the committed results/ copy); exits non-zero past either gate.
 cargo run --release -q -p deta-bench --bin telemetry_overhead
 
 echo "==> recovery latency (4 parties x 4 aggregators, gate: <3% checkpoint overhead)"
-# Writes results/BENCH_recovery.json; also proves one stalled follower
-# heals under FailoverPolicy::Restart and reports the healing latency.
+# Writes BENCH_recovery.json to a temp dir (DETA_BENCH_REWRITE=1 to
+# refresh results/); also proves one stalled follower heals under
+# FailoverPolicy::Restart and reports the healing latency.
 cargo run --release -q -p deta-bench --bin recovery_latency
 
 echo "==> socket throughput (in-process vs TCP loopback at k=1/2/4, parity-gated)"
-# Writes results/BENCH_socket.json; every TCP sample is asserted
-# bit-identical to its in-process twin before timing is reported.
+# Writes BENCH_socket.json to a temp dir (DETA_BENCH_REWRITE=1 to
+# refresh results/); every TCP sample is asserted bit-identical to its
+# in-process twin before timing is reported.
 cargo run --release -q -p deta-bench --bin socket_throughput
+
+echo "==> adversarial drills (>=10 attacks, each must be rejected with the right error)"
+# Regenerates the drill report to a temp path and diffs it against the
+# committed results/SECURITY_DRILLS.md: any FAIL row, any new drill, or
+# any changed rejection string shows up as a diff and fails the gate.
+# The report is deterministic by construction (structured errors only,
+# no timings or addresses). Run with DETA_BENCH_REWRITE unset — the
+# committed copy is refreshed by rerunning the binary with
+# --out results/SECURITY_DRILLS.md after an intentional change.
+cargo build --release -q -p deta-drills
+DRILLS_OUT="$(mktemp /tmp/deta-drills-XXXXXX.md)"
+timeout 600 ./target/release/security_drills --out "$DRILLS_OUT"
+if ! diff "$DRILLS_OUT" results/SECURITY_DRILLS.md; then
+  echo "FAIL: regenerated drill report diverges from results/SECURITY_DRILLS.md" >&2
+  echo "      (rerun: cargo run --release -p deta-drills --bin security_drills -- --out results/SECURITY_DRILLS.md)" >&2
+  exit 1
+fi
+rm -f "$DRILLS_OUT"
+echo "    drill report deterministic and matches committed copy"
 
 echo "==> multi-process parity smoke (real OS processes over TCP loopback)"
 # One process per node via `deta-cli cluster`, fixed seed, round lines
