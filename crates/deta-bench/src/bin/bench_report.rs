@@ -1,0 +1,269 @@
+//! `bench_report` — benchmark regression history and tolerance diffs.
+//!
+//! Every perf binary in this crate writes a `BENCH_*.json` snapshot.
+//! Those snapshots answer "how fast is it now", but not "did this PR
+//! make it slower" — that needs history. This binary:
+//!
+//! 1. scans a results directory for `BENCH_*.json`,
+//! 2. flattens each into `key → number` metrics,
+//! 3. diffs them against the most recent entry for the same benchmark
+//!    in `BENCH_history.jsonl`, with per-key tolerances (timing keys
+//!    get a relative band; structural keys — counts, seeds, byte
+//!    totals, accuracies, pass flags — must match exactly since the
+//!    workspace is deterministic by construction),
+//! 4. appends one history line per benchmark — to the committed
+//!    history only under `DETA_BENCH_REWRITE=1`, to a temp file
+//!    otherwise, so a gate run leaves `git status` clean.
+//!
+//! Exit code: 0 always, unless `--strict` is set and a regression
+//! exceeded tolerance — `scripts/check.sh` runs it warn-by-default so
+//! a noisy CI box cannot block an unrelated change, while release
+//! branches can opt into `--strict`.
+//!
+//! History lines carry a monotonic `run` counter instead of wall-clock
+//! timestamps: the workspace's gates diff generated artifacts
+//! byte-for-byte, and timestamps would make every run a diff.
+
+use deta_obs::Json;
+use std::path::{Path, PathBuf};
+
+/// Relative tolerance for timing-dependent metrics (loaded CI boxes
+/// routinely swing ±25%; the median-of-N sampling upstream narrows the
+/// rest).
+const TIMING_TOLERANCE: f64 = 0.35;
+
+fn main() {
+    let args = deta_bench::Args::parse();
+    let dir: String = args.get("dir", "results".to_string());
+    let strict = args.flag("strict");
+    let tolerance: f64 = args.get("tolerance", TIMING_TOLERANCE);
+    let dir = Path::new(&dir);
+    let history_path = dir.join("BENCH_history.jsonl");
+
+    let mut snapshots: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    snapshots.sort();
+    if snapshots.is_empty() {
+        println!("bench_report: no BENCH_*.json under {}", dir.display());
+        return;
+    }
+
+    let baselines = load_baselines(&history_path);
+    let next_run = next_run_number(&history_path);
+
+    let mut regressions = 0usize;
+    let mut new_lines = String::new();
+    for path in &snapshots {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            println!("bench_report: unreadable {}", path.display());
+            continue;
+        };
+        let Some(doc) = Json::parse(text.trim()) else {
+            println!("bench_report: unparseable {}", path.display());
+            continue;
+        };
+        let name = doc
+            .get("benchmark")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let metrics = flatten(&doc);
+        println!("== {name} ({} metrics) ==", metrics.len());
+        match baselines.iter().rev().find(|(b, _)| *b == name) {
+            None => println!("   no baseline in {} yet", history_path.display()),
+            Some((_, base)) => {
+                regressions += diff(&name, base, &metrics, tolerance);
+            }
+        }
+        new_lines.push_str(&history_line(&name, next_run, &metrics));
+        new_lines.push('\n');
+    }
+
+    // Append policy mirrors bench_output_dir(): the committed history
+    // only moves on an explicit rewrite.
+    let rewrite = std::env::var_os("DETA_BENCH_REWRITE").is_some_and(|v| v == "1");
+    if rewrite {
+        let mut all = std::fs::read_to_string(&history_path).unwrap_or_default();
+        all.push_str(&new_lines);
+        std::fs::write(&history_path, all).expect("append bench history");
+        println!(
+            "history: appended run {next_run} to {}",
+            history_path.display()
+        );
+    } else {
+        let tmp = deta_bench::bench_output_dir().join("BENCH_history.append.jsonl");
+        std::fs::write(&tmp, &new_lines).expect("write bench history fragment");
+        println!(
+            "history: run {next_run} written to {} (set DETA_BENCH_REWRITE=1 to commit)",
+            tmp.display()
+        );
+    }
+
+    if regressions > 0 {
+        println!("bench_report: {regressions} metric(s) beyond tolerance");
+        if strict {
+            std::process::exit(1);
+        }
+        println!("(warn-only; pass --strict to fail the gate)");
+    } else {
+        println!("bench_report: all metrics within tolerance");
+    }
+}
+
+/// Flattens a snapshot's numeric/boolean leaves into dotted keys,
+/// keeping each number's raw source text so history lines round-trip
+/// without float re-formatting.
+fn flatten(doc: &Json) -> Vec<(String, String)> {
+    fn walk(prefix: &str, v: &Json, out: &mut Vec<(String, String)>) {
+        match v {
+            Json::Num(raw) => out.push((prefix.to_string(), raw.clone())),
+            Json::Bool(b) => out.push((prefix.to_string(), b.to_string())),
+            Json::Obj(fields) => {
+                for (k, v) in fields {
+                    let key = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    walk(&key, v, out);
+                }
+            }
+            Json::Arr(items) => {
+                for (i, v) in items.iter().enumerate() {
+                    walk(&format!("{prefix}.{i}"), v, out);
+                }
+            }
+            Json::Null | Json::Str(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk("", doc, &mut out);
+    out
+}
+
+/// Timing-dependent keys get the relative band; everything else in a
+/// deterministic workspace must reproduce exactly.
+fn is_timing_key(key: &str) -> bool {
+    [
+        "wall", "_s", "_ns", "per_s", "latency", "overhead", "pct", "deadline",
+    ]
+    .iter()
+    .any(|frag| key.contains(frag))
+}
+
+/// Keys recorded for the reader but never diffed: pure load artifacts
+/// (a retry marker flips whenever the CI box was busy) that would make
+/// the exact-match rule cry wolf.
+fn is_volatile_key(key: &str) -> bool {
+    key.contains("retried")
+}
+
+/// Prints per-metric verdicts; returns how many exceeded tolerance.
+fn diff(bench: &str, base: &[(String, String)], now: &[(String, String)], tolerance: f64) -> usize {
+    let mut beyond = 0;
+    for (key, raw) in now {
+        if is_volatile_key(key) {
+            continue;
+        }
+        let Some((_, base_raw)) = base.iter().find(|(k, _)| k == key) else {
+            println!("   new    {key} = {raw}");
+            continue;
+        };
+        if raw == base_raw {
+            continue;
+        }
+        let (a, b) = (base_raw.parse::<f64>().ok(), raw.parse::<f64>().ok());
+        match (a, b) {
+            (Some(a), Some(b)) if is_timing_key(key) => {
+                let rel = if a == 0.0 {
+                    b.abs()
+                } else {
+                    (b - a).abs() / a.abs()
+                };
+                if rel > tolerance {
+                    beyond += 1;
+                    println!(
+                        "   DRIFT  {bench}.{key}: {base_raw} -> {raw} ({:+.1}% vs ±{:.0}%)",
+                        (b / a - 1.0) * 100.0,
+                        tolerance * 100.0
+                    );
+                }
+            }
+            _ => {
+                // Structural divergence: counts, seeds, accuracies,
+                // pass flags. Never in-tolerance.
+                beyond += 1;
+                println!("   DIVERGED  {bench}.{key}: {base_raw} -> {raw} (expected exact)");
+            }
+        }
+    }
+    for (key, _) in base {
+        if !is_volatile_key(key) && !now.iter().any(|(k, _)| k == key) {
+            beyond += 1;
+            println!("   MISSING  {bench}.{key}: present in baseline, absent now");
+        }
+    }
+    beyond
+}
+
+/// One history JSONL line for a benchmark's flattened metrics.
+fn history_line(bench: &str, run: u64, metrics: &[(String, String)]) -> String {
+    let mut out = format!("{{\"benchmark\":\"{bench}\",\"run\":{run},\"metrics\":{{");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", deta_obs::json::escape(k)));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Most recent flattened metrics per benchmark from the history file.
+fn load_baselines(path: &Path) -> Vec<(String, Vec<(String, String)>)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    for line in text.lines() {
+        let Some(doc) = Json::parse(line.trim()) else {
+            continue;
+        };
+        let Some(name) = doc.get("benchmark").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(metrics) = doc.get("metrics") else {
+            continue;
+        };
+        let flat = flatten(metrics);
+        if let Some(slot) = out.iter_mut().find(|(b, _)| b == name) {
+            slot.1 = flat; // later lines win: last run is the baseline
+        } else {
+            out.push((name.to_string(), flat));
+        }
+    }
+    out
+}
+
+/// Next `run` counter: one past the highest in the history file.
+fn next_run_number(path: &Path) -> u64 {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    text.lines()
+        .filter_map(|l| Json::parse(l.trim()))
+        .filter_map(|d| d.get("run").and_then(Json::as_u64))
+        .max()
+        .map_or(0, |n| n + 1)
+}

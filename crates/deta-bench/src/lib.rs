@@ -122,6 +122,26 @@ pub fn overhead(deta: f64, ffl: f64) -> f64 {
     }
 }
 
+/// Median of a sample set (mean of the middle pair for even counts).
+/// Timing gates compare medians rather than sums: on a loaded CI box a
+/// single descheduled run can double one sample, and a median of N
+/// trials shrugs that off where a mean (or sum) fails the gate.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-finite samples.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +151,15 @@ mod tests {
         assert!((overhead(1.4, 1.0) - 0.4).abs() < 1e-12);
         assert!((overhead(0.96, 1.0) + 0.04).abs() < 1e-12);
         assert_eq!(overhead(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn median_resists_one_outlier() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 100.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        // The property the perf gates rely on: one wild sample moves a
+        // sum by its full magnitude but the median not at all.
+        assert_eq!(median(&[0.5, 0.5, 0.5, 0.5, 50.0]), 0.5);
     }
 }

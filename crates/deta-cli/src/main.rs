@@ -4,6 +4,7 @@
 //! ```text
 //! deta-cli run <config>            run a DeTA session (and FFL baseline)
 //! deta-cli cluster <config>        multi-process run: one OS process per node
+//! deta-cli trace <config>          traced multi-process run + merged analysis
 //! deta-cli attack [--images N]     DLG attack across defense configurations
 //! deta-cli help                    this message
 //! ```
@@ -32,6 +33,12 @@ USAGE:
                                    its own OS process over TCP loopback
                                    (--inprocess runs the same deployment on
                                    threads instead, for output comparison)
+    deta-cli trace <config-file>   cluster run with distributed tracing on:
+                                   merges every process's flight recorder onto
+                                   one clock-aligned timeline, writes JSONL +
+                                   Perfetto files under results/traces/, and
+                                   prints per-round critical paths
+                                   (--perfetto <file> overrides the export path)
     deta-cli attack [N]            run the DLG attack demo over N images (default 5)
     deta-cli help                  show this message
 
@@ -76,6 +83,24 @@ fn main() -> ExitCode {
             };
             let inprocess = args.iter().any(|a| a == "--inprocess");
             match cmd_cluster(path, inprocess) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("trace") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("error: `trace` needs a config file\n\n{HELP}");
+                return ExitCode::FAILURE;
+            };
+            let perfetto = args
+                .iter()
+                .position(|a| a == "--perfetto")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            match cmd_trace(path, perfetto) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -240,10 +265,25 @@ fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Er
         },
     )?;
     let outcome = session.run(&prepared.test);
-    // Reap children with a bound so a wedged node cannot hang the
-    // coordinator; the session is already over at this point.
+    reap_children(&mut children);
+    // Join the hub either way, but let the session outcome win: a dead
+    // node process must surface as the supervisor's structured
+    // RuntimeError (a timeout naming the node), never as the hub's
+    // secondary disconnect fallout.
+    let hub_err = hub_slot.and_then(SocketHub::join);
+    let metrics = outcome?;
+    if let Some(e) = hub_err {
+        return Err(Box::new(e));
+    }
+    print_rounds(&metrics);
+    Ok(())
+}
+
+/// Reaps child node processes with a bound so a wedged node cannot hang
+/// the coordinator; the session is already over when this runs.
+fn reap_children(children: &mut [std::process::Child]) {
     let deadline = Instant::now() + Duration::from_secs(60);
-    for child in &mut children {
+    for child in children {
         loop {
             match child.try_wait() {
                 Ok(Some(_)) => break,
@@ -258,17 +298,236 @@ fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Er
             }
         }
     }
-    // Join the hub either way, but let the session outcome win: a dead
-    // node process must surface as the supervisor's structured
-    // RuntimeError (a timeout naming the node), never as the hub's
-    // secondary disconnect fallout.
-    let hub_err = hub_slot.and_then(SocketHub::join);
-    let metrics = outcome?;
+}
+
+/// A `cluster` run with distributed tracing enabled end to end: every
+/// process records spans/events, trace context rides each message, and
+/// afterwards the coordinator merges all flight recorders onto one
+/// clock-aligned timeline, writes JSONL + Perfetto exports under
+/// `results/traces/`, and prints per-round critical paths. On a
+/// `RuntimeError` the merged trace is still written — a fault trace
+/// that dies with the fault would be useless — before the error is
+/// surfaced.
+fn cmd_trace(path: &str, perfetto: Option<String>) -> Result<(), Box<dyn std::error::Error>> {
+    deta_telemetry::enable();
+    let text = std::fs::read_to_string(path)?;
+    let config = Config::parse(&text)?;
+    let prepared = config.prepare()?;
+    let mut rt = cluster_runtime(&config)?;
+    rt.telemetry.enabled = true;
+    // The supervisor's ring must hold a whole session (per-round begin
+    // markers plus every control-plane edge), not just a post-mortem
+    // window.
+    rt.telemetry.ring_capacity = 1 << 16;
+    let trace_dir = rt.telemetry.trace_dir.clone();
+    let exe = std::env::current_exe()?;
+    let seed = prepared.session.seed;
+    let mut hub_slot: Option<SocketHub> = None;
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let mut session = ThreadedSession::setup_detached(
+        prepared.session,
+        prepared.builder.as_ref(),
+        prepared.shards,
+        rt,
+        |nodes, network| {
+            let seats = seats_for(&nodes, seed);
+            let names: Vec<String> = seats.iter().map(|s| s.name.clone()).collect();
+            drop(nodes);
+            let hub = SocketHub::bind(network.clone(), seats, seed)
+                .map_err(|_| RuntimeError::Protocol("socket hub failed to bind"))?;
+            let addr = hub.addr().to_string();
+            for name in &names {
+                let child = std::process::Command::new(&exe)
+                    .args(["node", path, "--name", name, "--addr", &addr, "--trace"])
+                    .spawn()
+                    .map_err(RuntimeError::Spawn)?;
+                children.push(child);
+            }
+            hub_slot = Some(hub);
+            Ok(())
+        },
+    )?;
+    let outcome = session.run(&prepared.test);
+    reap_children(&mut children);
+    let (hub_err, harvest) = match hub_slot {
+        Some(hub) => hub.join_harvest(),
+        None => (None, deta_socket::TraceHarvest::default()),
+    };
+
+    // Coordinator rings: on a fault the supervisor already dumped them
+    // (with the implicated nodes in the meta line); otherwise force a
+    // dump now.
+    let coord_path = match session.trace_dump_path() {
+        Some(p) => p.to_path_buf(),
+        None => session
+            .dump_trace()
+            .ok_or("coordinator flight-recorder dump failed")?,
+    };
+    let coord = deta_obs::parse_jsonl(&std::fs::read_to_string(&coord_path)?);
+    let mut overflow = coord.overflow.clone();
+    let mut skipped = coord.skipped;
+    let mut procs = vec![deta_obs::ProcessTrace {
+        label: "coordinator".to_string(),
+        offset_ns: 0,
+        records: coord.records,
+    }];
+    let mut shipped: Vec<(String, (String, u64))> = harvest.traces.into_iter().collect();
+    shipped.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, (jsonl, dropped)) in shipped {
+        let parsed = deta_obs::parse_jsonl(&jsonl);
+        skipped += parsed.skipped;
+        if dropped > 0 {
+            overflow.push((name.clone(), dropped));
+        }
+        procs.push(deta_obs::ProcessTrace {
+            offset_ns: harvest.offsets.get(&name).copied().unwrap_or(0),
+            label: name,
+            records: parsed.records,
+        });
+    }
+
+    let nprocs = procs.len();
+    let merged = deta_obs::merge(procs);
+    std::fs::create_dir_all(&trace_dir)?;
+    let stem = deta_telemetry::unique_stem("merged");
+    let merged_path = trace_dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&merged_path, merged.to_jsonl(&coord.implicated, &overflow))?;
+    let perfetto_path = perfetto
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| trace_dir.join(format!("{stem}.perfetto.json")));
+    std::fs::write(&perfetto_path, deta_obs::chrome_trace(&merged))?;
+
+    println!("== merged multi-process trace ==");
+    println!(
+        "processes {nprocs}  records {}  causal edges {}  unparsed lines {skipped}",
+        merged.records.len(),
+        merged.edges.len(),
+    );
+    for (label, residual) in &merged.shifts {
+        if *residual != 0 {
+            println!(
+                "clock shift {label}: +{} beyond handshake estimate",
+                deta_obs::fmt_ns(*residual as u64)
+            );
+        }
+    }
+    if !coord.implicated.is_empty() {
+        println!("implicated: {}", coord.implicated.join(", "));
+    }
+    println!("merged jsonl: {}", merged_path.display());
+    println!("perfetto:     {}", perfetto_path.display());
+
+    println!("\n== per-round critical path (multi-process) ==");
+    print_round_reports(&deta_obs::round_reports(&merged));
+
+    let metrics = match outcome {
+        Ok(metrics) => metrics,
+        Err(e) => return Err(Box::new(e)),
+    };
     if let Some(e) = hub_err {
         return Err(Box::new(e));
     }
     print_rounds(&metrics);
+
+    // Side-by-side phase volumes: the same config run sequentially and
+    // threaded, both in this process — the measurement behind ROADMAP
+    // item #1 (threaded rounds/s trails sequential).
+    let seq = {
+        let prepared = config.prepare()?;
+        let rec = deta_telemetry::FlightRecorder::new("sequential", 1 << 16);
+        let _guard = deta_telemetry::attach(std::sync::Arc::clone(&rec));
+        let mut s =
+            DetaSession::setup(prepared.session, prepared.builder.as_ref(), prepared.shards)?;
+        let _ = s.run(&prepared.test);
+        drop(_guard);
+        let (records, _) = rec.drain();
+        let jsonl: String = records
+            .iter()
+            .map(|r| r.to_json("sequential") + "\n")
+            .collect();
+        deta_obs::parse_jsonl(&jsonl).records
+    };
+    let thr = {
+        let prepared = config.prepare()?;
+        let mut rt = cluster_runtime(&config)?;
+        rt.telemetry.enabled = true;
+        rt.telemetry.ring_capacity = 1 << 16;
+        let mut s = ThreadedSession::setup(
+            prepared.session,
+            prepared.builder.as_ref(),
+            prepared.shards,
+            rt,
+        )?;
+        let run = s.run(&prepared.test);
+        let dump = s
+            .dump_trace()
+            .ok_or("threaded flight-recorder dump failed")?;
+        run?;
+        deta_obs::parse_jsonl(&std::fs::read_to_string(dump)?).records
+    };
+    println!("\n== phase volume: sequential vs threaded (in-process) ==");
+    let seq_phases = deta_obs::phase_totals(&seq);
+    let thr_phases = deta_obs::phase_totals(&thr);
+    println!("{:<22} {:>12} {:>12}", "phase", "sequential", "threaded");
+    let mut names: Vec<&str> = seq_phases
+        .iter()
+        .chain(&thr_phases)
+        .map(|(n, _)| *n)
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let s = seq_phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v);
+        let t = thr_phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v);
+        println!(
+            "{:<22} {:>12} {:>12}",
+            name,
+            deta_obs::fmt_ns(s),
+            deta_obs::fmt_ns(t)
+        );
+    }
     Ok(())
+}
+
+/// Prints the per-round critical-path table: wall time, the fraction
+/// attributed to named work, and each bucket's share.
+fn print_round_reports(reports: &[deta_obs::RoundReport]) {
+    for r in reports {
+        println!(
+            "round {:3}  wall {:>10}  hops {:3}  attributed {:5.1}%",
+            r.round,
+            deta_obs::fmt_ns(r.wall_ns),
+            r.hops,
+            r.attributed_fraction() * 100.0
+        );
+        for (label, ns) in &r.critical {
+            let pct = if r.wall_ns > 0 {
+                *ns as f64 * 100.0 / r.wall_ns as f64
+            } else {
+                0.0
+            };
+            println!(
+                "    {:<28} {:>10}  {:5.1}%",
+                label,
+                deta_obs::fmt_ns(*ns),
+                pct
+            );
+        }
+        if !r.phases.is_empty() {
+            let volumes: Vec<String> = r
+                .phases
+                .iter()
+                .map(|(p, ns)| format!("{p} {}", deta_obs::fmt_ns(*ns)))
+                .collect();
+            println!("    span volume: {}", volumes.join(", "));
+        }
+    }
 }
 
 fn cmd_node(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -280,6 +539,9 @@ fn cmd_node(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match a.as_str() {
             "--name" => name = it.next().cloned(),
             "--addr" => addr = it.next().cloned(),
+            // Passed by `trace` coordinators: record spans/events and
+            // ship the ring back over the link at teardown.
+            "--trace" => deta_telemetry::enable(),
             other => path = Some(other.to_string()),
         }
     }

@@ -15,15 +15,18 @@ use std::time::{Duration, Instant};
 
 /// Small fixed-seed session with the supervisor round deadline
 /// shortened so a dead node is detected in seconds. The round count is
-/// deliberately large (~10s of training): the process drill must kill
-/// its victim *mid-session*, after Phase II bootstrap but well before
-/// the final round. Both the drill and the in-process twin run it.
+/// deliberately enormous: the process drills must kill their victim
+/// *mid-session*, after Phase II bootstrap but well before the final
+/// round, and a fast box chews through a short session before the kill
+/// lands. The session never runs to completion — the kill plus the 3s
+/// deadline ends it — so the count costs nothing. The in-process twin
+/// stalls at round 1 and is equally indifferent to the total.
 const CFG: &str = "dataset            = mnist\n\
                    resolution         = 8\n\
                    model              = mlp\n\
                    parties            = 3\n\
                    aggregators        = 2\n\
-                   rounds             = 60\n\
+                   rounds             = 100000\n\
                    algorithm          = avg\n\
                    seed               = 7\n\
                    examples_per_party = 40\n\
@@ -85,8 +88,8 @@ fn killed_aggregator_process_yields_structured_timeout() {
 
     let victim_pid = wait_for_node_pid(cfg_str, VICTIM, Duration::from_secs(60))
         .expect("the agg-1 node process never appeared");
-    // Let Phase II bootstrap finish so the kill lands mid-round (the
-    // 60-round session runs ~10s; this lands around round five).
+    // Let Phase II bootstrap finish so the kill lands mid-round; the
+    // session has orders of magnitude more rounds than a second buys.
     std::thread::sleep(Duration::from_millis(1000));
     let killed = Command::new("kill")
         .args(["-9", &victim_pid.to_string()])
@@ -115,6 +118,79 @@ fn killed_aggregator_process_yields_structured_timeout() {
         !stderr.contains("disconnected without Bye"),
         "the hub's disconnect fallout must not mask the timeout, got:\n{stderr}"
     );
+}
+
+/// The traced twin of the SIGKILL drill: run the same cluster under
+/// `deta-cli trace`, kill the same aggregator process, and assert the
+/// merged multi-process trace still lands on disk *and* its meta line
+/// implicates exactly the killed node — the observability layer must
+/// not lose the post-mortem when the run it was recording dies.
+#[test]
+fn killed_node_is_implicated_in_merged_trace() {
+    let dir = std::env::temp_dir().join(format!("deta-cluster-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let cfg_path = dir.join("trace-fault.cfg");
+    std::fs::write(&cfg_path, CFG).expect("write config");
+    let cfg_str = cfg_path.to_str().expect("utf-8 temp path");
+
+    // `results/traces` is resolved against the coordinator's working
+    // directory; point it at the temp dir so the repo stays clean.
+    let coordinator = Command::new(env!("CARGO_BIN_EXE_deta-cli"))
+        .args(["trace", cfg_str])
+        .current_dir(&dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn trace coordinator");
+    let coordinator_pid = coordinator.id();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(120));
+        let _ = Command::new("kill")
+            .args(["-9", &coordinator_pid.to_string()])
+            .status();
+    });
+
+    let victim_pid = wait_for_node_pid(cfg_str, VICTIM, Duration::from_secs(60))
+        .expect("the agg-1 node process never appeared");
+    std::thread::sleep(Duration::from_millis(1000));
+    let killed = Command::new("kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "SIGKILL of the node process failed");
+
+    let out = coordinator.wait_with_output().expect("reap coordinator");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "trace coordinator must still fail after a node dies; stderr:\n{stderr}"
+    );
+
+    // The merged trace must have been written before the error
+    // surfaced, and its meta line must implicate exactly the victim.
+    let traces_dir = dir.join("results").join("traces");
+    let merged_path = std::fs::read_dir(&traces_dir)
+        .expect("trace dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("merged-") && n.ends_with(".jsonl"))
+        })
+        .expect("a merged-*.jsonl trace must exist after a faulted traced run");
+    let parsed =
+        deta_obs::parse_jsonl(&std::fs::read_to_string(&merged_path).expect("read merged trace"));
+    assert_eq!(
+        parsed.implicated,
+        vec![VICTIM.to_string()],
+        "the merged trace must implicate exactly the killed node"
+    );
+    assert!(
+        !parsed.records.is_empty(),
+        "the merged trace must carry the records leading up to the fault"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

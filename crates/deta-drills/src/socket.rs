@@ -73,9 +73,19 @@ impl Rogue {
             sig: proof.to_bytes(),
         });
         match rogue.recv() {
-            Some(SocketFrame::Welcome) => Some(rogue),
-            _ => None,
+            Some(SocketFrame::Welcome) => {}
+            _ => return None,
         }
+        // The hub aligns clocks right after Welcome and refuses data
+        // until the probe is echoed; even a rogue must answer it.
+        let Some(SocketFrame::ClockProbe { t_hub_ns }) = rogue.recv() else {
+            panic!("hub must probe the clock after Welcome");
+        };
+        rogue.send(&SocketFrame::ClockEcho {
+            t_hub_ns,
+            t_peer_ns: deta_telemetry::now_ns(),
+        });
+        Some(rogue)
     }
 
     fn send(&mut self, frame: &SocketFrame) {

@@ -1,0 +1,166 @@
+//! Property tests for the clock-alignment merge (satellite of the
+//! distributed-tracing work): whatever per-process clock offsets the
+//! OS hands out, and however wrong the handshake's first-order
+//! estimates are, the merged ordering must respect every causal
+//! send→recv edge the trace carries, and must never reorder records
+//! within one process.
+
+use deta_obs::json::Json;
+use deta_obs::{merge, MergedTrace, ObsRecord, ProcessTrace};
+use deta_proptest::{cases, Gen};
+
+fn event(t: i64, node: &str, name: &str, msg_id: u64) -> ObsRecord {
+    ObsRecord {
+        t_ns: t,
+        node: node.to_string(),
+        span: false,
+        name: name.to_string(),
+        dur_ns: 0,
+        trace_id: 1,
+        parent: 0,
+        fields: vec![("msg_id".to_string(), Json::Num(msg_id.to_string()))],
+    }
+}
+
+/// A synthetic distributed execution in *true* time, then skewed.
+struct Exec {
+    /// Per-process records with per-process clock readings.
+    procs: Vec<ProcessTrace>,
+    /// For checking: (msg_id, send process, recv process).
+    edges: Vec<(u64, usize, usize)>,
+}
+
+/// Builds a causally-valid execution on a global true clock, applies an
+/// arbitrary offset to each process's timestamps, and gives the merger
+/// estimates that are off by an arbitrary *bounded* error (the probe /
+/// echo midpoint is at worst off by the handshake RTT; causality must
+/// absorb the rest).
+fn arbitrary_exec(g: &mut Gen) -> Exec {
+    let nprocs = g.usize_in(2, 5);
+    let nmsgs = g.usize_in(1, 30);
+    let mut true_now = 0i64;
+    let mut per_proc: Vec<Vec<(i64, ObsRecord)>> = vec![Vec::new(); nprocs];
+    let mut edges = Vec::new();
+    for m in 0..nmsgs {
+        let from = g.usize_in(0, nprocs);
+        let mut to = g.usize_in(0, nprocs);
+        if to == from {
+            to = (to + 1) % nprocs;
+        }
+        true_now += g.u64_in(0, 10_000) as i64;
+        let t_send = true_now;
+        let t_recv = t_send + g.u64_in(0, 50_000) as i64;
+        let msg_id = (m as u64 + 1) << 8;
+        per_proc[from].push((
+            t_send,
+            event(0, &format!("node-{from}"), "net_send", msg_id),
+        ));
+        per_proc[to].push((t_recv, event(0, &format!("node-{to}"), "net_recv", msg_id)));
+        edges.push((msg_id, from, to));
+    }
+    let mut procs = Vec::new();
+    for (p, mut recs) in per_proc.into_iter().enumerate() {
+        // True offset: this process's clock reads true + skew.
+        let skew = g.u64_in(0, 1 << 40) as i64 - (1 << 39);
+        // Estimate error models probe/echo asymmetry: bounded, either
+        // direction.
+        let est_err = g.u64_in(0, 40_000) as i64 - 20_000;
+        recs.sort_by_key(|(t, _)| *t);
+        let records = recs
+            .into_iter()
+            .map(|(t_true, mut rec)| {
+                rec.t_ns = t_true + skew;
+                rec
+            })
+            .collect();
+        procs.push(ProcessTrace {
+            label: format!("proc-{p}"),
+            offset_ns: skew + est_err,
+            records,
+        });
+    }
+    Exec { procs, edges }
+}
+
+fn find(m: &MergedTrace, name: &str, msg_id: u64) -> i64 {
+    m.records
+        .iter()
+        .find(|r| r.name == name && r.field_u64("msg_id") == Some(msg_id))
+        .map(|r| r.t_ns)
+        .expect("merge must not lose records")
+}
+
+#[test]
+fn merged_order_respects_every_causal_edge() {
+    cases("obs/merge-causal", 300, |g: &mut Gen| {
+        let exec = arbitrary_exec(g);
+        let merged = merge(exec.procs.clone());
+        assert!(
+            merged.causally_consistent(),
+            "own invariant check must hold"
+        );
+        for (msg_id, _, _) in &exec.edges {
+            let t_send = find(&merged, "net_send", *msg_id);
+            let t_recv = find(&merged, "net_recv", *msg_id);
+            assert!(
+                t_send <= t_recv,
+                "edge {msg_id:#x}: send at {t_send} after recv at {t_recv}"
+            );
+        }
+        assert_eq!(
+            merged.edges.len(),
+            exec.edges.len(),
+            "every send/recv pair must be matched"
+        );
+    });
+}
+
+#[test]
+fn merge_never_reorders_within_a_process() {
+    cases("obs/merge-intra-order", 200, |g: &mut Gen| {
+        let exec = arbitrary_exec(g);
+        let merged = merge(exec.procs.clone());
+        for pt in &exec.procs {
+            let node = &pt.records.first().map(|r| r.node.clone());
+            let Some(node) = node else { continue };
+            let original: Vec<u64> = pt
+                .records
+                .iter()
+                .filter_map(|r| r.field_u64("msg_id"))
+                .collect();
+            let merged_order: Vec<u64> = merged
+                .records
+                .iter()
+                .filter(|r| &r.node == node)
+                .filter_map(|r| r.field_u64("msg_id"))
+                .collect();
+            assert_eq!(
+                original, merged_order,
+                "one process = one clock: its record order is invariant"
+            );
+        }
+    });
+}
+
+#[test]
+fn timeline_always_starts_at_zero_and_roundtrips() {
+    cases("obs/merge-normalized", 100, |g: &mut Gen| {
+        let exec = arbitrary_exec(g);
+        let merged = merge(exec.procs);
+        let min = merged.records.iter().map(|r| r.t_ns).min().unwrap();
+        assert_eq!(min, 0, "merged timelines are normalized to start at 0");
+        // The rendered JSONL parses back to the same record count, and
+        // re-merging a merged trace (single process, zero offset) is a
+        // fixpoint.
+        let jsonl = merged.to_jsonl(&[], &[]);
+        let back = deta_obs::parse_jsonl(&jsonl);
+        assert_eq!(back.records.len(), merged.records.len());
+        assert_eq!(back.skipped, 0);
+        let again = merge(vec![ProcessTrace {
+            label: "merged".into(),
+            offset_ns: 0,
+            records: back.records.clone(),
+        }]);
+        assert_eq!(again.records, back.records);
+    });
+}

@@ -186,6 +186,11 @@ pub fn run_aggregator(
                             }
                         }
                     }
+                    // Spanned so merged-trace critical paths can name
+                    // dispatch/decode time that falls outside the
+                    // node's own compute spans.
+                    let _handle = deta_telemetry::span("handle_wire")
+                        .with_field("bytes", TelemetryValue::from(msg.payload.len()));
                     agg.handle_wire(&msg.from, &msg.payload);
                 }
             }
@@ -312,6 +317,8 @@ pub fn run_party(
                         }
                     }
                 } else {
+                    let _handle = deta_telemetry::span("handle_wire")
+                        .with_field("bytes", TelemetryValue::from(msg.payload.len()));
                     party.handle_wire(&msg.from, &msg.payload);
                 }
             }

@@ -236,6 +236,14 @@ impl ThreadedSession {
         let tid = self.broker.training_id(round);
         let n = self.party_names.len();
 
+        // Round-scoped trace: everything this driver thread sends from
+        // here on carries trace id `round + 1` (0 means untraced), and
+        // its transport edge events land in the supervisor's ring.
+        deta_telemetry::trace::begin(round + 1);
+        let _trace_guard = deta_telemetry::attach(self.supervisor.own_recorder());
+        self.supervisor
+            .note("round_begin", &[("round", TelemetryValue::from(round))]);
+
         // This round's participants: the sequential session's selection,
         // replicated exactly (same RNG fork, same shuffle).
         let online: Vec<usize> = (0..n).collect();
@@ -371,6 +379,8 @@ impl ThreadedSession {
         // Refresh the round checkpoint: the state the *next* round's
         // failover would replay on top of.
         if self.supervisor.config().checkpoint {
+            let _cp_span =
+                deta_telemetry::span("checkpoint").with_field("round", TelemetryValue::from(round));
             self.checkpoint = Some(RoundCheckpoint {
                 round,
                 params: params.clone(),
@@ -378,8 +388,15 @@ impl ThreadedSession {
                 training_id: tid,
             });
         }
-        self.eval_model.set_flat_params(&params);
-        let (test_loss, test_accuracy) = deta_nn::train::evaluate(&mut self.eval_model, test, 128);
+        // Driver-side work is on the round's blocking path too; span it
+        // so critical-path reports name it instead of charging it to
+        // idle.
+        let (test_loss, test_accuracy) = {
+            let _eval_span =
+                deta_telemetry::span("eval").with_field("round", TelemetryValue::from(round));
+            self.eval_model.set_flat_params(&params);
+            deta_nn::train::evaluate(&mut self.eval_model, test, 128)
+        };
         Ok(RoundMetrics {
             round,
             train_loss: train_loss_sum / participants.len() as f32,

@@ -205,6 +205,14 @@ impl Supervisor {
         }
     }
 
+    /// The supervisor's own flight recorder. The session driver attaches
+    /// it to the driving thread for the duration of a round so transport
+    /// edge events (`net_send`/`net_recv`) emitted by the control
+    /// endpoint land in the supervisor's ring.
+    pub fn own_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.own)
+    }
+
     /// Waits until every node in `expected` has satisfied its phase
     /// obligation, with a hard deadline.
     ///
@@ -393,6 +401,11 @@ impl Supervisor {
     /// Reports the first panicked thread as [`RuntimeError::NodePanicked`]
     /// (remaining threads are still joined first, so nothing leaks).
     pub fn shutdown(&mut self) -> Result<(), RuntimeError> {
+        // Teardown is not part of any round: clear the driver thread's
+        // trace context so Shutdown frames (and the recvs they cause on
+        // remote nodes) don't inflate the last round's wall time in a
+        // merged trace.
+        deta_telemetry::trace::begin(0);
         self.stop.store(true, Ordering::Relaxed);
         for halt in self.halts.values() {
             halt.store(true, Ordering::Relaxed);

@@ -100,6 +100,12 @@ struct HubShared {
     stop: Arc<AtomicBool>,
     /// Connection counter, forked into each responder handshake RNG.
     conns: AtomicU64,
+    /// Per-node clock offsets from the post-auth probe/echo exchange:
+    /// `child_ns - hub_ns` at the round-trip midpoint.
+    offsets: Mutex<HashMap<String, i64>>,
+    /// Per-node shipped flight-recorder rings (JSONL text + overflow
+    /// count), delivered by `TraceShip` just before each child's `Bye`.
+    traces: Mutex<HashMap<String, (String, u64)>>,
 }
 
 impl HubShared {
@@ -159,6 +165,8 @@ impl SocketHub {
             error: Mutex::new(None),
             stop: Arc::clone(&stop),
             conns: AtomicU64::new(0),
+            offsets: Mutex::new(HashMap::new()),
+            traces: Mutex::new(HashMap::new()),
         });
         let roster: Arc<HashMap<String, VerifyingKey>> = Arc::new(
             seats
@@ -200,7 +208,15 @@ impl SocketHub {
     /// Stops every bridge thread and joins them. Call after the session
     /// has shut down (pumps will already have drained and broadcast the
     /// mailbox closures).
-    pub fn join(mut self) -> Option<SocketError> {
+    pub fn join(self) -> Option<SocketError> {
+        self.join_harvest().0
+    }
+
+    /// [`SocketHub::join`] plus the observability harvest: every child's
+    /// shipped flight-recorder ring and its clock offset, collected once
+    /// all bridge threads have drained. The trace merger
+    /// (`deta-obs`) aligns the shipped timestamps with these offsets.
+    pub fn join_harvest(mut self) -> (Option<SocketError>, TraceHarvest) {
         self.stop.store(true, Ordering::Relaxed);
         // Dropping every egress sender lets writer threads drain their
         // queues, emit Bye, and exit.
@@ -209,8 +225,25 @@ impl SocketHub {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
-        self.first_error()
+        let harvest = TraceHarvest {
+            offsets: lock(&self.shared.offsets).clone(),
+            traces: std::mem::take(&mut *lock(&self.shared.traces)),
+        };
+        (self.first_error(), harvest)
     }
+}
+
+/// Cross-process observability data collected by the hub over one
+/// session: per-child clock offsets (from the post-auth probe/echo) and
+/// each child's shipped flight-recorder ring.
+#[derive(Debug, Default)]
+pub struct TraceHarvest {
+    /// `child_ns - hub_ns` per node, estimated at the link round-trip
+    /// midpoint.
+    pub offsets: HashMap<String, i64>,
+    /// Per-node shipped ring: rendered JSONL (schema v2) plus the count
+    /// of records lost to ring overflow.
+    pub traces: HashMap<String, (String, u64)>,
 }
 
 /// Drains one node's proxy mailbox onto its link. Exits when the
@@ -219,7 +252,9 @@ impl SocketHub {
 fn pump(seat: HubSeat, shared: Arc<HubShared>) {
     let mut seqs = SeqTracker::new();
     loop {
-        match seat.endpoint.recv_timeout(TICK) {
+        // Raw receive: a trace envelope on the payload must cross the
+        // process boundary intact, not be adopted by this relay thread.
+        match seat.endpoint.recv_timeout_raw(TICK) {
             Ok(msg) => {
                 let src: String = msg.from.to_string();
                 let seq = seqs.next(&src, &seat.name);
@@ -336,6 +371,15 @@ fn serve(
             return;
         }
     };
+    match clock_exchange(&mut link, &name) {
+        Ok(offset) => {
+            lock(&shared.offsets).insert(name.clone(), offset);
+        }
+        Err(e) => {
+            shared.record_error(e);
+            return;
+        }
+    }
     let (tx, rx) = channel::<SocketFrame>();
     {
         let mut links = lock(&shared.links);
@@ -416,6 +460,28 @@ fn serve(
                 // The hub is authoritative for closures; a child telling
                 // us about one is harmless.
             }
+            Ok(Some(SocketFrame::TraceShip {
+                name: ship_name,
+                dropped,
+                jsonl,
+            })) => {
+                // A node may only ship its own ring (same rule as Data
+                // source names).
+                if ship_name != name {
+                    shared.record_error(SocketError::Auth {
+                        peer: name.clone(),
+                        detail: "trace ship with spoofed node name",
+                    });
+                    break;
+                }
+                let Ok(text) = String::from_utf8(jsonl) else {
+                    shared.record_error(SocketError::Malformed {
+                        link: receiver.label().to_string(),
+                    });
+                    break;
+                };
+                lock(&shared.traces).insert(ship_name, (text, dropped));
+            }
             Ok(Some(_)) => {
                 shared.record_error(SocketError::Malformed {
                     link: receiver.label().to_string(),
@@ -445,6 +511,30 @@ fn serve(
     }
     shared.drop_link(&name);
     let _ = writer.join();
+}
+
+/// Clock-alignment probe/echo: estimates the peer's monotonic-clock
+/// offset (`child_ns - hub_ns`) at the round-trip midpoint. Runs right
+/// after `Welcome`, before any data flows, so the link is otherwise
+/// idle and the round trip is as tight as it gets.
+fn clock_exchange(link: &mut SecureLink, peer: &str) -> Result<i64, SocketError> {
+    let t_send = deta_telemetry::now_ns();
+    link.send(&SocketFrame::ClockProbe { t_hub_ns: t_send })?;
+    let deadline = Some(Instant::now() + AUTH_DEADLINE);
+    match link.recv(deadline, None)? {
+        Some(SocketFrame::ClockEcho {
+            t_hub_ns,
+            t_peer_ns,
+        }) if t_hub_ns == t_send => {
+            let t_recv = deta_telemetry::now_ns();
+            let midpoint = (t_send / 2).wrapping_add(t_recv / 2);
+            Ok(t_peer_ns as i64 - midpoint as i64)
+        }
+        _ => Err(SocketError::Auth {
+            peer: peer.to_string(),
+            detail: "peer did not echo the clock probe",
+        }),
+    }
 }
 
 /// Challenge/response over the fresh channel: the peer proves control

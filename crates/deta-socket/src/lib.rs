@@ -45,7 +45,7 @@ pub mod wire;
 mod link;
 
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME};
-pub use hub::{HubSeat, SocketHub};
+pub use hub::{HubSeat, SocketHub, TraceHarvest};
 pub use node::run_node;
 pub use wire::{ReplayWindow, SeqTracker, SocketFrame};
 

@@ -178,6 +178,23 @@ pub fn run_node(
             })
         }
     }
+    // Clock alignment: echo the hub's probe with our own monotonic
+    // timestamp so the coordinator can map this process's trace
+    // timestamps onto its timeline.
+    match link.recv(deadline, None)? {
+        Some(SocketFrame::ClockProbe { t_hub_ns }) => {
+            link.send(&SocketFrame::ClockEcho {
+                t_hub_ns,
+                t_peer_ns: deta_telemetry::now_ns(),
+            })?;
+        }
+        _ => {
+            return Err(SocketError::Auth {
+                peer: name.to_string(),
+                detail: "hub did not send a clock probe",
+            })
+        }
+    }
     let (sender, receiver) = link.split()?;
 
     // Bridge threads: writer (egress queue -> socket) and reader
@@ -190,7 +207,16 @@ pub fn run_node(
         own: name.to_string(),
         egress: Mutex::new(egress_tx),
     }));
-    let writer = std::thread::spawn(move || write_loop(sender, egress_rx));
+    // With tracing on, the ring must hold a whole session's spans for
+    // shipping — overflow is reported but a deep ring avoids it.
+    let ring_cap = if deta_telemetry::enabled() {
+        65536
+    } else {
+        256
+    };
+    let recorder = FlightRecorder::new(name, ring_cap);
+    let ship = Arc::clone(&recorder);
+    let writer = std::thread::spawn(move || write_loop(sender, egress_rx, ship));
     let reader_stop = Arc::new(AtomicBool::new(false));
     let reader_error: Arc<Mutex<Option<SocketError>>> = Arc::new(Mutex::new(None));
     let reader = {
@@ -203,7 +229,6 @@ pub fn run_node(
 
     // The actor runs on this thread, exactly as it would under the
     // in-process supervisor.
-    let recorder = FlightRecorder::new(name, 256);
     let ctx = ActorContext {
         stop: Arc::new(AtomicBool::new(false)),
         halt: Arc::new(AtomicBool::new(false)),
@@ -234,8 +259,14 @@ pub fn run_node(
     }
 }
 
-/// Egress: drains the tap's queue onto the socket in order, then `Bye`.
-fn write_loop(mut sender: LinkSender, rx: Receiver<(String, String, Vec<u8>)>) {
+/// Egress: drains the tap's queue onto the socket in order, then — with
+/// the telemetry sink enabled — ships the hosted node's drained flight
+/// recorder, then `Bye`.
+fn write_loop(
+    mut sender: LinkSender,
+    rx: Receiver<(String, String, Vec<u8>)>,
+    recorder: Arc<FlightRecorder>,
+) {
     let mut seqs = SeqTracker::new();
     while let Ok((src, dst, payload)) = rx.recv() {
         let seq = seqs.next(&src, &dst);
@@ -247,6 +278,23 @@ fn write_loop(mut sender: LinkSender, rx: Receiver<(String, String, Vec<u8>)>) {
         };
         if sender.send(&frame).is_err() {
             return;
+        }
+    }
+    // The queue only closes after the actor loop has exited, so the
+    // ring is complete by the time it is drained here.
+    if deta_telemetry::enabled() {
+        let (records, dropped) = recorder.drain();
+        if !records.is_empty() || dropped > 0 {
+            let mut jsonl = String::new();
+            for rec in &records {
+                jsonl.push_str(&rec.to_json(recorder.node()));
+                jsonl.push('\n');
+            }
+            let _ = sender.send(&SocketFrame::TraceShip {
+                name: recorder.node().to_string(),
+                dropped,
+                jsonl: jsonl.into_bytes(),
+            });
         }
     }
     let _ = sender.send(&SocketFrame::Bye);

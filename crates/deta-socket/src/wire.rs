@@ -50,6 +50,36 @@ pub enum SocketFrame {
     Welcome,
     /// Orderly end of stream; the sender will write nothing further.
     Bye,
+    /// Hub → peer, immediately after `Welcome`: clock-alignment probe
+    /// carrying the hub's monotonic send timestamp. The peer must
+    /// answer with [`SocketFrame::ClockEcho`] before any other frame.
+    ClockProbe {
+        /// Hub monotonic nanoseconds at probe send time.
+        t_hub_ns: u64,
+    },
+    /// Peer → hub: clock-alignment echo. The hub estimates the peer's
+    /// clock offset as `t_peer_ns - (t_send + t_recv) / 2` (midpoint of
+    /// the round trip), which the trace merger uses to map the child's
+    /// monotonic timestamps onto the coordinator's timeline.
+    ClockEcho {
+        /// The probe's `t_hub_ns`, echoed back verbatim.
+        t_hub_ns: u64,
+        /// Peer monotonic nanoseconds when the probe was handled.
+        t_peer_ns: u64,
+    },
+    /// Peer → hub, just before `Bye`: the peer's drained flight-recorder
+    /// ring as rendered JSONL, so the coordinator can merge every
+    /// process's spans into one causal trace. Carries only the already
+    /// secret-free telemetry schema — sealed payloads never appear in a
+    /// ring (lint rule 6).
+    TraceShip {
+        /// The node whose ring this is.
+        name: String,
+        /// Records evicted by ring overflow before the drain.
+        dropped: u64,
+        /// UTF-8 JSONL, one record per line (schema v2).
+        jsonl: Vec<u8>,
+    },
 }
 
 /// Domain separator for auth-proof signatures, so a signature produced
@@ -71,6 +101,9 @@ const TAG_CHALLENGE: u8 = 3;
 const TAG_AUTH_PROOF: u8 = 4;
 const TAG_WELCOME: u8 = 5;
 const TAG_BYE: u8 = 6;
+const TAG_CLOCK_PROBE: u8 = 7;
+const TAG_CLOCK_ECHO: u8 = 8;
+const TAG_TRACE_SHIP: u8 = 9;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     // Endpoint names are short; anything longer is clamped rather than
@@ -174,6 +207,28 @@ impl SocketFrame {
             }
             SocketFrame::Welcome => out.push(TAG_WELCOME),
             SocketFrame::Bye => out.push(TAG_BYE),
+            SocketFrame::ClockProbe { t_hub_ns } => {
+                out.push(TAG_CLOCK_PROBE);
+                out.extend_from_slice(&t_hub_ns.to_le_bytes());
+            }
+            SocketFrame::ClockEcho {
+                t_hub_ns,
+                t_peer_ns,
+            } => {
+                out.push(TAG_CLOCK_ECHO);
+                out.extend_from_slice(&t_hub_ns.to_le_bytes());
+                out.extend_from_slice(&t_peer_ns.to_le_bytes());
+            }
+            SocketFrame::TraceShip {
+                name,
+                dropped,
+                jsonl,
+            } => {
+                out.push(TAG_TRACE_SHIP);
+                put_str(&mut out, name);
+                out.extend_from_slice(&dropped.to_le_bytes());
+                put_bytes(&mut out, jsonl);
+            }
         }
         out
     }
@@ -203,6 +258,16 @@ impl SocketFrame {
             },
             TAG_WELCOME => SocketFrame::Welcome,
             TAG_BYE => SocketFrame::Bye,
+            TAG_CLOCK_PROBE => SocketFrame::ClockProbe { t_hub_ns: r.u64()? },
+            TAG_CLOCK_ECHO => SocketFrame::ClockEcho {
+                t_hub_ns: r.u64()?,
+                t_peer_ns: r.u64()?,
+            },
+            TAG_TRACE_SHIP => SocketFrame::TraceShip {
+                name: r.str()?,
+                dropped: r.u64()?,
+                jsonl: r.bytes()?,
+            },
             _ => return None,
         };
         if r.done() {

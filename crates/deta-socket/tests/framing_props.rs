@@ -83,7 +83,7 @@ fn arbitrary_name(g: &mut Gen) -> String {
 }
 
 fn arbitrary_socket_frame(g: &mut Gen) -> SocketFrame {
-    match g.usize_in(0, 6) {
+    match g.usize_in(0, 9) {
         0 => SocketFrame::Data {
             src: arbitrary_name(g),
             dst: arbitrary_name(g),
@@ -99,6 +99,16 @@ fn arbitrary_socket_frame(g: &mut Gen) -> SocketFrame {
             sig: g.bytes(0, 96),
         },
         4 => SocketFrame::Welcome,
+        5 => SocketFrame::ClockProbe { t_hub_ns: g.u64() },
+        6 => SocketFrame::ClockEcho {
+            t_hub_ns: g.u64(),
+            t_peer_ns: g.u64(),
+        },
+        7 => SocketFrame::TraceShip {
+            name: arbitrary_name(g),
+            dropped: g.u64(),
+            jsonl: g.bytes(0, 400),
+        },
         _ => SocketFrame::Bye,
     }
 }

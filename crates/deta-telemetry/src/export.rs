@@ -119,6 +119,8 @@ mod tests {
             kind: RecordKind::Event,
             name,
             dur_ns: None,
+            trace_id: 0,
+            parent: 0,
             fields: Vec::new(),
         };
         let nodes = vec![

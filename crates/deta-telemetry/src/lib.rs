@@ -32,10 +32,12 @@
 pub mod export;
 pub mod metrics;
 pub mod record;
+pub mod trace;
 pub mod value;
 
 pub use export::{last_dump_path, trace_dump, unique_stem, TraceDump};
 pub use record::{FlightRecorder, RecordKind, TelemetryRecord};
+pub use trace::TraceCtx;
 pub use value::TelemetryValue;
 
 use std::cell::RefCell;
@@ -125,12 +127,15 @@ pub fn event(name: &'static str, fields: &[(&'static str, TelemetryValue)]) {
         return;
     }
     note_emit();
+    let ctx = trace::current();
     with_current(|rec| {
         rec.push(TelemetryRecord {
             t_ns: now_ns(),
             kind: RecordKind::Event,
             name,
             dur_ns: None,
+            trace_id: ctx.trace_id,
+            parent: ctx.parent,
             fields: fields.to_vec(),
         });
     });
@@ -185,12 +190,15 @@ impl Drop for Span {
         let dur = now_ns().saturating_sub(self.start_ns);
         let fields = std::mem::take(&mut self.fields);
         let (name, start_ns) = (self.name, self.start_ns);
+        let ctx = trace::current();
         with_current(|rec| {
             rec.push(TelemetryRecord {
                 t_ns: start_ns,
                 kind: RecordKind::Span,
                 name,
                 dur_ns: Some(dur),
+                trace_id: ctx.trace_id,
+                parent: ctx.parent,
                 fields,
             });
         });

@@ -138,8 +138,44 @@ pub fn prometheus_snapshot() -> String {
         }
         let _ = writeln!(out, "{name}_sum{} {}", label_part(label, ""), h.sum);
         let _ = writeln!(out, "{name}_count{} {}", label_part(label, ""), h.count);
+        for (q, tag) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                label_part(label, &format!("quantile=\"{tag}\"")),
+                quantile_estimate(&h.buckets, h.count, q)
+            );
+        }
     }
     out
+}
+
+/// Estimates quantile `q` from the fixed decade buckets by linear
+/// interpolation within the containing bucket: the target rank
+/// `q * count` is located in cumulative-count space, then mapped
+/// linearly between the bucket's lower and upper bound. Observations in
+/// the `+Inf` bucket clamp to the last finite bound; an empty histogram
+/// reports 0.
+pub fn quantile_estimate(buckets: &[u64; BUCKET_BOUNDS.len() + 1], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = q * count as f64;
+    let mut cumulative = 0u64;
+    for (i, &bucket) in buckets.iter().enumerate() {
+        let before = cumulative as f64;
+        cumulative += bucket;
+        if (cumulative as f64) >= target && bucket > 0 {
+            if i >= BUCKET_BOUNDS.len() {
+                // The +Inf bucket has no upper bound to interpolate to.
+                return BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1];
+            }
+            let lo = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] };
+            let hi = BUCKET_BOUNDS[i];
+            return lo + (hi - lo) * ((target - before) / bucket as f64);
+        }
+    }
+    BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]
 }
 
 /// Renders the `{label="...",extra}` suffix; empty labels and extras
@@ -190,6 +226,48 @@ mod tests {
         assert!(snap.contains("le=\"0.1\"} 1"));
         reset();
         assert_eq!(counter_value("deta_test_frames_total", "a->b"), 0);
+    }
+
+    #[test]
+    fn quantile_interpolation_is_pinned() {
+        // Ten observations, all in the (0.1, 1.0] decade bucket: the
+        // estimate interpolates linearly between the bucket bounds.
+        let mut buckets = [0u64; BUCKET_BOUNDS.len() + 1];
+        buckets[6] = 10; // bounds[6] == 1.0, lower bound 0.1
+        let q = |p: f64| quantile_estimate(&buckets, 10, p);
+        assert!((q(0.50) - 0.55).abs() < 1e-12);
+        assert!((q(0.95) - 0.955).abs() < 1e-12);
+        assert!((q(0.99) - 0.991).abs() < 1e-12);
+
+        // Split across the first and +Inf buckets: the low quantile
+        // interpolates from 0, the high one clamps to the last finite
+        // bound (the +Inf bucket has no upper edge).
+        let mut split = [0u64; BUCKET_BOUNDS.len() + 1];
+        split[0] = 2;
+        split[BUCKET_BOUNDS.len()] = 2;
+        assert!((quantile_estimate(&split, 4, 0.50) - 1e-6).abs() < 1e-18);
+        assert_eq!(quantile_estimate(&split, 4, 0.99), 1e7);
+
+        // Empty histograms report 0.
+        assert_eq!(
+            quantile_estimate(&[0; BUCKET_BOUNDS.len() + 1], 0, 0.5),
+            0.0
+        );
+    }
+
+    #[test]
+    fn snapshot_carries_quantile_lines() {
+        let _serial = test_guard();
+        crate::enable();
+        reset();
+        for _ in 0..10 {
+            histogram_observe("deta_test_latency_seconds", "agg-0", 0.5);
+        }
+        let snap = prometheus_snapshot();
+        assert!(snap.contains("deta_test_latency_seconds{label=\"agg-0\",quantile=\"0.5\"} 0.55"));
+        assert!(snap.contains("quantile=\"0.95\"}"));
+        assert!(snap.contains("quantile=\"0.99\"}"));
+        reset();
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct TelemetryRecord {
     pub name: &'static str,
     /// Span duration in nanoseconds; `None` for events.
     pub dur_ns: Option<u64>,
+    /// Round-scoped trace id (schema v2); 0 = untraced, omitted from
+    /// the rendered JSON.
+    pub trace_id: u64,
+    /// Id of the message whose delivery caused this record (schema v2);
+    /// 0 = locally originated.
+    pub parent: u64,
     /// Structured payload, restricted to [`TelemetryValue`]s.
     pub fields: Vec<(&'static str, TelemetryValue)>,
 }
@@ -63,6 +69,12 @@ impl TelemetryRecord {
         );
         if let Some(d) = self.dur_ns {
             out.push_str(&format!(",\"dur_ns\":{d}"));
+        }
+        if self.trace_id != 0 {
+            out.push_str(&format!(",\"trace_id\":{}", self.trace_id));
+            if self.parent != 0 {
+                out.push_str(&format!(",\"parent\":{}", self.parent));
+            }
         }
         if !self.fields.is_empty() {
             out.push_str(",\"fields\":{");
@@ -128,11 +140,14 @@ impl FlightRecorder {
             return;
         }
         crate::note_emit();
+        let ctx = crate::trace::current();
         self.push(TelemetryRecord {
             t_ns: crate::now_ns(),
             kind: RecordKind::Event,
             name,
             dur_ns: None,
+            trace_id: ctx.trace_id,
+            parent: ctx.parent,
             fields: fields.to_vec(),
         });
     }
@@ -168,6 +183,8 @@ mod tests {
             kind: RecordKind::Event,
             name,
             dur_ns: None,
+            trace_id: 0,
+            parent: 0,
             fields: Vec::new(),
         }
     }
@@ -203,11 +220,33 @@ mod tests {
             kind: RecordKind::Span,
             name: "aggregate",
             dur_ns: Some(11),
+            trace_id: 0,
+            parent: 0,
             fields: Vec::new(),
         };
         assert_eq!(
             span.to_json("agg-0"),
             "{\"t_ns\":5,\"node\":\"agg-0\",\"kind\":\"span\",\"name\":\"aggregate\",\"dur_ns\":11}"
+        );
+    }
+
+    #[test]
+    fn traced_records_render_the_v2_fields() {
+        let mut r = rec(9, "net_send");
+        r.trace_id = 4;
+        r.parent = 1099511627777;
+        assert_eq!(
+            r.to_json("agg-0"),
+            "{\"t_ns\":9,\"node\":\"agg-0\",\"kind\":\"event\",\"name\":\"net_send\",\
+             \"trace_id\":4,\"parent\":1099511627777}"
+        );
+        // A root record (no causal parent) omits the parent field.
+        let mut root = rec(2, "round_begin");
+        root.trace_id = 4;
+        assert_eq!(
+            root.to_json("supervisor"),
+            "{\"t_ns\":2,\"node\":\"supervisor\",\"kind\":\"event\",\
+             \"name\":\"round_begin\",\"trace_id\":4}"
         );
     }
 }

@@ -601,13 +601,41 @@ impl Endpoint {
     }
 
     /// Sends `payload` to the endpoint named `to`.
+    ///
+    /// While the telemetry sink is enabled the payload is wrapped in a
+    /// trace envelope carrying the sending thread's trace context plus
+    /// a fresh message id, and a `net_send` edge event lands in the
+    /// sender's flight recorder. With telemetry disabled the bytes on
+    /// the wire are exactly the payload — deployments with the sink off
+    /// stay bit-identical to builds without tracing.
     pub fn send(&self, to: &str, payload: impl Into<Vec<u8>>) -> Result<(), NetError> {
-        self.network.send(&self.name, to, payload.into())
+        let payload = payload.into();
+        let payload = if deta_telemetry::enabled() {
+            let ctx = deta_telemetry::trace::current();
+            let msg_id = deta_telemetry::trace::next_msg_id();
+            // Ids and sizes only — no peer-name string field: this runs
+            // per message, and the `net_recv` twin's node attribution
+            // already names the destination in the merged trace.
+            deta_telemetry::event(
+                "net_send",
+                &[
+                    ("msg_id", deta_telemetry::TelemetryValue::U64(msg_id)),
+                    (
+                        "bytes",
+                        deta_telemetry::TelemetryValue::U64(payload.len() as u64),
+                    ),
+                ],
+            );
+            deta_telemetry::trace::wrap_envelope(ctx.trace_id, msg_id, ctx.parent, &payload)
+        } else {
+            payload
+        };
+        self.network.send(&self.name, to, payload)
     }
 
     /// Receives the next queued message, if any.
     pub fn recv(&self) -> Option<Message> {
-        self.network.recv(&self.name)
+        self.network.recv(&self.name).map(|m| self.arrive(m))
     }
 
     /// Blocks (up to `timeout`) for the next message — the primitive that
@@ -615,7 +643,49 @@ impl Endpoint {
     /// [`RecvError::Closed`] once the endpoint is closed and drained, so
     /// service loops can distinguish "quiet" from "gone".
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        self.network
+            .recv_timeout(&self.name, timeout)
+            .map(|m| self.arrive(m))
+    }
+
+    /// [`Endpoint::recv_timeout`] without trace-envelope processing:
+    /// the payload comes back verbatim, envelope and all. Bridge relays
+    /// (the socket hub's pumps) use this so a trace context crosses the
+    /// process boundary intact instead of being adopted by the relay
+    /// thread.
+    pub fn recv_timeout_raw(&self, timeout: Duration) -> Result<Message, RecvError> {
         self.network.recv_timeout(&self.name, timeout)
+    }
+
+    /// Unwraps a trace envelope, if present, from an arrived message:
+    /// the carried context is adopted by the receiving thread (so spans
+    /// emitted while handling the message parent to it) and a
+    /// `net_recv` edge event lands in the receiver's flight recorder.
+    /// Bare payloads pass through untouched.
+    fn arrive(&self, mut msg: Message) -> Message {
+        if let Some((trace_id, msg_id, _parent, _inner)) =
+            deta_telemetry::trace::unwrap_envelope(&msg.payload)
+        {
+            deta_telemetry::trace::set_current(deta_telemetry::TraceCtx {
+                trace_id,
+                parent: msg_id,
+            });
+            // Strip the envelope in place (memmove within the existing
+            // allocation) rather than copying the payload out; this
+            // runs per message on the hot path.
+            msg.payload.drain(..deta_telemetry::trace::ENVELOPE_LEN);
+            deta_telemetry::event(
+                "net_recv",
+                &[
+                    ("msg_id", deta_telemetry::TelemetryValue::U64(msg_id)),
+                    (
+                        "bytes",
+                        deta_telemetry::TelemetryValue::U64(msg.payload.len() as u64),
+                    ),
+                ],
+            );
+        }
+        msg
     }
 
     /// Closes this endpoint (see [`Network::close`]).
@@ -635,11 +705,12 @@ impl Endpoint {
     /// request/response flows, so a mismatch indicates a protocol bug and
     /// is surfaced as `None` after requeueing.
     pub fn recv_from(&self, from: &str) -> Option<Vec<u8>> {
-        let msg = self.recv()?;
+        let msg = self.network.recv(&self.name)?;
         if &*msg.from == from {
-            Some(msg.payload)
+            Some(self.arrive(msg).payload)
         } else {
-            // Requeue at the back to avoid losing the message.
+            // Requeue at the back (envelope intact) to avoid losing the
+            // message.
             let _ = self.network.send(&msg.from, &self.name, msg.payload);
             None
         }

@@ -81,6 +81,49 @@ if ! diff /tmp/deta-smoke-local.txt /tmp/deta-smoke-remote.txt; then
 fi
 echo "    parity ok: $(grep -c '^round ' /tmp/deta-smoke-local.txt) rounds bit-identical"
 
+echo "==> multi-process trace smoke (deta-cli trace: merged timeline + critical path)"
+# The traced twin of the parity smoke at the paper's 4-party / k=2
+# shape: spawns one traced process per node, harvests every
+# flight-recorder ring over the socket, clock-aligns them, and must
+# produce a non-empty merged JSONL + Perfetto trace plus the per-round
+# critical-path report. Outputs land in results/traces/ (gitignored;
+# CI uploads them as artifacts).
+TRACE_CFG="$(mktemp /tmp/deta-trace-XXXXXX.cfg)"
+cat > "$TRACE_CFG" <<'CFG'
+dataset            = mnist
+resolution         = 8
+model              = mlp
+parties            = 4
+aggregators        = 2
+rounds             = 3
+algorithm          = avg
+seed               = 42
+examples_per_party = 40
+CFG
+rm -f results/traces/merged-*
+timeout 300 ./target/release/deta-cli trace "$TRACE_CFG" > /tmp/deta-trace-smoke.txt
+rm -f "$TRACE_CFG"
+MERGED_JSONL="$(ls results/traces/merged-*.jsonl 2>/dev/null | head -1)"
+MERGED_PERFETTO="$(ls results/traces/merged-*.perfetto.json 2>/dev/null | head -1)"
+if [ ! -s "$MERGED_JSONL" ] || [ ! -s "$MERGED_PERFETTO" ]; then
+  echo "FAIL: deta-cli trace produced no merged trace under results/traces/" >&2
+  exit 1
+fi
+if ! grep -q '^round 1 ' /tmp/deta-trace-smoke.txt || \
+   ! grep -q 'critical path' /tmp/deta-trace-smoke.txt; then
+  echo "FAIL: trace smoke output is missing rounds or the critical-path report" >&2
+  cat /tmp/deta-trace-smoke.txt >&2
+  exit 1
+fi
+echo "    merged trace ok: $(wc -l < "$MERGED_JSONL") records, perfetto $(wc -c < "$MERGED_PERFETTO") bytes"
+
+echo "==> bench regression history (diff BENCH_*.json vs results/BENCH_history.jsonl)"
+# Warn-by-default: drift beyond tolerance prints loudly but does not
+# fail the gate (pass --strict on release branches). The committed
+# history only gains lines under DETA_BENCH_REWRITE=1, mirroring the
+# snapshot policy above. CI uploads the report as an artifact.
+cargo run --release -q -p deta-bench --bin bench_report | tee results/bench-report.txt
+
 echo "==> deta-lint self-check (fixture coverage per rule, allowlist cap)"
 # Fails when any registered rule has fewer than two fixture references
 # or the allowlist exceeds MAX_ALLOW_ENTRIES.

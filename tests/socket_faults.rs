@@ -85,9 +85,19 @@ impl Rogue {
             sig: sig.to_bytes(),
         });
         match rogue.recv() {
-            Some(SocketFrame::Welcome) => Some(rogue),
-            _ => None,
+            Some(SocketFrame::Welcome) => {}
+            _ => return None,
         }
+        // The hub aligns clocks right after Welcome and refuses data
+        // until the probe is echoed; even a rogue must answer it.
+        let Some(SocketFrame::ClockProbe { t_hub_ns }) = rogue.recv() else {
+            panic!("hub must probe the clock after Welcome");
+        };
+        rogue.send(&SocketFrame::ClockEcho {
+            t_hub_ns,
+            t_peer_ns: deta::telemetry::now_ns(),
+        });
+        Some(rogue)
     }
 
     fn send(&mut self, frame: &SocketFrame) {
