@@ -285,6 +285,52 @@ impl Config {
         self.parse_bool("noniid", false)
     }
 
+    /// Partial participation for `cluster` runs (`party_drop`): a party
+    /// whose link dies past its reconnect budget is dropped from the
+    /// session instead of ending the run (see `RuntimeConfig::party_drop`).
+    pub fn party_drop(&self) -> Result<bool, ConfigError> {
+        self.parse_bool("party_drop", false)
+    }
+
+    /// Link-chaos schedule for `cluster` runs (`chaos_severs`): a
+    /// comma-separated list of `node@count` entries — the hub abruptly
+    /// severs `node`'s TCP connection (no `Bye`, both directions) the
+    /// moment it has received `count` total frames from it, once per
+    /// entry. E.g. `party-1@4,party-1@9` severs party-1's link twice.
+    /// Exercises the reconnect-and-resume path in a real deployment.
+    pub fn chaos_severs(&self) -> Result<HashMap<String, Vec<u64>>, ConfigError> {
+        let mut out: HashMap<String, Vec<u64>> = HashMap::new();
+        let Some(raw) = self.get("chaos_severs") else {
+            return Ok(out);
+        };
+        for entry in raw.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let parsed = entry
+                .split_once('@')
+                .and_then(|(node, n)| Some((node.trim(), n.trim().parse::<u64>().ok()?)));
+            let Some((node, count)) = parsed else {
+                return Err(ConfigError::BadValue {
+                    key: "chaos_severs".to_string(),
+                    value: entry.to_string(),
+                });
+            };
+            if node.is_empty() {
+                return Err(ConfigError::BadValue {
+                    key: "chaos_severs".to_string(),
+                    value: entry.to_string(),
+                });
+            }
+            out.entry(node.to_string()).or_default().push(count);
+        }
+        for counts in out.values_mut() {
+            counts.sort_unstable();
+        }
+        Ok(out)
+    }
+
     /// Assembles everything a session run needs — config, model
     /// builder, per-party shards, and the shared test set — all derived
     /// deterministically from this configuration. The coordinator and
@@ -428,6 +474,25 @@ mod tests {
             cfg.round_deadline_s(),
             Err(ConfigError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn chaos_severs_parse_and_reject() {
+        let cfg = Config::parse("").unwrap();
+        assert!(cfg.chaos_severs().unwrap().is_empty());
+        assert!(!cfg.party_drop().unwrap());
+        let cfg = Config::parse("chaos_severs = party-1@9, party-1@4, agg-0@2\n").unwrap();
+        let severs = cfg.chaos_severs().unwrap();
+        // Per-node thresholds come back sorted ascending.
+        assert_eq!(severs["party-1"], vec![4, 9]);
+        assert_eq!(severs["agg-0"], vec![2]);
+        for bad in ["party-1", "party-1@", "@4", "party-1@x"] {
+            let cfg = Config::parse(&format!("chaos_severs = {bad}")).unwrap();
+            assert!(
+                matches!(cfg.chaos_severs(), Err(ConfigError::BadValue { .. })),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -58,6 +58,10 @@ CONFIG KEYS (key = value; # comments):
     examples_per_party                                     (default 200)
     link         lan|wan                                   (default lan)
     round_deadline_s  cluster round deadline in seconds    (default 60)
+    party_drop   true lets cluster runs drop a party whose link died
+                 (partial participation) instead of failing the run
+    chaos_severs cluster link chaos: `node@count,...` — sever the node's
+                 TCP connection after `count` total frames (no Bye)
 ";
 
 fn main() -> ExitCode {
@@ -215,10 +219,32 @@ fn cluster_runtime(config: &Config) -> Result<RuntimeConfig, deta_cli::ConfigErr
     Ok(RuntimeConfig {
         // Respawning an OS process is outside the supervisor's reach,
         // so a cluster run never heals — it fails structurally instead.
+        // Losing a *party* can still degrade to partial participation
+        // when the config opts in.
         failover: FailoverPolicy::None,
         round_deadline: Duration::from_secs_f64(config.round_deadline_s()?),
+        party_drop: config.party_drop()?,
+        // Trigger retries pushed past the deadline horizon: the cluster
+        // transport is lossless (TCP plus the socket layer's own
+        // reconnect-and-replay), so a retry can never help — and a
+        // load-timed duplicate fan-out would leak the supervisor's
+        // retry cadence into the per-round byte attribution, breaking
+        // run-to-run byte parity.
+        retry_initial: Duration::from_secs(3600),
+        retry_max: Duration::from_secs(3600),
         ..RuntimeConfig::default()
     })
+}
+
+/// The structured partial-participation notice: one line per dropped
+/// party, after the round lines (which stay byte-identical to a
+/// full-participation run up to the drop round).
+fn print_dropped(session: &ThreadedSession) {
+    let mut dropped: Vec<&String> = session.dropped_parties().iter().collect();
+    dropped.sort();
+    for party in dropped {
+        println!("partial participation: dropped {party} (link lost past its reconnect budget)");
+    }
 }
 
 fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Error>> {
@@ -235,8 +261,10 @@ fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Er
         )?;
         let metrics = session.run(&prepared.test)?;
         print_rounds(&metrics);
+        print_dropped(&session);
         return Ok(());
     }
+    let chaos = config.chaos_severs()?;
     let exe = std::env::current_exe()?;
     let seed = prepared.session.seed;
     let mut hub_slot: Option<SocketHub> = None;
@@ -250,7 +278,7 @@ fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Er
             let seats = seats_for(&nodes, seed);
             let names: Vec<String> = seats.iter().map(|s| s.name.clone()).collect();
             drop(nodes);
-            let hub = SocketHub::bind(network.clone(), seats, seed)
+            let hub = SocketHub::bind_chaos(network.clone(), seats, seed, chaos)
                 .map_err(|_| RuntimeError::Protocol("socket hub failed to bind"))?;
             let addr = hub.addr().to_string();
             for name in &names {
@@ -276,6 +304,7 @@ fn cmd_cluster(path: &str, inprocess: bool) -> Result<(), Box<dyn std::error::Er
         return Err(Box::new(e));
     }
     print_rounds(&metrics);
+    print_dropped(&session);
     Ok(())
 }
 

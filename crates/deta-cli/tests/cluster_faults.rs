@@ -1,10 +1,16 @@
-//! Cluster fault drill: SIGKILL one aggregator *process* mid-session
-//! and assert the coordinator fails with the supervisor's structured
-//! timeout naming the dead node — not the socket hub's secondary
-//! disconnect fallout. An in-process twin drives the same session with
-//! the runtime's own stall fault and asserts the identical error shape,
-//! pinning down that process death and thread stall surface as the same
-//! structured `RuntimeError::Timeout`.
+//! Cluster fault drills over real OS processes:
+//!
+//! * SIGKILL one aggregator *process* mid-session and assert the
+//!   coordinator fails with the supervisor's structured timeout naming
+//!   the dead node — not the socket hub's secondary disconnect fallout.
+//!   An in-process twin drives the same session with the runtime's own
+//!   stall fault and asserts the identical error shape.
+//! * Sever a party's TCP link twice via the hub's chaos plan and assert
+//!   the run's stdout is byte-for-byte that of the fault-free run —
+//!   link restarts must be observationally free.
+//! * SIGKILL a *party* process under `party_drop = true` and assert the
+//!   run degrades to partial participation (one structured line, every
+//!   round finished) instead of hanging or failing.
 
 use deta_cli::Config;
 use deta_runtime::{
@@ -78,13 +84,7 @@ fn killed_aggregator_process_yields_structured_timeout() {
         .spawn()
         .expect("spawn cluster coordinator");
     // Watchdog: a wedged coordinator becomes a loud kill, not a hang.
-    let coordinator_pid = coordinator.id();
-    std::thread::spawn(move || {
-        std::thread::sleep(Duration::from_secs(120));
-        let _ = Command::new("kill")
-            .args(["-9", &coordinator_pid.to_string()])
-            .status();
-    });
+    arm_watchdog(coordinator.id(), 120);
 
     let victim_pid = wait_for_node_pid(cfg_str, VICTIM, Duration::from_secs(60))
         .expect("the agg-1 node process never appeared");
@@ -142,13 +142,7 @@ fn killed_node_is_implicated_in_merged_trace() {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn trace coordinator");
-    let coordinator_pid = coordinator.id();
-    std::thread::spawn(move || {
-        std::thread::sleep(Duration::from_secs(120));
-        let _ = Command::new("kill")
-            .args(["-9", &coordinator_pid.to_string()])
-            .status();
-    });
+    arm_watchdog(coordinator.id(), 120);
 
     let victim_pid = wait_for_node_pid(cfg_str, VICTIM, Duration::from_secs(60))
         .expect("the agg-1 node process never appeared");
@@ -189,6 +183,136 @@ fn killed_node_is_implicated_in_merged_trace() {
     assert!(
         !parsed.records.is_empty(),
         "the merged trace must carry the records leading up to the fault"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Arms a detached watchdog that SIGKILLs `pid` after `secs` seconds:
+/// a wedged coordinator becomes a loud kill, not a hung test run.
+fn arm_watchdog(pid: u32, secs: u64) {
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(secs));
+        let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+    });
+}
+
+/// Tentpole proof: a cluster run whose `party-1` TCP link is abruptly
+/// severed *twice* by the hub's chaos plan produces byte-for-byte the
+/// stdout of the undisturbed run. The park/resume machinery must make
+/// a double link restart observationally free: same rounds, same
+/// losses, same byte counts, exit success.
+#[test]
+fn chaos_severed_run_is_byte_identical_to_fault_free_run() {
+    const BASE: &str = "dataset            = mnist\n\
+                        resolution         = 8\n\
+                        model              = mlp\n\
+                        parties            = 3\n\
+                        aggregators        = 2\n\
+                        rounds             = 20\n\
+                        algorithm          = avg\n\
+                        seed               = 7\n\
+                        examples_per_party = 40\n\
+                        round_deadline_s   = 30\n";
+    let dir = std::env::temp_dir().join(format!("deta-cluster-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let run = |cfg_name: &str, cfg_text: &str| -> Vec<u8> {
+        let cfg_path = dir.join(cfg_name);
+        std::fs::write(&cfg_path, cfg_text).expect("write config");
+        let coordinator = Command::new(env!("CARGO_BIN_EXE_deta-cli"))
+            .args(["cluster", cfg_path.to_str().expect("utf-8 temp path")])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn cluster coordinator");
+        arm_watchdog(coordinator.id(), 120);
+        let out = coordinator.wait_with_output().expect("reap coordinator");
+        assert!(
+            out.status.success(),
+            "cluster run {cfg_name} failed; stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let fault_free = run("fault-free.cfg", BASE);
+    // Thresholds 4 and 9 sit below one round's traffic, so both severs
+    // land early and the second interrupts an already-resumed link.
+    let chaos = run(
+        "chaos.cfg",
+        &format!("{BASE}chaos_severs       = party-1@4,party-1@9\n"),
+    );
+    assert!(
+        String::from_utf8_lossy(&fault_free).contains("round 20 "),
+        "the baseline run must reach its final round"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&chaos),
+        String::from_utf8_lossy(&fault_free),
+        "a double link sever must leave the run byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful degradation: a party process that dies and never comes
+/// back (its reconnect budget can never be spent — there is no process
+/// left to spend it) must not hang the run or fail it. With
+/// `party_drop = true` the coordinator drops the party to partial
+/// participation, finishes every round, and reports the drop as one
+/// structured line after the round output.
+#[test]
+fn dead_party_degrades_to_partial_participation() {
+    const CFG: &str = "dataset            = mnist\n\
+                       resolution         = 8\n\
+                       model              = mlp\n\
+                       parties            = 3\n\
+                       aggregators        = 2\n\
+                       rounds             = 1000\n\
+                       algorithm          = avg\n\
+                       seed               = 7\n\
+                       examples_per_party = 40\n\
+                       round_deadline_s   = 2\n\
+                       party_drop         = true\n";
+    const DEAD: &str = "party-1";
+    let dir = std::env::temp_dir().join(format!("deta-cluster-drop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let cfg_path = dir.join("drop.cfg");
+    std::fs::write(&cfg_path, CFG).expect("write config");
+    let cfg_str = cfg_path.to_str().expect("utf-8 temp path");
+
+    let coordinator = Command::new(env!("CARGO_BIN_EXE_deta-cli"))
+        .args(["cluster", cfg_str])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cluster coordinator");
+    arm_watchdog(coordinator.id(), 120);
+
+    let victim_pid = wait_for_node_pid(cfg_str, DEAD, Duration::from_secs(60))
+        .expect("the party-1 node process never appeared");
+    // Let Phase II bootstrap finish so the kill lands mid-round; at
+    // ~5ms per round the 1000-round session runs for several seconds.
+    std::thread::sleep(Duration::from_millis(1500));
+    let killed = Command::new("kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "SIGKILL of the node process failed");
+
+    let out = coordinator.wait_with_output().expect("reap coordinator");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "with party_drop the run must degrade, not fail; stderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("round 1000 "),
+        "the degraded run must still finish every round, got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!(
+            "partial participation: dropped {DEAD} (link lost past its reconnect budget)"
+        )),
+        "the drop must surface as one structured line, got:\n{stdout}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

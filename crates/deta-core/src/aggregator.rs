@@ -204,6 +204,18 @@ impl AggregatorNode {
         for uploads in self.pending_enc.values_mut() {
             uploads.remove(party);
         }
+        // The departed party may have been the last holdout for a round:
+        // with the expected set shrunk, every pending round must be
+        // re-examined, or aggregation would wait forever for an upload
+        // that can no longer arrive.
+        let plain: Vec<u64> = self.pending.keys().copied().collect();
+        for round in plain {
+            self.try_aggregate(round);
+        }
+        let enc: Vec<u64> = self.pending_enc.keys().copied().collect();
+        for round in enc {
+            self.try_aggregate_encrypted(round);
+        }
     }
 
     /// Access to the CVM (e.g. for breach experiments).
@@ -228,6 +240,13 @@ impl AggregatorNode {
         self.token.sign(msg)
     }
 
+    /// A clone of the attestation token's signing key, for transports
+    /// that must re-prove this node's identity after the node itself
+    /// has been handed to its actor loop (socket link reconnection).
+    pub fn link_signing_key(&self) -> deta_crypto::SigningKey {
+        self.token.clone()
+    }
+
     /// Initiator only: announces a round to all parties and followers.
     ///
     /// # Errors
@@ -240,8 +259,10 @@ impl AggregatorNode {
             AggRole::Follower { .. } => return Err(AggError::NotInitiator),
         };
         // Idempotence: a supervisor may retry a round announcement it
-        // believes was lost. Re-announcing an already-completed round
-        // must be a no-op, not a protocol restart.
+        // believes was lost. Re-announcing a completed round must be a
+        // no-op, not a protocol restart. An in-flight round IS
+        // re-announced: the retry exists to recover a fan-out the
+        // network swallowed, and parties dedupe repeated `RoundStart`s.
         if round <= self.completed_rounds {
             return Ok(());
         }

@@ -20,7 +20,7 @@ const SEED: u64 = 0xD0D0;
 
 /// A hub with one connectable party seat and one plain hub-network
 /// endpoint (`agg-0`) kept for delivery assertions.
-fn start_hub() -> (SocketHub, Endpoint, SigningKey) {
+fn start_hub() -> (SocketHub, Network, Endpoint, SigningKey) {
     let network = Network::new(LinkModel::lan());
     let agg = network.register("agg-0");
     let link = party_link_key(SEED, "party-0");
@@ -29,8 +29,8 @@ fn start_hub() -> (SocketHub, Endpoint, SigningKey) {
         key: link.verifying_key(),
         endpoint: network.register("party-0"),
     }];
-    let hub = SocketHub::bind(network, seats, SEED).expect("hub bind");
-    (hub, agg, link)
+    let hub = SocketHub::bind(network.clone(), seats, SEED).expect("hub bind");
+    (hub, network, agg, link)
 }
 
 /// A minimal bridge-protocol client that can misbehave at will.
@@ -168,6 +168,28 @@ pub fn drills() -> Vec<Drill> {
             run: frame_reorder,
         },
         Drill {
+            id: "socket-reconnect-impersonation",
+            claim: "a parked seat can only be resumed by the identity \
+                    that opened it; a reconnect attempt under a \
+                    different key is refused and the session survives \
+                    for the real owner (deta-socket resume auth)",
+            attack: "after a party's link drops mid-session, a rogue \
+                     process reconnects to its parked seat answering \
+                     the challenge with a self-generated key",
+            run: reconnect_impersonation,
+        },
+        Drill {
+            id: "socket-resume-replay",
+            claim: "the per-link replay window survives a reconnect; a \
+                    resumed peer re-sending an already-delivered frame \
+                    is rejected with a structured error naming the link \
+                    (deta-socket resume resync)",
+            attack: "a party reconnects after an abrupt drop, completes \
+                     the Resume/ResumeAck exchange, then re-sends its \
+                     first upload frame sealed as a fresh record",
+            run: resume_replay,
+        },
+        Drill {
             id: "socket-rogue-aggregator",
             claim: "an aggregator seat on the hub is bound to its \
                     attested token identity; a rogue binary without that \
@@ -180,7 +202,7 @@ pub fn drills() -> Vec<Drill> {
 }
 
 fn frame_replay() -> Result<String, String> {
-    let (hub, agg, link) = start_hub();
+    let (hub, _network, agg, link) = start_hub();
     let mut rogue = Rogue::connect(hub.addr(), "party-0", &link).ok_or("auth refused")?;
     rogue.send_data("agg-0", 0, b"upload");
     agg.recv_timeout(Duration::from_secs(2))
@@ -207,7 +229,7 @@ fn frame_replay() -> Result<String, String> {
 }
 
 fn frame_reorder() -> Result<String, String> {
-    let (hub, agg, link) = start_hub();
+    let (hub, _network, agg, link) = start_hub();
     let mut rogue = Rogue::connect(hub.addr(), "party-0", &link).ok_or("auth refused")?;
     rogue.send_data("agg-0", 5, b"late");
     let err = wait_error(&hub)?;
@@ -228,6 +250,93 @@ fn frame_reorder() -> Result<String, String> {
     }
     hub.join();
     Ok(format!("{observed}; the frame was never delivered"))
+}
+
+fn reconnect_impersonation() -> Result<String, String> {
+    let (hub, network, agg, link) = start_hub();
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &link).ok_or("auth refused")?;
+    rogue.send_data("agg-0", 0, b"upload");
+    agg.recv_timeout(Duration::from_secs(2))
+        .map_err(|e| format!("honest frame not delivered: {e}"))?;
+    // Abrupt loss: no Bye, so the hub parks the seat for reconnection.
+    drop(rogue);
+    std::thread::sleep(Duration::from_millis(200));
+    if network.is_closed("party-0") {
+        return Err("an abrupt drop closed the seat instead of parking it".to_string());
+    }
+    // The impostor tries to claim the parked seat with its own key.
+    let rng = DetRng::from_u64(SEED);
+    let self_generated = SigningKey::generate(&mut rng.fork(b"impostor"));
+    if Rogue::connect(hub.addr(), "party-0", &self_generated).is_some() {
+        return Err("an impostor resumed the parked party-0 seat".to_string());
+    }
+    let err = wait_error(&hub)?;
+    let observed = format!("SocketError::Auth — {err}");
+    match err {
+        SocketError::Auth { peer, .. } if peer == "party-0" => {}
+        other => return Err(format!("wrong rejection: {other}")),
+    }
+    // The session must survive the failed takeover: the real owner
+    // reconnects and the link picks up at the next sequence number.
+    let mut owner =
+        Rogue::connect(hub.addr(), "party-0", &link).ok_or("the real owner could not resume")?;
+    owner.send_data("agg-0", 1, b"resumed");
+    agg.recv_timeout(Duration::from_secs(2))
+        .map_err(|e| format!("post-resume frame not delivered: {e}"))?;
+    hub.join();
+    Ok(format!("{observed}; the real owner resumed and delivered"))
+}
+
+fn resume_replay() -> Result<String, String> {
+    let (hub, _network, agg, link) = start_hub();
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &link).ok_or("auth refused")?;
+    rogue.send_data("agg-0", 0, b"upload-0");
+    rogue.send_data("agg-0", 1, b"upload-1");
+    for seq in 0..2u64 {
+        agg.recv_timeout(Duration::from_secs(2))
+            .map_err(|e| format!("honest frame {seq} not delivered: {e}"))?;
+    }
+    // Abrupt loss, then a reconnect that completes the explicit
+    // Resume/ResumeAck exchange under the legitimate key.
+    drop(rogue);
+    std::thread::sleep(Duration::from_millis(200));
+    let mut rogue = Rogue::connect(hub.addr(), "party-0", &link).ok_or("reconnect auth refused")?;
+    rogue.send(&SocketFrame::Resume {
+        src: "party-0".to_string(),
+        windows: Vec::new(),
+    });
+    match rogue.recv() {
+        Some(SocketFrame::ResumeAck { windows }) => {
+            let expected = ("party-0".to_string(), "agg-0".to_string(), 2u64);
+            if !windows.contains(&expected) {
+                return Err(format!(
+                    "ResumeAck must report next=2 for party-0->agg-0, got {windows:?}"
+                ));
+            }
+        }
+        other => return Err(format!("expected a ResumeAck, got {other:?}")),
+    }
+    // The attack: re-send the already-delivered first frame as if the
+    // outage had reset the link's history.
+    rogue.send_data("agg-0", 0, b"upload-0");
+    let err = wait_error(&hub)?;
+    let observed = format!("SocketError::Replay — {err}");
+    match err {
+        SocketError::Replay {
+            link,
+            seq: 0,
+            expected: 2,
+        } if link == "party-0->agg-0" => {}
+        other => return Err(format!("wrong rejection: {other}")),
+    }
+    if !matches!(
+        agg.recv_timeout(Duration::from_millis(200)),
+        Err(RecvError::Timeout)
+    ) {
+        return Err("the replayed frame was delivered after resume".to_string());
+    }
+    hub.join();
+    Ok(format!("{observed}; the window outlived the outage"))
 }
 
 fn rogue_aggregator() -> Result<String, String> {

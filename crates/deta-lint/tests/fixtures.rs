@@ -290,6 +290,54 @@ fn socket_bridge_is_in_rule4_scope() {
     assert!(rules_hit("crates/deta-socket/src/wire.rs", src3).is_empty());
 }
 
+#[test]
+fn resume_path_panics_are_flagged() {
+    // The resume exchange parses peer-controlled window claims right
+    // after reconnection — before the link has proven anything beyond
+    // its key. A panic here lets a flaky (or hostile) peer kill the hub
+    // by crashing mid-resume and replaying garbage.
+    let src = r#"
+fn apply_resume(&mut self, raw: &[u8]) {
+    let ack = SocketFrame::decode(raw).expect("resume ack");
+    let next = self.windows.get(&ack.src).unwrap();
+}
+"#;
+    for path in [
+        "crates/deta-socket/src/node.rs",
+        "crates/deta-socket/src/link.rs",
+    ] {
+        let v = check_source(path, src);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "no-panic-in-aggregation" && v.ident == "expect"),
+            "rule 4 must cover the resume path in {path}"
+        );
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "no-panic-in-aggregation" && v.ident == "unwrap"),
+            "rule 4 must flag the window lookup in {path}"
+        );
+    }
+}
+
+#[test]
+fn resume_path_structured_errors_are_clean() {
+    // The sanctioned shape: a malformed resume claim surfaces as a
+    // structured error naming the link, never a crash.
+    let src = r#"
+fn apply_resume(&mut self, raw: &[u8]) -> Result<(), SocketError> {
+    let ack = SocketFrame::decode(raw).map_err(|_| SocketError::Protocol("resume ack"))?;
+    let next = self
+        .windows
+        .get(&ack.src)
+        .ok_or(SocketError::Protocol("unknown link"))?;
+    Ok(())
+}
+"#;
+    assert!(rules_hit("crates/deta-socket/src/node.rs", src).is_empty());
+    assert!(rules_hit("crates/deta-socket/src/link.rs", src).is_empty());
+}
+
 // -------------------------------------------------------------------
 // Rule 5: no-truncating-cast
 // -------------------------------------------------------------------

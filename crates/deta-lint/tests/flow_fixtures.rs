@@ -198,6 +198,63 @@ fn authenticate(link_signing_key: &[u8], peer_verifying_key: &[u8]) {
     assert!(taint(SOCKET, src).is_empty(), "{:?}", taint(SOCKET, src));
 }
 
+#[test]
+fn taint_positive_resume_reauth_key_in_reconnect_log() {
+    // The reconnect loop re-authenticates with the seat's original key;
+    // logging it on a failed resume would publish the one credential
+    // the park/resume machinery exists to keep binding the seat.
+    let src = r#"
+fn reconnect(seat_signing_key: &[u8], attempt: u32) {
+    let creds = seat_signing_key;
+    eprintln!("resume attempt {attempt} with {creds:?}");
+}
+"#;
+    let v = taint(SOCKET, src);
+    assert!(
+        v.iter().any(|v| v.rule == "secret-taint-flow"
+            && v.ident == "creds"
+            && v.message.contains("seat_signing_key")),
+        "a re-auth key reaching the reconnect log must be flagged: {v:?}"
+    );
+}
+
+#[test]
+fn taint_positive_resume_secret_in_resync_telemetry() {
+    // Resync telemetry may count replayed frames; it must never carry
+    // the channel secret the replayed records were sealed under.
+    let src = r#"
+fn resync(channel_secret: &[u8], replayed: u64) {
+    let material = channel_secret;
+    deta_telemetry::event(
+        "resync",
+        &[("replayed", replayed), ("under", material)],
+    );
+}
+"#;
+    let v = taint(SOCKET, src);
+    assert!(
+        v.iter().any(|v| v.rule == "secret-taint-flow"
+            && v.ident == "material"
+            && v.message.contains("channel_secret")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn taint_negative_resume_window_claims_are_public() {
+    // The resume exchange itself — link names and next-expected seqs —
+    // is plain protocol state, freely loggable and countable.
+    let src = r#"
+fn resume(windows: &[(String, String, u64)], reconnects: u64) {
+    for (src, dst, next) in windows {
+        eprintln!("resume {src}->{dst} from {next}");
+    }
+    deta_telemetry::event("link-resumed", &[("reconnects", reconnects)]);
+}
+"#;
+    assert!(taint(SOCKET, src).is_empty(), "{:?}", taint(SOCKET, src));
+}
+
 // -------------------------------------------------------------------
 // Rule 8: channel-liveness
 // -------------------------------------------------------------------

@@ -143,6 +143,13 @@ pub fn run_aggregator(
                             };
                             agg.set_role(role);
                         }
+                        Ok(CtlMsg::Deregister { party }) => {
+                            deta_telemetry::event(
+                                "party_deregistered",
+                                &[("party", TelemetryValue::from(party.as_str()))],
+                            );
+                            agg.deregister(&party);
+                        }
                         // Supervisor-bound reports and party-only
                         // directives are not for an aggregator; count
                         // each drop so discarded control traffic stays
@@ -300,7 +307,8 @@ pub fn run_party(
                             | CtlMsg::PartyDone { .. }
                             | CtlMsg::AggDone { .. }
                             | CtlMsg::Reopen { .. }
-                            | CtlMsg::Topology { .. }),
+                            | CtlMsg::Topology { .. }
+                            | CtlMsg::Deregister { .. }),
                         ) => {
                             deta_telemetry::metrics::counter_add(
                                 "deta_ctl_ignored_total",

@@ -129,6 +129,14 @@ pub struct RuntimeConfig {
     /// mapper bytes, training id). Required for any failover policy;
     /// cheap enough to default on.
     pub checkpoint: bool,
+    /// Graceful degradation to partial participation: when a *party*
+    /// (never an aggregator) misses a round deadline — e.g. its
+    /// transport link exhausted its reconnect budget — drop it from the
+    /// session and continue with the survivors, provided the robust
+    /// aggregation rule's quorum floor still holds. Off by default:
+    /// dropping a party changes the aggregate, so it must be an
+    /// explicit operator decision.
+    pub party_drop: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -144,6 +152,7 @@ impl Default for RuntimeConfig {
             failover: FailoverPolicy::default(),
             recovery_attempts: 2,
             checkpoint: true,
+            party_drop: false,
         }
     }
 }

@@ -130,6 +130,14 @@ pub enum CtlMsg {
         /// Round being replayed.
         round: u64,
     },
+    /// Supervisor -> aggregator: the named party left the session
+    /// (partial participation after its link died); stop expecting its
+    /// uploads and re-examine every pending round against the shrunk
+    /// registered set.
+    Deregister {
+        /// Endpoint name of the departed party.
+        party: String,
+    },
     /// Supervisor -> aggregator: the post-failover synchronization
     /// topology. The node named `initiator` adopts the initiator role
     /// over the other listed aggregators; everyone else follows it.
@@ -154,6 +162,7 @@ const TAG_REMAP: u8 = 10;
 const TAG_REPLAY: u8 = 11;
 const TAG_REOPEN: u8 = 12;
 const TAG_TOPOLOGY: u8 = 13;
+const TAG_DEREGISTER: u8 = 14;
 
 /// Decode errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -314,6 +323,7 @@ impl CtlMsg {
             CtlMsg::Remap { .. } => "Remap",
             CtlMsg::Replay { .. } => "Replay",
             CtlMsg::Reopen { .. } => "Reopen",
+            CtlMsg::Deregister { .. } => "Deregister",
             CtlMsg::Topology { .. } => "Topology",
         }
     }
@@ -413,6 +423,10 @@ impl CtlMsg {
                 put_bytes(&mut out, initiator.as_bytes())?;
                 put_strings(&mut out, aggs)?;
             }
+            CtlMsg::Deregister { party } => {
+                out.push(TAG_DEREGISTER);
+                put_bytes(&mut out, party.as_bytes())?;
+            }
         }
         Ok(out)
     }
@@ -481,6 +495,7 @@ impl CtlMsg {
                 initiator: r.string()?,
                 aggs: r.strings()?,
             },
+            TAG_DEREGISTER => CtlMsg::Deregister { party: r.string()? },
             _ => return Err(CtlDecodeError),
         };
         r.finish()?;
@@ -568,6 +583,9 @@ mod tests {
             round: 1,
             mapper: Vec::new(),
             aggs: Vec::new(),
+        });
+        roundtrip(CtlMsg::Deregister {
+            party: "party-3".to_string(),
         });
     }
 

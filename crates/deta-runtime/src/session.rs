@@ -99,6 +99,12 @@ pub struct ThreadedSession {
     /// Failovers consumed per aggregator *base* name (reincarnations
     /// share one allowance).
     budget_used: HashMap<String, u32>,
+    /// Parties dropped to partial participation (`RuntimeConfig::
+    /// party_drop`): they receive no further round plans, are expected
+    /// in no completion wait, and every aggregator has deregistered
+    /// them. Names stay in `party_names` so participant selection and
+    /// byte attribution keep their deterministic shape.
+    dropped_parties: HashSet<String>,
 }
 
 impl ThreadedSession {
@@ -269,11 +275,20 @@ impl ThreadedSession {
         // can be told to train the same round twice), then the round
         // trigger to the initiator (retried with capped backoff —
         // idempotent).
+        // The designated parameter reporter is the first party still in
+        // the session — party 0 unless partial participation dropped it.
+        let reporter = self
+            .party_names
+            .iter()
+            .position(|n| !self.dropped_parties.contains(n));
         for (i, name) in self.party_names.iter().enumerate() {
+            if self.dropped_parties.contains(name) {
+                continue;
+            }
             let plan = CtlMsg::RoundPlan {
                 round,
                 train: participants.contains(&i),
-                report_params: i == 0,
+                report_params: Some(i) == reporter,
             };
             self.supervisor.send_ctl(name, &plan);
         }
@@ -298,7 +313,9 @@ impl ThreadedSession {
                 .agg_names
                 .iter()
                 .chain(self.party_names.iter())
-                .filter(|name| !progress.done.contains(*name))
+                .filter(|name| {
+                    !progress.done.contains(*name) && !self.dropped_parties.contains(*name)
+                })
                 .cloned()
                 .collect();
             let deadline = self.supervisor.config().round_deadline;
@@ -356,12 +373,16 @@ impl ThreadedSession {
                 train_loss_sum += *l;
             }
         }
+        // Per-party figures average over the parties still in the
+        // session; the quorum floor keeps this nonzero, but divide
+        // defensively anyway.
+        let active = (n - self.dropped_parties.len()).max(1);
         let inputs = RoundInputs {
             max_party_train_s: max_train,
             max_party_transform_s: max_transform,
             max_party_crypto_s: max_crypto,
-            upload_bytes_per_party: upload_total / n as u64,
-            download_bytes_per_party: download_total / n as u64,
+            upload_bytes_per_party: upload_total / active as u64,
+            download_bytes_per_party: download_total / active as u64,
             max_aggregate_s: max_agg,
             n_aggregators: k,
         };
@@ -397,9 +418,19 @@ impl ThreadedSession {
             self.eval_model.set_flat_params(&params);
             deta_nn::train::evaluate(&mut self.eval_model, test, 128)
         };
+        // Loss averages over the participants that actually trained: a
+        // party dropped mid-round contributed no loss, so it must not
+        // inflate the denominator. Without drops this is exactly
+        // `participants.len()`, preserving bit-parity with the
+        // sequential session.
+        let trained = participants
+            .iter()
+            .filter(|i| !self.dropped_parties.contains(&self.party_names[**i]))
+            .count()
+            .max(1);
         Ok(RoundMetrics {
             round,
-            train_loss: train_loss_sum / participants.len() as f32,
+            train_loss: train_loss_sum / trained as f32,
             test_loss,
             test_accuracy,
             latency,
@@ -426,6 +457,14 @@ impl ThreadedSession {
         round: u64,
         progress: &mut RoundProgress,
     ) -> Result<(), RuntimeError> {
+        // Partial participation first: a lost *party* holds private data
+        // no replacement could re-create, so the only recovery is to
+        // drop it and continue with the survivors. Aggregator faults
+        // fall through to the failover policies below unchanged.
+        let err = match self.drop_parties(err, round, progress) {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
         let policy = self.supervisor.config().failover;
         let budget = self.supervisor.config().recovery_attempts;
         if policy == FailoverPolicy::None
@@ -489,6 +528,95 @@ impl ThreadedSession {
         }
         self.supervisor
             .note("round_replayed", &[("round", TelemetryValue::from(round))]);
+        Ok(())
+    }
+
+    /// Graceful degradation to partial participation (DESIGN.md §16):
+    /// when `RuntimeConfig::party_drop` is on and a round fault
+    /// implicates only parties, drop them from the session — deregister
+    /// at every aggregator, retire their threads/mailboxes, and re-enter
+    /// the completion wait over the survivors.
+    ///
+    /// Refused (the original fault, or a structured refusal naming the
+    /// lost node, is returned) when:
+    ///
+    /// * the knob is off, or any implicated node is an aggregator,
+    /// * the survivors would fall below the aggregation rule's quorum
+    ///   floor ([`participation_floor`]),
+    /// * the lost party is this round's designated parameter reporter
+    ///   and its snapshot has not arrived — no survivor was told to
+    ///   report, so the round could never complete.
+    fn drop_parties(
+        &mut self,
+        err: RuntimeError,
+        round: u64,
+        progress: &mut RoundProgress,
+    ) -> Result<(), RuntimeError> {
+        if !self.supervisor.config().party_drop {
+            return Err(err);
+        }
+        let implicated = implicated_nodes(&err);
+        if implicated.is_empty() || implicated.iter().any(|n| self.agg_names.contains(n)) {
+            return Err(err);
+        }
+        let lost: Vec<String> = self
+            .party_names
+            .iter()
+            .filter(|n| implicated.contains(n) && !self.dropped_parties.contains(*n))
+            .cloned()
+            .collect();
+        if lost.is_empty() {
+            return Err(err);
+        }
+        let survivors = self.party_names.len() - self.dropped_parties.len() - lost.len();
+        let floor = participation_floor(self.config.algorithm);
+        if survivors < floor {
+            return Err(self.supervisor.record_failure(RuntimeError::NodeFailed {
+                node: lost[0].clone(),
+                reason: format!(
+                    "lost mid-round; dropping it would leave {survivors} of {} parties, \
+                     below the quorum floor of {floor} for {:?}",
+                    self.party_names.len(),
+                    self.config.algorithm
+                ),
+            }));
+        }
+        if progress.params.is_none() {
+            if let Some(rep) = self
+                .party_names
+                .iter()
+                .find(|n| !self.dropped_parties.contains(*n))
+            {
+                if lost.contains(rep) {
+                    return Err(self.supervisor.record_failure(RuntimeError::NodeFailed {
+                        node: rep.clone(),
+                        reason: "lost mid-round while designated to report the parameter \
+                                 snapshot; no survivor was planned to report it"
+                            .to_string(),
+                    }));
+                }
+            }
+        }
+        for party in &lost {
+            self.supervisor.kill_node(party);
+            self.dropped_parties.insert(party.clone());
+            for agg in &self.agg_names {
+                self.supervisor.send_ctl(
+                    agg,
+                    &CtlMsg::Deregister {
+                        party: party.clone(),
+                    },
+                );
+            }
+            self.supervisor.note(
+                "party_dropped",
+                &[
+                    ("round", TelemetryValue::from(round)),
+                    ("party", TelemetryValue::from(party.as_str())),
+                    ("survivors", TelemetryValue::from(survivors)),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -802,6 +930,12 @@ impl ThreadedSession {
         &self.network
     }
 
+    /// Parties dropped to partial participation so far (empty unless
+    /// `RuntimeConfig::party_drop` engaged).
+    pub fn dropped_parties(&self) -> &HashSet<String> {
+        &self.dropped_parties
+    }
+
     /// Party endpoint names, in index order.
     pub fn party_names(&self) -> &[String] {
         &self.party_names
@@ -973,6 +1107,7 @@ impl PendingSession {
             retired_aggs: Vec::new(),
             failovers: 0,
             budget_used: HashMap::new(),
+            dropped_parties: HashSet::new(),
         })
     }
 }
@@ -1048,6 +1183,23 @@ fn policy_tag(policy: FailoverPolicy) -> &'static str {
 /// Whether an aggregation algorithm commutes with re-partitioning: its
 /// output at each coordinate depends only on the parties' values at
 /// that coordinate, never on whole-fragment geometry.
+/// The minimum surviving-party count each aggregation rule needs to
+/// keep its guarantees once partial participation shrinks the session:
+/// Krum scores each update against its `n - f - 2` nearest neighbours
+/// (so `n >= 2f + 2` must hold for selection to be meaningful), the
+/// trimmed mean must retain at least one value per coordinate after
+/// discarding `trim` from each end, FLAME-lite's median-based clipping
+/// needs three updates for a non-degenerate median, and the plain
+/// averaging rules work with any non-empty set.
+fn participation_floor(algorithm: AggKind) -> usize {
+    match algorithm {
+        AggKind::Krum { f } => 2 * f + 2,
+        AggKind::TrimmedMean { trim } => 2 * trim + 1,
+        AggKind::FlameLite => 3,
+        AggKind::IterativeAveraging | AggKind::GradientSum | AggKind::CoordinateMedian => 1,
+    }
+}
+
 fn partition_commutative(algorithm: AggKind) -> bool {
     !matches!(algorithm, AggKind::Krum { .. } | AggKind::FlameLite)
 }

@@ -145,6 +145,7 @@ fn main() {
         "corrupt",
         "partition",
         "crash",
+        "link_restart",
     ] {
         if !fired_union.contains(kind) {
             eprintln!("coverage: no seed in the sweep fired a {kind} fault");

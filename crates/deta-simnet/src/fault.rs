@@ -47,6 +47,17 @@ pub enum FaultKind {
     /// Crash the sending node: its mailbox closes, the message is lost,
     /// and all its later sends are blackholed.
     Crash,
+    /// Restart the link: for `after` send attempts starting at the
+    /// strike index the link is down, and every frame sent during the
+    /// outage is held and retransmitted once traffic resumes — the
+    /// simulated analogue of `deta-socket`'s reconnect-and-replay (a
+    /// TCP sever heals, the resumed link replays its retransmit
+    /// buffer). Nothing is lost, so the run must stay bit-exact with
+    /// its fault-free twin.
+    LinkRestart {
+        /// Send attempts the outage covers from the strike index on.
+        after: u32,
+    },
 }
 
 impl FaultKind {
@@ -59,6 +70,7 @@ impl FaultKind {
             FaultKind::Corrupt => "corrupt",
             FaultKind::Partition => "partition",
             FaultKind::Crash => "crash",
+            FaultKind::LinkRestart { .. } => "link_restart",
         }
     }
 }
@@ -138,7 +150,7 @@ impl FaultPlan {
         }
         let n_faults = rng.gen_range(4) as usize;
         for _ in 0..n_faults {
-            let kind = rng.gen_range(6);
+            let kind = rng.gen_range(7);
             let (from, to) = links[rng.gen_range(links.len() as u64) as usize].clone();
             let at = rng.gen_range(6) as u32;
             match kind {
@@ -183,6 +195,14 @@ impl FaultPlan {
                         at,
                     });
                 }
+                5 => faults.push(Fault {
+                    kind: FaultKind::LinkRestart {
+                        after: 1 + rng.gen_range(4) as u32,
+                    },
+                    from,
+                    to,
+                    at,
+                }),
                 _ => faults.push(Fault {
                     kind: FaultKind::Crash,
                     from,
@@ -297,16 +317,35 @@ impl FaultPolicy for SimPolicy {
         let key = (from.to_string(), to.to_string());
         let at = *st.counters.get(&key).unwrap_or(&0);
         st.counters.insert(key, at + 1);
-        // Partitions swallow the whole link from their strike index on.
+        // Partitions swallow the whole link from their strike index on;
+        // link restarts hold (never lose) every frame in their outage
+        // window — both are range faults, unlike the one-shot kinds.
         for (i, f) in self.faults.iter().enumerate() {
             if f.kind == FaultKind::Partition && f.from == from && f.to == to && at >= f.at {
                 st.fired.insert(i);
                 note_fault("partition", from, to, at);
                 return SendVerdict::Drop;
             }
+            if let FaultKind::LinkRestart { after } = f.kind {
+                if f.from == from && f.to == to && at >= f.at && at < f.at + after {
+                    st.fired.insert(i);
+                    note_fault("link_restart", from, to, at);
+                    // Network-scoped hold: the frame sits in the dead
+                    // link's retransmit buffer and replays autonomously
+                    // once anything anywhere flows (heartbeats tick every
+                    // few ms), mirroring the socket layer's
+                    // reconnect-and-replay — recovery must not depend on
+                    // the stalled sender producing more traffic.
+                    return SendVerdict::Hold { after: 2 };
+                }
+            }
         }
         for (i, f) in self.faults.iter().enumerate() {
-            if f.kind == FaultKind::Partition || f.from != from || f.to != to || f.at != at {
+            if matches!(f.kind, FaultKind::Partition | FaultKind::LinkRestart { .. })
+                || f.from != from
+                || f.to != to
+                || f.at != at
+            {
                 continue;
             }
             st.fired.insert(i);
@@ -329,7 +368,7 @@ impl FaultPolicy for SimPolicy {
                     st.crashed.insert(from.to_string());
                     SendVerdict::CrashSender
                 }
-                FaultKind::Partition => SendVerdict::Deliver,
+                FaultKind::Partition | FaultKind::LinkRestart { .. } => SendVerdict::Deliver,
             };
         }
         SendVerdict::Deliver
@@ -364,6 +403,7 @@ mod tests {
             "corrupt",
             "partition",
             "crash",
+            "link_restart",
         ] {
             assert!(kinds.contains(k), "no seed in 0..200 schedules {k}");
         }
@@ -418,6 +458,34 @@ mod tests {
         assert_eq!(p.on_send("agg-2", "party-0", b"x"), SendVerdict::Drop);
         assert_eq!(p.on_send("agg-2", SUPERVISOR, b"x"), SendVerdict::Drop);
         assert_eq!(p.crashed_nodes().into_iter().collect::<Vec<_>>(), ["agg-2"]);
+    }
+
+    #[test]
+    fn link_restart_delays_exactly_its_outage_window() {
+        let plan = FaultPlan::from_faults(vec![Fault {
+            kind: FaultKind::LinkRestart { after: 2 },
+            from: "party-0".into(),
+            to: "agg-0".into(),
+            at: 1,
+        }]);
+        let p = SimPolicy::new(&plan);
+        assert_eq!(p.on_send("party-0", "agg-0", b"x"), SendVerdict::Deliver);
+        // Attempts 1 and 2 fall in the outage: held, never lost, and
+        // released by background traffic rather than this link's own.
+        assert_eq!(
+            p.on_send("party-0", "agg-0", b"x"),
+            SendVerdict::Hold { after: 2 }
+        );
+        assert_eq!(
+            p.on_send("party-0", "agg-0", b"x"),
+            SendVerdict::Hold { after: 2 }
+        );
+        // The link has reconnected and replayed: back to normal.
+        assert_eq!(p.on_send("party-0", "agg-0", b"x"), SendVerdict::Deliver);
+        assert_eq!(
+            p.fired_kinds().into_iter().collect::<Vec<_>>(),
+            ["link_restart"]
+        );
     }
 
     #[test]

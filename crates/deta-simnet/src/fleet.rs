@@ -133,6 +133,7 @@ impl SimSpec {
             failover: self.failover,
             recovery_attempts: 2,
             checkpoint: true,
+            party_drop: false,
         }
     }
 

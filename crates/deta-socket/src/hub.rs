@@ -11,27 +11,44 @@
 //!   replay window accepts them they are injected with
 //!   [`Network::send_as`], so verdicts, taps, and per-link byte counts
 //!   apply exactly as for an in-process sender;
-//! * **egress** — a pump thread drains each node's proxy mailbox and
-//!   forwards deliveries over that node's link, stamped with per-link
-//!   sequence numbers.
+//! * **egress** — a pump thread drains each node's proxy mailbox into
+//!   that node's [`NodeEgress`]: a bounded retransmit buffer plus, when
+//!   a connection is live, the link writer's queue.
 //!
-//! A node's proxy mailbox closing (supervisor shutdown, kill, or child
-//! death) broadcasts [`SocketFrame::Close`] to every link so each child
-//! mirrors the closure into its local replica — a remote peer's
-//! disconnect surfaces as the same [`deta_transport::NetError::Closed`]
-//! the simulator returns.
+//! ## Link lifecycle
+//!
+//! A seat is *connected* while a serve thread holds its link. A child
+//! that vanishes mid-session **without** sending [`SocketFrame::Bye`]
+//! does not kill the session: the seat is *parked* — egress keeps
+//! buffering, the global ingress [`ReplayWindow`] is retained — until
+//! the child reconnects, re-proves the *same* identity, and exchanges
+//! [`SocketFrame::Resume`]/[`SocketFrame::ResumeAck`] so both sides
+//! retransmit exactly the frames the other never delivered. A resume
+//! that needs frames already evicted from the bounded buffer *retires*
+//! the seat (structured [`SocketError::Resync`], mailbox closed): the
+//! gap cannot be hidden. Loss of a node that already said `Bye` stays
+//! a normal closure, exactly as before reconnection existed.
+//!
+//! A node's proxy mailbox closing (supervisor shutdown, kill, or seat
+//! retirement) broadcasts [`SocketFrame::Close`] to every live link —
+//! and is replayed to late (re)connectors — so each child mirrors the
+//! closure into its local replica.
 
 use crate::link::{LinkSender, SecureLink};
-use crate::wire::{auth_transcript, ReplayWindow, SeqTracker, SocketFrame};
+use crate::wire::{
+    auth_transcript, retransmit_enabled, ReplayWindow, SeqTracker, SocketFrame,
+    RETRANSMIT_MAX_BYTES, RETRANSMIT_MAX_FRAMES,
+};
 use crate::{hub_identity, party_link_key, SocketError};
 use deta_crypto::{DetRng, VerifyingKey};
 use deta_runtime::DetachedNodes;
+use deta_telemetry::{FlightRecorder, TelemetryValue};
 use deta_transport::{Endpoint, NetError, Network, RecvError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,6 +57,11 @@ const TICK: Duration = Duration::from_millis(20);
 
 /// Auth exchange deadline per connection.
 const AUTH_DEADLINE: Duration = Duration::from_secs(10);
+
+/// How long a fresh connection waits for the previous connection's
+/// serve thread to observe its EOF and park the seat. Two connections
+/// *both* live past this window remain an auth error.
+const REBIND_WAIT: Duration = Duration::from_secs(1);
 
 /// One hosted node as the hub sees it: the name a peer must prove, the
 /// key that proof is verified against, and the node's proxy mailbox on
@@ -86,14 +108,125 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Per-seat egress state: the live writer queue (absent while parked)
+/// plus the bounded retransmit buffer holding every stamped frame not
+/// yet known to be delivered.
+struct NodeEgress {
+    /// The live connection's writer queue; `None` while the seat is
+    /// parked — frames then only accumulate in `buffer`.
+    tx: Option<Sender<SocketFrame>>,
+    /// Stamped `Data` frames toward this node, oldest first, retained
+    /// until a resume's claims prove delivery.
+    buffer: VecDeque<SocketFrame>,
+    /// Total buffered payload bytes (the byte-cap accounting).
+    buffer_bytes: usize,
+    /// Per-(src, dst) seq of the oldest frame still retransmittable;
+    /// an entry appears only once eviction has discarded something on
+    /// that link.
+    floor: BTreeMap<(String, String), u64>,
+    /// Whether any connection ever served this seat (a later
+    /// connection is a *resume*, counted as a reconnect).
+    ever_connected: bool,
+    /// Cumulative accepted ingress `Data` frames from this node,
+    /// across all its connections; drives chaos sever thresholds.
+    ingress_frames: u64,
+}
+
+impl NodeEgress {
+    fn new() -> NodeEgress {
+        NodeEgress {
+            tx: None,
+            buffer: VecDeque::new(),
+            buffer_bytes: 0,
+            floor: BTreeMap::new(),
+            ever_connected: false,
+            ingress_frames: 0,
+        }
+    }
+
+    fn frame_bytes(frame: &SocketFrame) -> usize {
+        match frame {
+            SocketFrame::Data { payload, .. } => payload.len(),
+            _ => 0,
+        }
+    }
+
+    /// Buffers a stamped frame for retransmission — evicting from the
+    /// front and advancing the per-link floor when over either cap —
+    /// and forwards it to the live writer, if any.
+    fn push(&mut self, frame: SocketFrame) {
+        if let Some(tx) = &self.tx {
+            // A failed send means the writer died with the connection;
+            // the frame stays buffered for the resume.
+            let _ = tx.send(frame.clone());
+            // Bench knob: with buffering off, a frame a live link took
+            // is not retained. Pre-connect frames still buffer — that
+            // is first-connect delivery, not crash recovery.
+            if !retransmit_enabled() {
+                return;
+            }
+        }
+        self.buffer_bytes += Self::frame_bytes(&frame);
+        self.buffer.push_back(frame);
+        while self.buffer.len() > RETRANSMIT_MAX_FRAMES || self.buffer_bytes > RETRANSMIT_MAX_BYTES
+        {
+            let Some(old) = self.buffer.pop_front() else {
+                break;
+            };
+            self.buffer_bytes = self.buffer_bytes.saturating_sub(Self::frame_bytes(&old));
+            if let SocketFrame::Data { src, dst, seq, .. } = old {
+                self.floor.insert((src, dst), seq + 1);
+            }
+        }
+    }
+
+    /// Prunes the buffer to the frames a resuming peer still needs,
+    /// per its claimed delivered state (absent links claim 0).
+    ///
+    /// # Errors
+    ///
+    /// [`SocketError::Resync`] when a needed frame was already evicted;
+    /// the seat must then be retired, not resumed.
+    fn prune(&mut self, claims: &BTreeMap<(String, String), u64>) -> Result<(), SocketError> {
+        for ((src, dst), floor) in &self.floor {
+            let claimed = claims
+                .get(&(src.clone(), dst.clone()))
+                .copied()
+                .unwrap_or(0);
+            if claimed < *floor {
+                return Err(SocketError::Resync {
+                    link: format!("{src}->{dst}"),
+                    wanted: claimed,
+                    oldest: *floor,
+                });
+            }
+        }
+        self.buffer.retain(|f| match f {
+            SocketFrame::Data { src, dst, seq, .. } => {
+                let claimed = claims
+                    .get(&(src.clone(), dst.clone()))
+                    .copied()
+                    .unwrap_or(0);
+                *seq >= claimed
+            }
+            _ => true,
+        });
+        self.buffer_bytes = self.buffer.iter().map(Self::frame_bytes).sum();
+        Ok(())
+    }
+}
+
 /// State shared by every hub thread.
 struct HubShared {
     network: Network,
-    /// Per-connected-node egress queues; the map entry appearing is the
-    /// signal (via `connected`) that a node's link is live.
-    links: Mutex<HashMap<String, Sender<SocketFrame>>>,
-    connected: Condvar,
-    /// Strict per-(src, dst) ingress window across all links.
+    /// Per-seat egress state; entries exist from bind time, so frames
+    /// sent before (or between) connections buffer rather than block.
+    egress: Mutex<HashMap<String, NodeEgress>>,
+    /// Every seat name, for replaying missed closures to (re)connectors.
+    seat_names: Vec<String>,
+    /// Strict per-(src, dst) ingress window across all links — it
+    /// survives reconnects, so a genuinely replayed old frame dies with
+    /// [`SocketError::Replay`] no matter how many resumes happened.
     window: Mutex<ReplayWindow>,
     /// First structured failure observed by any hub thread.
     error: Mutex<Option<SocketError>>,
@@ -106,6 +239,12 @@ struct HubShared {
     /// Per-node shipped flight-recorder rings (JSONL text + overflow
     /// count), delivered by `TraceShip` just before each child's `Bye`.
     traces: Mutex<HashMap<String, (String, u64)>>,
+    /// Chaos plan: per node, ascending cumulative ingress-frame counts
+    /// after which the hub abruptly severs that node's connection.
+    chaos: Mutex<HashMap<String, Vec<u64>>>,
+    /// Hub-side lifecycle ring (`link_down` / `link_resumed` events),
+    /// harvested into the merged trace so an outage window is visible.
+    recorder: Arc<FlightRecorder>,
 }
 
 impl HubShared {
@@ -116,19 +255,26 @@ impl HubShared {
         }
     }
 
-    /// Sends `frame` to every connected link (best effort — a link
-    /// whose writer is gone is skipped).
+    /// Sends `frame` to every *live* link. Parked seats are skipped on
+    /// purpose: closures (the only broadcast frame) are replayed to a
+    /// seat when it resumes.
     fn broadcast(&self, frame: &SocketFrame) {
-        let senders: Vec<Sender<SocketFrame>> = lock(&self.links).values().cloned().collect();
+        let senders: Vec<Sender<SocketFrame>> = lock(&self.egress)
+            .values()
+            .filter_map(|e| e.tx.clone())
+            .collect();
         for s in senders {
             let _ = s.send(frame.clone());
         }
     }
 
-    /// Removes a node's egress queue (dropping our sender lets the
-    /// writer thread drain and exit).
-    fn drop_link(&self, name: &str) {
-        lock(&self.links).remove(name);
+    /// Parks a seat: drops the live writer queue (the writer drains and
+    /// exits) while keeping the retransmit buffer, floors, and ingress
+    /// window for a future resume.
+    fn park(&self, name: &str) {
+        if let Some(e) = lock(&self.egress).get_mut(name) {
+            e.tx = None;
+        }
     }
 }
 
@@ -153,20 +299,45 @@ impl SocketHub {
         seats: Vec<HubSeat>,
         seed: u64,
     ) -> Result<SocketHub, SocketError> {
+        SocketHub::bind_chaos(network, seats, seed, HashMap::new())
+    }
+
+    /// [`SocketHub::bind`] with a chaos plan: for each named node, an
+    /// ascending list of cumulative ingress `Data`-frame counts after
+    /// which the hub severs that node's TCP connection abruptly (no
+    /// `Bye`) — the real-socket analogue of the simnet `LinkRestart`
+    /// fault, exercising the park/resume machinery end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`SocketError::Io`] when the listener cannot bind.
+    pub fn bind_chaos(
+        network: Network,
+        seats: Vec<HubSeat>,
+        seed: u64,
+        chaos: HashMap<String, Vec<u64>>,
+    ) -> Result<SocketHub, SocketError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let seat_names: Vec<String> = seats.iter().map(|s| s.name.clone()).collect();
+        let egress = seat_names
+            .iter()
+            .map(|n| (n.clone(), NodeEgress::new()))
+            .collect();
         let shared = Arc::new(HubShared {
             network,
-            links: Mutex::new(HashMap::new()),
-            connected: Condvar::new(),
+            egress: Mutex::new(egress),
+            seat_names,
             window: Mutex::new(ReplayWindow::new()),
             error: Mutex::new(None),
             stop: Arc::clone(&stop),
             conns: AtomicU64::new(0),
             offsets: Mutex::new(HashMap::new()),
             traces: Mutex::new(HashMap::new()),
+            chaos: Mutex::new(chaos),
+            recorder: FlightRecorder::new("hub", 4096),
         });
         let roster: Arc<HashMap<String, VerifyingKey>> = Arc::new(
             seats
@@ -214,20 +385,32 @@ impl SocketHub {
 
     /// [`SocketHub::join`] plus the observability harvest: every child's
     /// shipped flight-recorder ring and its clock offset, collected once
-    /// all bridge threads have drained. The trace merger
-    /// (`deta-obs`) aligns the shipped timestamps with these offsets.
+    /// all bridge threads have drained, plus the hub's own link-lifecycle
+    /// ring under the name `hub`. The trace merger (`deta-obs`) aligns
+    /// the shipped timestamps with these offsets.
     pub fn join_harvest(mut self) -> (Option<SocketError>, TraceHarvest) {
         self.stop.store(true, Ordering::Relaxed);
-        // Dropping every egress sender lets writer threads drain their
-        // queues, emit Bye, and exit.
-        lock(&self.shared.links).clear();
-        self.shared.connected.notify_all();
+        // Dropping every live writer queue lets writer threads drain,
+        // emit Bye, and exit; parked buffers are simply discarded.
+        for entry in lock(&self.shared.egress).values_mut() {
+            entry.tx = None;
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        let mut traces = std::mem::take(&mut *lock(&self.shared.traces));
+        let (records, dropped) = self.shared.recorder.drain();
+        if !records.is_empty() || dropped > 0 {
+            let mut jsonl = String::new();
+            for rec in &records {
+                jsonl.push_str(&rec.to_json(self.shared.recorder.node()));
+                jsonl.push('\n');
+            }
+            traces.insert("hub".to_string(), (jsonl, dropped));
+        }
         let harvest = TraceHarvest {
             offsets: lock(&self.shared.offsets).clone(),
-            traces: std::mem::take(&mut *lock(&self.shared.traces)),
+            traces,
         };
         (self.first_error(), harvest)
     }
@@ -246,9 +429,11 @@ pub struct TraceHarvest {
     pub traces: HashMap<String, (String, u64)>,
 }
 
-/// Drains one node's proxy mailbox onto its link. Exits when the
-/// mailbox closes (after forwarding everything still queued and
-/// broadcasting the closure) or on hub stop.
+/// Drains one node's proxy mailbox into its egress state: every frame
+/// is stamped once (the tracker outlives connections, so sequence
+/// numbers stay continuous across resumes), buffered for
+/// retransmission, and forwarded when a link is live. Exits when the
+/// mailbox closes (after broadcasting the closure) or on hub stop.
 fn pump(seat: HubSeat, shared: Arc<HubShared>) {
     let mut seqs = SeqTracker::new();
     loop {
@@ -264,8 +449,8 @@ fn pump(seat: HubSeat, shared: Arc<HubShared>) {
                     seq,
                     payload: msg.payload,
                 };
-                if !forward(&shared, &seat.name, frame) {
-                    return;
+                if let Some(entry) = lock(&shared.egress).get_mut(&seat.name) {
+                    entry.push(frame);
                 }
             }
             Err(RecvError::Timeout) => {
@@ -283,29 +468,6 @@ fn pump(seat: HubSeat, shared: Arc<HubShared>) {
                 return;
             }
         }
-    }
-}
-
-/// Hands a frame to the destination node's egress queue, waiting for
-/// the link if the child has not connected yet. Returns `false` when
-/// the hub is stopping.
-fn forward(shared: &HubShared, name: &str, frame: SocketFrame) -> bool {
-    let mut links = lock(&shared.links);
-    loop {
-        if let Some(sender) = links.get(name) {
-            // A failed send means the writer died with the child; the
-            // closure path will surface it.
-            let _ = sender.send(frame);
-            return true;
-        }
-        if shared.stop.load(Ordering::Relaxed) {
-            return false;
-        }
-        let (guard, _) = shared
-            .connected
-            .wait_timeout(links, TICK)
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        links = guard;
     }
 }
 
@@ -342,8 +504,8 @@ fn accept_loop(
     }
 }
 
-/// Serves one connection: handshake, challenge auth, then the ingress
-/// loop (this thread) plus an egress writer thread.
+/// Serves one connection: handshake, challenge auth, resume exchange,
+/// then the ingress loop (this thread) plus an egress writer thread.
 fn serve(
     stream: TcpStream,
     shared: Arc<HubShared>,
@@ -364,6 +526,9 @@ fn serve(
             return;
         }
     };
+    // The roster is fixed at bind time, so a reconnect under a known
+    // name with a different key fails this verification exactly as any
+    // other impostor does.
     let name = match authenticate(&mut link, &roster, &mut rng) {
         Ok(name) => name,
         Err(e) => {
@@ -380,32 +545,136 @@ fn serve(
             return;
         }
     }
-    let (tx, rx) = channel::<SocketFrame>();
-    {
-        let mut links = lock(&shared.links);
-        if links.contains_key(&name) {
+    // Seat rebind: give the previous connection's serve thread a moment
+    // to observe its EOF and park the seat. Two connections both live
+    // past the window remain an auth error, as before.
+    let rebind_deadline = Instant::now() + REBIND_WAIT;
+    loop {
+        if lock(&shared.egress)
+            .get(&name)
+            .is_none_or(|e| e.tx.is_none())
+        {
+            break;
+        }
+        if Instant::now() >= rebind_deadline {
             shared.record_error(SocketError::Auth {
                 peer: name,
                 detail: "second connection for an already-linked node",
             });
             return;
         }
-        links.insert(name.clone(), tx);
-        shared.connected.notify_all();
+        std::thread::sleep(TICK);
+    }
+
+    // Resume exchange. Every child leads with `Resume` (empty windows
+    // on a first connection); any other first frame is an implicit
+    // empty resume — a fresh-windowed peer expecting every link from
+    // seq 0 — and is then processed as normal ingress.
+    let mut claims: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut send_ack = false;
+    let mut pending: Option<SocketFrame> = None;
+    match link.recv(None, Some(&shared.stop)) {
+        Ok(Some(SocketFrame::Resume { src, windows })) => {
+            if src != name {
+                shared.record_error(SocketError::Auth {
+                    peer: name,
+                    detail: "resume with spoofed source name",
+                });
+                return;
+            }
+            claims = windows.into_iter().map(|(s, d, n)| ((s, d), n)).collect();
+            send_ack = true;
+        }
+        Ok(Some(frame)) => pending = Some(frame),
+        // Gone again (or hub stop) before resuming: the seat simply
+        // stays parked — churn during reconnection is not an error.
+        Ok(None) => return,
+        Err(SocketError::Io(_)) => return,
+        Err(e) => {
+            shared.record_error(e);
+            return;
+        }
+    }
+    if send_ack {
+        // The hub's delivered-so-far state for the peer's own links,
+        // so the peer prunes its retransmit buffer symmetrically. Must
+        // precede any retransmitted Data.
+        let windows = lock(&shared.window).snapshot_from(&name);
+        if link.send(&SocketFrame::ResumeAck { windows }).is_err() {
+            return;
+        }
     }
     let (sender, mut receiver) = match link.split() {
         Ok(pair) => pair,
         Err(e) => {
             shared.record_error(e);
-            shared.drop_link(&name);
             return;
         }
     };
+    let (tx, rx) = channel::<SocketFrame>();
+    {
+        // Prune, retransmit, and publish under one egress lock so the
+        // pump cannot interleave a fresh frame among the replayed ones.
+        let mut egress = lock(&shared.egress);
+        let Some(entry) = egress.get_mut(&name) else {
+            return;
+        };
+        if let Err(e) = entry.prune(&claims) {
+            // The frames this peer needs are gone: retire the seat.
+            drop(egress);
+            shared.record_error(e);
+            shared.network.close(&name);
+            shared.broadcast(&SocketFrame::Close { name: name.clone() });
+            return;
+        }
+        let replayed = entry.buffer.len() as u64;
+        for frame in &entry.buffer {
+            let _ = tx.send(frame.clone());
+        }
+        if !retransmit_enabled() {
+            entry.buffer.clear();
+            entry.buffer_bytes = 0;
+        }
+        // Closures missed while parked (or before the first connect)
+        // are replayed idempotently, after the Data backlog.
+        for seat in &shared.seat_names {
+            if shared.network.is_closed(seat) {
+                let _ = tx.send(SocketFrame::Close { name: seat.clone() });
+            }
+        }
+        let resumed = entry.ever_connected;
+        entry.ever_connected = true;
+        entry.tx = Some(tx);
+        if deta_telemetry::enabled() {
+            if resumed {
+                deta_telemetry::metrics::counter_add("deta_socket_reconnects_total", &name, 1);
+            }
+            deta_telemetry::metrics::counter_add(
+                "deta_socket_resync_replayed_frames",
+                &name,
+                replayed,
+            );
+        }
+        if resumed {
+            shared.recorder.event(
+                "link_resumed",
+                &[
+                    ("node", TelemetryValue::Str(name.clone())),
+                    ("replayed_frames", TelemetryValue::U64(replayed)),
+                ],
+            );
+        }
+    }
     let writer = std::thread::spawn(move || write_loop(sender, rx));
     // Ingress: inject every accepted frame into the hub network.
     let mut clean_exit = false;
+    let mut parked = false;
     loop {
-        match receiver.recv(None, Some(&shared.stop)) {
+        let next = match pending.take() {
+            Some(frame) => Ok(Some(frame)),
+            None => receiver.recv(None, Some(&shared.stop)),
+        };
+        match next {
             Ok(Some(SocketFrame::Data {
                 src,
                 dst,
@@ -451,6 +720,30 @@ fn serve(
                         }
                     }
                 }
+                // Chaos: sever this node's connection abruptly once its
+                // cumulative accepted-frame count crosses the next
+                // planned threshold.
+                let mut sever_now = false;
+                {
+                    let mut egress = lock(&shared.egress);
+                    if let Some(entry) = egress.get_mut(&name) {
+                        entry.ingress_frames += 1;
+                        let count = entry.ingress_frames;
+                        let mut chaos = lock(&shared.chaos);
+                        if let Some(cuts) = chaos.get_mut(&name) {
+                            if cuts.first().is_some_and(|t| count >= *t) {
+                                cuts.remove(0);
+                                sever_now = true;
+                            }
+                        }
+                    }
+                }
+                if sever_now {
+                    // Both directions die without a Bye; the next read
+                    // observes EOF and parks the seat like any abrupt
+                    // disconnect.
+                    receiver.sever();
+                }
             }
             Ok(Some(SocketFrame::Bye)) => {
                 clean_exit = true;
@@ -483,16 +776,19 @@ fn serve(
                 lock(&shared.traces).insert(ship_name, (text, dropped));
             }
             Ok(Some(_)) => {
+                // Includes a mid-session Resume: the exchange happens
+                // exactly once, right after auth.
                 shared.record_error(SocketError::Malformed {
                     link: receiver.label().to_string(),
                 });
                 break;
             }
             Ok(None) => {
-                // EOF. Normal after shutdown (the child exits once its
-                // mailbox closes); abnormal mid-session.
+                // EOF without Bye. At shutdown, or for a seat whose
+                // mailbox is already closed, this is the old closure
+                // path; mid-session it parks the seat for a resume.
                 if !shared.stop.load(Ordering::Relaxed) && !shared.network.is_closed(&name) {
-                    shared.record_error(SocketError::Disconnected { peer: name.clone() });
+                    parked = true;
                 }
                 break;
             }
@@ -502,14 +798,33 @@ fn serve(
             }
         }
     }
-    // Whatever ended the link: close the node's mailbox so hub-side
-    // senders observe `Closed`, tell every child, and release the
-    // writer.
-    if !clean_exit || !shared.stop.load(Ordering::Relaxed) {
+    if parked {
+        // Keep the mailbox open and tell no one: hub-side senders keep
+        // buffering, and the child is expected back.
+        let depth = lock(&shared.egress)
+            .get(&name)
+            .map_or(0, |e| e.buffer.len());
+        if deta_telemetry::enabled() {
+            deta_telemetry::metrics::histogram_observe(
+                "deta_socket_parked_depth",
+                &name,
+                depth as f64,
+            );
+        }
+        shared.recorder.event(
+            "link_down",
+            &[
+                ("node", TelemetryValue::Str(name.clone())),
+                ("parked_frames", TelemetryValue::U64(depth as u64)),
+            ],
+        );
+    } else if !clean_exit || !shared.stop.load(Ordering::Relaxed) {
+        // Whatever ended the link for good: close the node's mailbox so
+        // hub-side senders observe `Closed`, and tell every child.
         shared.network.close(&name);
         shared.broadcast(&SocketFrame::Close { name: name.clone() });
     }
-    shared.drop_link(&name);
+    shared.park(&name);
     let _ = writer.join();
 }
 

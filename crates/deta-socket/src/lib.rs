@@ -47,7 +47,7 @@ mod link;
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME};
 pub use hub::{HubSeat, SocketHub, TraceHarvest};
 pub use node::run_node;
-pub use wire::{ReplayWindow, SeqTracker, SocketFrame};
+pub use wire::{set_retransmit_buffering, ReplayWindow, SeqTracker, SocketFrame};
 
 use deta_crypto::{DetRng, SigningKey, VerifyingKey};
 use std::fmt;
@@ -106,6 +106,19 @@ pub enum SocketError {
         /// The peer's endpoint name.
         peer: String,
     },
+    /// A reconnecting peer's `Resume` state cannot be honored: the
+    /// frames it still needs were evicted from the bounded retransmit
+    /// buffer during the outage. The link is retired — gapless delivery
+    /// can no longer be guaranteed, so resuming would silently lose
+    /// frames.
+    Resync {
+        /// The unrecoverable link as `src->dst`.
+        link: String,
+        /// The seq the peer asked to resume from.
+        wanted: u64,
+        /// The oldest seq still held for retransmission.
+        oldest: u64,
+    },
     /// The child could not rebuild its deterministic session replica.
     Build {
         /// Human-readable cause.
@@ -144,6 +157,17 @@ impl fmt::Display for SocketError {
             }
             SocketError::Disconnected { peer } => {
                 write!(f, "peer {peer} disconnected without Bye")
+            }
+            SocketError::Resync {
+                link,
+                wanted,
+                oldest,
+            } => {
+                write!(
+                    f,
+                    "link {link} cannot resync: peer needs seq {wanted} but the \
+                     retransmit buffer starts at {oldest}"
+                )
             }
             SocketError::Build { detail } => {
                 write!(f, "session replica build failed: {detail}")
@@ -199,6 +223,15 @@ impl SocketError {
                 expected: *expected,
             },
             SocketError::Disconnected { peer } => SocketError::Disconnected { peer: peer.clone() },
+            SocketError::Resync {
+                link,
+                wanted,
+                oldest,
+            } => SocketError::Resync {
+                link: link.clone(),
+                wanted: *wanted,
+                oldest: *oldest,
+            },
             SocketError::Build { detail } => SocketError::Build {
                 detail: detail.clone(),
             },

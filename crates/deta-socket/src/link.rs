@@ -260,4 +260,11 @@ impl LinkReceiver {
     pub fn label(&self) -> &str {
         &self.io.label
     }
+
+    /// Abruptly severs the underlying stream — both directions, no
+    /// `Bye`. The peer observes a bare EOF, exactly as if the transport
+    /// died. Chaos-injection only.
+    pub fn sever(&self) {
+        let _ = self.io.stream.shutdown(std::net::Shutdown::Both);
+    }
 }

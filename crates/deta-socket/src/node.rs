@@ -14,28 +14,70 @@
 //! the child's egress preserves the node's global causal send order,
 //! which is what makes hub-side byte accounting bit-exact with the
 //! in-process deployment.
+//!
+//! ## Link restarts
+//!
+//! The TCP connection is *not* the session: when it dies without a
+//! `Bye` from the hub, the reader thread parks the write half, then
+//! reconnects with capped exponential backoff plus seeded jitter,
+//! re-proves the same node identity, and exchanges
+//! [`SocketFrame::Resume`]/[`SocketFrame::ResumeAck`] with the hub so
+//! both sides retransmit exactly the frames the other never delivered.
+//! The per-link sequence counters, the ingress [`ReplayWindow`], and
+//! the bounded retransmit buffer all outlive connections — which is
+//! why a resumed session stays bit-exact and a genuine replay still
+//! dies. A child that exhausts its reconnect budget retires the link
+//! with a structured [`SocketError::Disconnected`] and closes its own
+//! mailbox, so the hosted actor exits instead of hanging.
 
 use crate::link::{LinkReceiver, LinkSender, SecureLink};
-use crate::wire::{auth_transcript, ReplayWindow, SeqTracker, SocketFrame};
+use crate::wire::{
+    auth_transcript, retransmit_enabled, ReplayWindow, SeqTracker, SocketFrame,
+    RETRANSMIT_MAX_BYTES, RETRANSMIT_MAX_FRAMES,
+};
 use crate::{hub_verifying_key, party_link_key, SocketError};
 use deta_core::aggregator::AggregatorNode;
 use deta_core::party::Party;
 use deta_core::session::{DetaConfig, SessionParts};
-use deta_crypto::DetRng;
+use deta_crypto::{DetRng, SigningKey, VerifyingKey};
 use deta_nn::train::LabeledData;
 use deta_nn::Sequential;
 use deta_runtime::actor::{run_aggregator, run_party, ActorContext};
 use deta_runtime::SUPERVISOR;
 use deta_telemetry::FlightRecorder;
 use deta_transport::{FaultPolicy, NetTap, Network, SendVerdict};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Auth exchange deadline against the hub.
 const AUTH_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Consecutive failed reconnect attempts before the child gives up,
+/// retires the link with [`SocketError::Disconnected`], and lets its
+/// actor exit. The coordinator then degrades the round to partial
+/// participation (or fails over) instead of hanging.
+const RECONNECT_BUDGET: u32 = 6;
+
+/// First reconnect backoff; doubles per consecutive failure.
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Backoff ceiling.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Stop-flag poll granularity inside backoff sleeps.
+const SLEEP_STEP: Duration = Duration::from_millis(20);
+
+/// How long the writer waits at teardown for an in-flight resume
+/// before giving up on the trace ship and `Bye`.
+const SIGNOFF_WAIT: Duration = Duration::from_secs(10);
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The one node this process hosts.
 enum OwnNode {
@@ -93,6 +135,215 @@ impl NetTap for NullTap {
     fn on_deliver(&self, _from: &str, _to: &str, _payload: &[u8]) {}
 }
 
+/// Link state that must survive reconnections, shared by the writer
+/// (stamping and sending) and the reader (reconnecting and resuming).
+struct LinkState {
+    /// Live write half; `None` while parked or reconnecting.
+    sender: Option<LinkSender>,
+    /// Per-(src, dst) egress sequence counters. Connection-independent,
+    /// so a retransmitted frame carries the same seq as the original.
+    seqs: SeqTracker,
+    /// Ingress window. Connection-independent, so a replay of an
+    /// already-delivered frame still dies after any number of resumes.
+    window: ReplayWindow,
+    /// Unacknowledged egress frames, oldest first, bounded by
+    /// [`RETRANSMIT_MAX_FRAMES`]/[`RETRANSMIT_MAX_BYTES`].
+    buffer: VecDeque<SocketFrame>,
+    /// Total buffered payload bytes.
+    buffer_bytes: usize,
+    /// Per-(src, dst) seq of the oldest retransmittable frame; entries
+    /// appear only once eviction has discarded something.
+    floor: BTreeMap<(String, String), u64>,
+    /// Set once the link is gone for good (budget exhausted, fatal
+    /// violation, or orderly shutdown).
+    retired: bool,
+}
+
+/// [`LinkState`] plus the condvar the writer uses to wait for a resume
+/// at sign-off time.
+struct LinkShared {
+    state: Mutex<LinkState>,
+    /// Notified when `sender` goes live or the link retires.
+    live: Condvar,
+}
+
+impl LinkState {
+    fn new() -> LinkState {
+        LinkState {
+            sender: None,
+            seqs: SeqTracker::new(),
+            window: ReplayWindow::new(),
+            buffer: VecDeque::new(),
+            buffer_bytes: 0,
+            floor: BTreeMap::new(),
+            retired: false,
+        }
+    }
+
+    fn frame_bytes(frame: &SocketFrame) -> usize {
+        match frame {
+            SocketFrame::Data { payload, .. } => payload.len(),
+            _ => 0,
+        }
+    }
+
+    /// Sends a stamped frame on the live link (a send failure parks the
+    /// write half; the reader notices the same death and reconnects)
+    /// and retains it for retransmission, evicting past the caps.
+    fn push(&mut self, frame: SocketFrame) {
+        if let Some(sender) = self.sender.as_mut() {
+            if sender.send(&frame).is_err() {
+                self.sender = None;
+            } else if !retransmit_enabled() {
+                // Bench knob: a frame the live link took is not
+                // retained. Pre-connect frames still buffer — that is
+                // first-connect delivery, not crash recovery.
+                return;
+            }
+        }
+        self.buffer_bytes += Self::frame_bytes(&frame);
+        self.buffer.push_back(frame);
+        while self.buffer.len() > RETRANSMIT_MAX_FRAMES || self.buffer_bytes > RETRANSMIT_MAX_BYTES
+        {
+            let Some(old) = self.buffer.pop_front() else {
+                break;
+            };
+            self.buffer_bytes = self.buffer_bytes.saturating_sub(Self::frame_bytes(&old));
+            if let SocketFrame::Data { src, dst, seq, .. } = old {
+                self.floor.insert((src, dst), seq + 1);
+            }
+        }
+    }
+
+    /// Prunes the buffer to the frames the hub still needs, per its
+    /// `ResumeAck` claims (absent links claim 0).
+    ///
+    /// # Errors
+    ///
+    /// [`SocketError::Resync`] when a needed frame was already evicted;
+    /// the link cannot be resumed without a silent gap.
+    fn prune(&mut self, claims: &BTreeMap<(String, String), u64>) -> Result<(), SocketError> {
+        for ((src, dst), floor) in &self.floor {
+            let claimed = claims
+                .get(&(src.clone(), dst.clone()))
+                .copied()
+                .unwrap_or(0);
+            if claimed < *floor {
+                return Err(SocketError::Resync {
+                    link: format!("{src}->{dst}"),
+                    wanted: claimed,
+                    oldest: *floor,
+                });
+            }
+        }
+        self.buffer.retain(|f| match f {
+            SocketFrame::Data { src, dst, seq, .. } => {
+                let claimed = claims
+                    .get(&(src.clone(), dst.clone()))
+                    .copied()
+                    .unwrap_or(0);
+                *seq >= claimed
+            }
+            _ => true,
+        });
+        self.buffer_bytes = self.buffer.iter().map(Self::frame_bytes).sum();
+        Ok(())
+    }
+}
+
+/// Everything needed to (re)establish an authenticated link to the hub
+/// and run the resume exchange.
+struct Reconnector {
+    addr: SocketAddr,
+    name: String,
+    hub_key: VerifyingKey,
+    link_key: SigningKey,
+    rng: DetRng,
+}
+
+impl Reconnector {
+    /// One full connection attempt: TCP connect, secure handshake,
+    /// challenge auth under the *same* node key as every previous
+    /// connection, clock echo, then the `Resume`/`ResumeAck` exchange.
+    /// On success the retransmit backlog has been replayed, the write
+    /// half is live in `shared`, and the read half is returned.
+    fn connect(&mut self, shared: &LinkShared) -> Result<LinkReceiver, SocketError> {
+        let mut link = SecureLink::connect(self.addr, &self.name, &self.hub_key, &mut self.rng)?;
+        let deadline = Some(Instant::now() + AUTH_DEADLINE);
+        match link.recv(deadline, None)? {
+            Some(SocketFrame::Challenge { nonce }) => {
+                let msg = auth_transcript(&nonce, &self.name);
+                link.send(&SocketFrame::AuthProof {
+                    name: self.name.clone(),
+                    sig: self.link_key.sign(&msg).to_bytes(),
+                })?;
+            }
+            _ => {
+                return Err(SocketError::Auth {
+                    peer: self.name.clone(),
+                    detail: "hub did not issue a challenge",
+                })
+            }
+        }
+        match link.recv(deadline, None)? {
+            Some(SocketFrame::Welcome) => {}
+            _ => {
+                return Err(SocketError::Auth {
+                    peer: self.name.clone(),
+                    detail: "hub did not accept the auth proof",
+                })
+            }
+        }
+        // Clock alignment: echo the hub's probe with our own monotonic
+        // timestamp so the coordinator can map this process's trace
+        // timestamps onto its timeline.
+        match link.recv(deadline, None)? {
+            Some(SocketFrame::ClockProbe { t_hub_ns }) => {
+                link.send(&SocketFrame::ClockEcho {
+                    t_hub_ns,
+                    t_peer_ns: deta_telemetry::now_ns(),
+                })?;
+            }
+            _ => {
+                return Err(SocketError::Auth {
+                    peer: self.name.clone(),
+                    detail: "hub did not send a clock probe",
+                })
+            }
+        }
+        // Resume exchange, under the state lock so the writer cannot
+        // interleave a fresh frame among the retransmitted backlog.
+        let mut st = lock(&shared.state);
+        link.send(&SocketFrame::Resume {
+            src: self.name.clone(),
+            windows: st.window.snapshot(),
+        })?;
+        let claims: BTreeMap<(String, String), u64> = match link.recv(deadline, None)? {
+            Some(SocketFrame::ResumeAck { windows }) => {
+                windows.into_iter().map(|(s, d, n)| ((s, d), n)).collect()
+            }
+            _ => {
+                return Err(SocketError::Auth {
+                    peer: self.name.clone(),
+                    detail: "hub did not acknowledge the resume",
+                })
+            }
+        };
+        st.prune(&claims)?;
+        let (mut sender, receiver) = link.split()?;
+        for frame in &st.buffer {
+            sender.send(frame)?;
+        }
+        if !retransmit_enabled() {
+            st.buffer.clear();
+            st.buffer_bytes = 0;
+        }
+        st.sender = Some(sender);
+        shared.live.notify_all();
+        Ok(receiver)
+    }
+}
+
 /// Hosts the named node: rebuilds the session replica from `config`,
 /// connects to the hub at `addr`, proves the node's identity, then runs
 /// the stock actor loop until shutdown. Blocks for the whole session.
@@ -101,7 +352,8 @@ impl NetTap for NullTap {
 ///
 /// Structured [`SocketError`]s: replica build failures, handshake or
 /// auth rejection, and any link-level violation observed while the
-/// actor ran.
+/// actor ran — including [`SocketError::Disconnected`] after the
+/// reconnect budget is exhausted.
 pub fn run_node(
     addr: SocketAddr,
     name: &str,
@@ -138,67 +390,36 @@ pub fn run_node(
             detail: format!("no node named {name} in the session"),
         });
     };
+    // The node's link identity outlives the node itself (which the
+    // actor consumes), because every reconnection must prove the SAME
+    // key — the hub's roster is fixed at bind time.
+    let link_key = match &own {
+        OwnNode::Agg(a) => a.link_signing_key(),
+        OwnNode::Party(_) => party_link_key(seed, name),
+    };
     // The supervisor lives on the hub; register a proxy so local sends
     // to it pass the destination check (the policy routes them out).
     let _supervisor_proxy = network.register(SUPERVISOR);
 
-    // Link up before the actor starts: handshake, then prove the node's
-    // identity against the hub's challenge.
-    let mut rng = DetRng::from_u64(seed)
-        .fork(b"deta-socket/child")
-        .fork(name.as_bytes());
-    let hub_key = hub_verifying_key(seed);
-    let mut link = SecureLink::connect(addr, name, &hub_key, &mut rng)?;
-    let deadline = Some(Instant::now() + AUTH_DEADLINE);
-    match link.recv(deadline, None)? {
-        Some(SocketFrame::Challenge { nonce }) => {
-            let msg = auth_transcript(&nonce, name);
-            let sig = match &own {
-                OwnNode::Agg(a) => a.sign_with_token(&msg),
-                OwnNode::Party(_) => party_link_key(seed, name).sign(&msg),
-            };
-            link.send(&SocketFrame::AuthProof {
-                name: name.to_string(),
-                sig: sig.to_bytes(),
-            })?;
-        }
-        _ => {
-            return Err(SocketError::Auth {
-                peer: name.to_string(),
-                detail: "hub did not issue a challenge",
-            })
-        }
-    }
-    match link.recv(deadline, None)? {
-        Some(SocketFrame::Welcome) => {}
-        _ => {
-            return Err(SocketError::Auth {
-                peer: name.to_string(),
-                detail: "hub did not accept the auth proof",
-            })
-        }
-    }
-    // Clock alignment: echo the hub's probe with our own monotonic
-    // timestamp so the coordinator can map this process's trace
-    // timestamps onto its timeline.
-    match link.recv(deadline, None)? {
-        Some(SocketFrame::ClockProbe { t_hub_ns }) => {
-            link.send(&SocketFrame::ClockEcho {
-                t_hub_ns,
-                t_peer_ns: deta_telemetry::now_ns(),
-            })?;
-        }
-        _ => {
-            return Err(SocketError::Auth {
-                peer: name.to_string(),
-                detail: "hub did not send a clock probe",
-            })
-        }
-    }
-    let (sender, receiver) = link.split()?;
+    // Link up before the actor starts. The first connection is
+    // synchronous and fails fast; only mid-session losses retry.
+    let mut reconnector = Reconnector {
+        addr,
+        name: name.to_string(),
+        hub_key: hub_verifying_key(seed),
+        link_key,
+        rng: DetRng::from_u64(seed)
+            .fork(b"deta-socket/child")
+            .fork(name.as_bytes()),
+    };
+    let shared = Arc::new(LinkShared {
+        state: Mutex::new(LinkState::new()),
+        live: Condvar::new(),
+    });
+    let receiver = reconnector.connect(&shared)?;
 
-    // Bridge threads: writer (egress queue -> socket) and reader
-    // (socket -> local injection).
+    // Bridge threads: writer (egress queue -> shared link state) and
+    // reader (socket -> local injection, plus reconnection).
     let (egress_tx, egress_rx) = channel::<(String, String, Vec<u8>)>();
     network.set_fault_policy(Arc::new(LocalOnlyPolicy {
         own: name.to_string(),
@@ -216,15 +437,21 @@ pub fn run_node(
     };
     let recorder = FlightRecorder::new(name, ring_cap);
     let ship = Arc::clone(&recorder);
-    let writer = std::thread::spawn(move || write_loop(sender, egress_rx, ship));
+    let writer = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || write_loop(shared, egress_rx, ship))
+    };
     let reader_stop = Arc::new(AtomicBool::new(false));
     let reader_error: Arc<Mutex<Option<SocketError>>> = Arc::new(Mutex::new(None));
     let reader = {
         let network = network.clone();
         let stop = Arc::clone(&reader_stop);
         let slot = Arc::clone(&reader_error);
+        let shared = Arc::clone(&shared);
         let own_name = name.to_string();
-        std::thread::spawn(move || read_loop(receiver, network, own_name, stop, slot))
+        std::thread::spawn(move || {
+            read_loop(receiver, network, own_name, reconnector, shared, stop, slot);
+        })
     };
 
     // The actor runs on this thread, exactly as it would under the
@@ -259,29 +486,44 @@ pub fn run_node(
     }
 }
 
-/// Egress: drains the tap's queue onto the socket in order, then — with
-/// the telemetry sink enabled — ships the hosted node's drained flight
-/// recorder, then `Bye`.
+/// Egress: stamps and sends each queued frame through the shared link
+/// state (buffering it for retransmission), then — with the telemetry
+/// sink enabled — ships the hosted node's drained flight recorder,
+/// then `Bye`. The sign-off waits briefly for an in-flight resume.
 fn write_loop(
-    mut sender: LinkSender,
+    shared: Arc<LinkShared>,
     rx: Receiver<(String, String, Vec<u8>)>,
     recorder: Arc<FlightRecorder>,
 ) {
-    let mut seqs = SeqTracker::new();
     while let Ok((src, dst, payload)) = rx.recv() {
-        let seq = seqs.next(&src, &dst);
-        let frame = SocketFrame::Data {
+        let mut st = lock(&shared.state);
+        let seq = st.seqs.next(&src, &dst);
+        st.push(SocketFrame::Data {
             src,
             dst,
             seq,
             payload,
-        };
-        if sender.send(&frame).is_err() {
-            return;
-        }
+        });
     }
     // The queue only closes after the actor loop has exited, so the
-    // ring is complete by the time it is drained here.
+    // ring is complete by the time it is drained here. The sign-off
+    // needs a live link; a parked one may resume any moment.
+    let deadline = Instant::now() + SIGNOFF_WAIT;
+    let mut st = lock(&shared.state);
+    while st.sender.is_none() && !st.retired {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let (guard, _) = shared
+            .live
+            .wait_timeout(st, (deadline - now).min(Duration::from_millis(100)))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st = guard;
+    }
+    let Some(sender) = st.sender.as_mut() else {
+        return;
+    };
     if deta_telemetry::enabled() {
         let (records, dropped) = recorder.drain();
         if !records.is_empty() || dropped > 0 {
@@ -300,16 +542,28 @@ fn write_loop(
     let _ = sender.send(&SocketFrame::Bye);
 }
 
-/// Ingress: injects hub frames into the local replica and mirrors
-/// remote closures.
+/// How one connection's ingress ended.
+enum LinkEnd {
+    /// Abrupt loss without `Bye`: park and reconnect.
+    Lost,
+    /// Orderly end (hub `Bye` or local stop): retire quietly.
+    Shutdown,
+    /// A protocol violation that must not be smoothed over.
+    Fatal(SocketError),
+}
+
+/// Ingress + reconnection: injects hub frames into the local replica,
+/// mirrors remote closures, and — on abrupt connection loss — runs the
+/// backoff/reconnect/resume cycle until the budget is exhausted.
 fn read_loop(
-    mut receiver: LinkReceiver,
+    first: LinkReceiver,
     network: Network,
     own: String,
+    mut reconnector: Reconnector,
+    shared: Arc<LinkShared>,
     stop: Arc<AtomicBool>,
     slot: Arc<Mutex<Option<SocketError>>>,
 ) {
-    let mut window = ReplayWindow::new();
     let record = |e: SocketError| {
         let mut s = slot
             .lock()
@@ -318,22 +572,98 @@ fn read_loop(
             *s = Some(e);
         }
     };
+    let retire = || {
+        let mut st = lock(&shared.state);
+        st.sender = None;
+        st.retired = true;
+        shared.live.notify_all();
+        network.close(&own);
+    };
+    let mut jitter = reconnector.rng.fork(b"reconnect-jitter");
+    let mut receiver = first;
     loop {
-        match receiver.recv(None, Some(&stop)) {
+        match ingest(&mut receiver, &network, &shared, &stop) {
+            LinkEnd::Shutdown => {
+                retire();
+                return;
+            }
+            LinkEnd::Fatal(e) => {
+                record(e);
+                retire();
+                return;
+            }
+            LinkEnd::Lost => {}
+        }
+        // Park the write half (the socket is gone in both directions)
+        // and reconnect: capped exponential backoff with seeded jitter,
+        // bounded by the consecutive-failure budget.
+        lock(&shared.state).sender = None;
+        let mut attempt = 0u32;
+        receiver = loop {
+            if stop.load(Ordering::Relaxed) {
+                retire();
+                return;
+            }
+            if attempt >= RECONNECT_BUDGET {
+                record(SocketError::Disconnected {
+                    peer: "hub".to_string(),
+                });
+                retire();
+                return;
+            }
+            let exp = BACKOFF_BASE.saturating_mul(1 << attempt.min(10));
+            let base = exp.min(BACKOFF_CAP);
+            let delay =
+                base + Duration::from_millis(jitter.gen_range(1 + base.as_millis() as u64 / 2));
+            let until = Instant::now() + delay;
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    retire();
+                    return;
+                }
+                let now = Instant::now();
+                if now >= until {
+                    break;
+                }
+                std::thread::sleep((until - now).min(SLEEP_STEP));
+            }
+            match reconnector.connect(&shared) {
+                Ok(r) => break r,
+                Err(e @ SocketError::Resync { .. }) => {
+                    // The hub needs frames this side evicted (or vice
+                    // versa); retrying cannot help — floors only grow.
+                    record(e);
+                    retire();
+                    return;
+                }
+                Err(_) => attempt += 1,
+            }
+        };
+    }
+}
+
+/// Drains one connection's ingress until it ends (see [`LinkEnd`]).
+fn ingest(
+    receiver: &mut LinkReceiver,
+    network: &Network,
+    shared: &LinkShared,
+    stop: &AtomicBool,
+) -> LinkEnd {
+    loop {
+        match receiver.recv(None, Some(stop)) {
             Ok(Some(SocketFrame::Data {
                 src,
                 dst,
                 seq,
                 payload,
             })) => {
-                if let Err(v) = window.accept(&src, &dst, seq) {
-                    record(SocketError::Replay {
+                let verdict = lock(&shared.state).window.accept(&src, &dst, seq);
+                if let Err(v) = verdict {
+                    return LinkEnd::Fatal(SocketError::Replay {
                         link: format!("{src}->{dst}"),
                         seq: v.seq,
                         expected: v.expected,
                     });
-                    network.close(&own);
-                    return;
                 }
                 // Delivery failures mirror in-process semantics: a
                 // closed local mailbox means the actor is done.
@@ -342,24 +672,28 @@ fn read_loop(
             Ok(Some(SocketFrame::Close { name })) => {
                 network.close(&name);
             }
-            Ok(Some(SocketFrame::Bye)) | Ok(None) => {
-                // Hub gone (orderly or not): nothing further can arrive,
-                // so the hosted node's mailbox is effectively closed.
-                network.close(&own);
-                return;
+            Ok(Some(SocketFrame::Bye)) => {
+                // Orderly hub sign-off: nothing further can arrive.
+                return LinkEnd::Shutdown;
+            }
+            Ok(None) => {
+                // EOF: a stop request reads as EOF too — that is the
+                // orderly teardown; a real EOF is an abrupt loss.
+                if stop.load(Ordering::Relaxed) {
+                    return LinkEnd::Shutdown;
+                }
+                return LinkEnd::Lost;
             }
             Ok(Some(_)) => {
-                record(SocketError::Malformed {
+                return LinkEnd::Fatal(SocketError::Malformed {
                     link: receiver.label().to_string(),
                 });
-                network.close(&own);
-                return;
             }
-            Err(e) => {
-                record(e);
-                network.close(&own);
-                return;
-            }
+            // Transport-level errors are connection churn (the resumed
+            // link re-proves integrity from scratch)...
+            Err(SocketError::Io(_)) => return LinkEnd::Lost,
+            // ...but record/framing violations are tampering evidence.
+            Err(e) => return LinkEnd::Fatal(e),
         }
     }
 }

@@ -80,11 +80,56 @@ pub enum SocketFrame {
         /// UTF-8 JSONL, one record per line (schema v2).
         jsonl: Vec<u8>,
     },
+    /// Peer → hub, immediately after the clock echo: the reconnecting
+    /// peer's delivered-so-far state, one entry per (src, dst) link its
+    /// ingress window has seen. `next` is the count of frames delivered
+    /// in order — i.e. the next `seq` the peer will accept. Empty on a
+    /// first connection.
+    Resume {
+        /// The node name the peer hosts (must match the auth name).
+        src: String,
+        /// (link src, link dst, next expected seq) per known link.
+        windows: Vec<(String, String, u64)>,
+    },
+    /// Hub → peer: the hub's own delivered-so-far state for links
+    /// originating at the peer, so the peer can prune its retransmit
+    /// buffer to frames the hub never delivered. Sent before any
+    /// retransmitted `Data`.
+    ResumeAck {
+        /// (link src, link dst, next expected seq) per known link.
+        windows: Vec<(String, String, u64)>,
+    },
 }
 
 /// Domain separator for auth-proof signatures, so a signature produced
 /// here can never be confused with a protocol-layer signature.
 pub const AUTH_DOMAIN: &[u8] = b"deta-socket-auth-v1";
+
+/// Retransmit-buffer cap, in frames, per endpoint. Both bridge sides
+/// bound their unacknowledged-frame buffers identically; past either
+/// cap the oldest frames are evicted and the per-link floor advances,
+/// so a later resume needing them fails with a structured `Resync`
+/// error instead of a silent gap.
+pub(crate) const RETRANSMIT_MAX_FRAMES: usize = 1024;
+
+/// Retransmit-buffer cap, in buffered payload bytes, per endpoint. The
+/// byte cap is the one that matters for model uploads: a count-only
+/// bound would happily pin hundreds of megabytes per seat.
+pub(crate) const RETRANSMIT_MAX_BYTES: usize = 8 * 1024 * 1024;
+
+static RETRANSMIT_ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Bench-only toggle: with buffering off, frames are forwarded but not
+/// retained, so a resume after an outage cannot replay them. Used to
+/// measure the fault-free overhead of the retransmit buffer; never
+/// disable it in a deployment that expects link churn.
+pub fn set_retransmit_buffering(on: bool) {
+    RETRANSMIT_ENABLED.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+pub(crate) fn retransmit_enabled() -> bool {
+    RETRANSMIT_ENABLED.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// The message an [`SocketFrame::AuthProof`] signature covers.
 pub fn auth_transcript(nonce: &[u8; 32], name: &str) -> Vec<u8> {
@@ -104,6 +149,35 @@ const TAG_BYE: u8 = 6;
 const TAG_CLOCK_PROBE: u8 = 7;
 const TAG_CLOCK_ECHO: u8 = 8;
 const TAG_TRACE_SHIP: u8 = 9;
+const TAG_RESUME: u8 = 10;
+const TAG_RESUME_ACK: u8 = 11;
+
+fn put_windows(out: &mut Vec<u8>, windows: &[(String, String, u64)]) {
+    // Link counts are bounded by the session roster squared; the clamp
+    // keeps the encoder total instead of panicking.
+    let len = u32::try_from(windows.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    for (src, dst, next) in windows.iter().take(len as usize) {
+        put_str(out, src);
+        put_str(out, dst);
+        out.extend_from_slice(&next.to_le_bytes());
+    }
+}
+
+fn read_windows(r: &mut Reader<'_>) -> Option<Vec<(String, String, u64)>> {
+    let len = r.u32()? as usize;
+    // Each entry consumes at least 12 bytes (two length prefixes plus
+    // the counter); a length prefix that promises more entries than the
+    // buffer could hold is rejected before any allocation.
+    if len > r.remaining() / 12 {
+        return None;
+    }
+    let mut windows = Vec::with_capacity(len);
+    for _ in 0..len {
+        windows.push((r.str()?, r.str()?, r.u64()?));
+    }
+    Some(windows)
+}
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     // Endpoint names are short; anything longer is clamped rather than
@@ -173,6 +247,10 @@ impl<'a> Reader<'a> {
     fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
 }
 
 impl SocketFrame {
@@ -229,6 +307,15 @@ impl SocketFrame {
                 out.extend_from_slice(&dropped.to_le_bytes());
                 put_bytes(&mut out, jsonl);
             }
+            SocketFrame::Resume { src, windows } => {
+                out.push(TAG_RESUME);
+                put_str(&mut out, src);
+                put_windows(&mut out, windows);
+            }
+            SocketFrame::ResumeAck { windows } => {
+                out.push(TAG_RESUME_ACK);
+                put_windows(&mut out, windows);
+            }
         }
         out
     }
@@ -267,6 +354,13 @@ impl SocketFrame {
                 name: r.str()?,
                 dropped: r.u64()?,
                 jsonl: r.bytes()?,
+            },
+            TAG_RESUME => SocketFrame::Resume {
+                src: r.str()?,
+                windows: read_windows(&mut r)?,
+            },
+            TAG_RESUME_ACK => SocketFrame::ResumeAck {
+                windows: read_windows(&mut r)?,
             },
             _ => return None,
         };
@@ -382,5 +476,26 @@ impl ReplayWindow {
                 seq: v.seq,
                 expected: v.expected,
             })
+    }
+
+    /// Every (src, dst, next expected seq) entry the window has seen —
+    /// the payload of a [`SocketFrame::Resume`]. Deterministic order
+    /// (the window is a `BTreeMap`).
+    pub fn snapshot(&self) -> Vec<(String, String, u64)> {
+        self.next
+            .iter()
+            .map(|((s, d), n)| (s.clone(), d.clone(), *n))
+            .collect()
+    }
+
+    /// [`ReplayWindow::snapshot`] restricted to links originating at
+    /// `src` — the payload of a [`SocketFrame::ResumeAck`], which must
+    /// only disclose state about the reconnecting peer's own traffic.
+    pub fn snapshot_from(&self, src: &str) -> Vec<(String, String, u64)> {
+        self.next
+            .iter()
+            .filter(|((s, _), _)| s == src)
+            .map(|((s, d), n)| (s.clone(), d.clone(), *n))
+            .collect()
     }
 }

@@ -82,8 +82,12 @@ fn arbitrary_name(g: &mut Gen) -> String {
     g.string_of("abcdefghijklmnopqrstuvwxyz-0123456789", 0, 24)
 }
 
+fn arbitrary_windows(g: &mut Gen) -> Vec<(String, String, u64)> {
+    g.vec_of(0, 6, |g| (arbitrary_name(g), arbitrary_name(g), g.u64()))
+}
+
 fn arbitrary_socket_frame(g: &mut Gen) -> SocketFrame {
-    match g.usize_in(0, 9) {
+    match g.usize_in(0, 11) {
         0 => SocketFrame::Data {
             src: arbitrary_name(g),
             dst: arbitrary_name(g),
@@ -109,8 +113,26 @@ fn arbitrary_socket_frame(g: &mut Gen) -> SocketFrame {
             dropped: g.u64(),
             jsonl: g.bytes(0, 400),
         },
+        8 => SocketFrame::Resume {
+            src: arbitrary_name(g),
+            windows: arbitrary_windows(g),
+        },
+        9 => SocketFrame::ResumeAck {
+            windows: arbitrary_windows(g),
+        },
         _ => SocketFrame::Bye,
     }
+}
+
+#[test]
+fn resume_window_count_cannot_force_allocation() {
+    // A Resume whose length prefix promises far more entries than the
+    // buffer holds must be rejected before any proportional allocation.
+    let mut evil = vec![10u8]; // TAG_RESUME
+    evil.extend_from_slice(&2u16.to_le_bytes());
+    evil.extend_from_slice(b"p0");
+    evil.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(SocketFrame::decode(&evil), None);
 }
 
 #[test]

@@ -204,6 +204,18 @@ pub enum SendVerdict {
         /// How many subsequent same-link deliveries to wait for.
         after: u32,
     },
+    /// Hold the message back until `after` further messages have been
+    /// delivered *anywhere* on the network, then deliver it. Unlike
+    /// [`SendVerdict::Delay`], release does not depend on the stalled
+    /// link carrying more traffic — any background flow (heartbeats,
+    /// other links) drains it, so the hold is transient whenever the
+    /// system is live at all. This is the link-restart model: the
+    /// transport buffers the frame and autonomously replays it once the
+    /// link heals, without the application having to resend.
+    Hold {
+        /// How many subsequent network-wide deliveries to wait for.
+        after: u32,
+    },
     /// Close the *sender's* endpoint (peer crash): the message is lost
     /// and the send fails with [`NetError::Closed`] naming the sender.
     /// The crashed node keeps its ability to send (its outgoing half is
@@ -247,13 +259,15 @@ struct Mailbox {
     closed: bool,
 }
 
-/// A message held back by [`SendVerdict::Delay`], waiting for `after`
-/// more deliveries on its (from, to) link.
+/// A message held back by [`SendVerdict::Delay`] or
+/// [`SendVerdict::Hold`], waiting for `after` more deliveries on its
+/// (from, to) link (`any == false`) or anywhere (`any == true`).
 struct Held {
     from: Arc<str>,
     to: String,
     payload: Vec<u8>,
     after: u32,
+    any: bool,
 }
 
 struct NetState {
@@ -455,12 +469,13 @@ impl Network {
                 );
             }
             // One more delivery happened on (from, to): advance held
-            // messages on that link and release the ripe ones, in the
+            // messages on that link — plus network-scoped holds, which
+            // count every delivery — and release the ripe ones, in the
             // order they were held.
             let mut i = 0;
             while i < st.held.len() {
-                let matches =
-                    st.held[i].from.as_ref() == from.as_ref() && st.held[i].to == to.as_str();
+                let matches = st.held[i].any
+                    || (st.held[i].from.as_ref() == from.as_ref() && st.held[i].to == to.as_str());
                 if matches {
                     st.held[i].after = st.held[i].after.saturating_sub(1);
                     if st.held[i].after == 0 {
@@ -513,7 +528,7 @@ impl Network {
                 self.deliver_locked(&mut st, from, to, alt);
                 Ok(())
             }
-            SendVerdict::Delay { after: 0 } => {
+            SendVerdict::Delay { after: 0 } | SendVerdict::Hold { after: 0 } => {
                 self.deliver_locked(&mut st, from, to, payload);
                 Ok(())
             }
@@ -523,6 +538,17 @@ impl Network {
                     to: to.to_string(),
                     payload,
                     after,
+                    any: false,
+                });
+                Ok(())
+            }
+            SendVerdict::Hold { after } => {
+                st.held.push(Held {
+                    from: Arc::clone(from),
+                    to: to.to_string(),
+                    payload,
+                    after,
+                    any: true,
                 });
                 Ok(())
             }
@@ -1098,6 +1124,43 @@ mod tests {
         a.send("b", &b"trigger"[..]).unwrap();
         let order: Vec<Vec<u8>> = b.drain().into_iter().map(|m| m.payload).collect();
         assert_eq!(order, vec![b"trigger".to_vec(), b"held".to_vec()]);
+    }
+
+    #[test]
+    fn fault_hold_releases_on_unrelated_traffic() {
+        let (net, _tap) = fault_net(vec![SendVerdict::Hold { after: 1 }]);
+        let a = net.register("a");
+        let c = net.register("c");
+        let b = net.register("b");
+        a.send("b", &b"held"[..]).unwrap();
+        assert_eq!(b.drain().len(), 0);
+        // Any delivery anywhere drains a network-scoped hold — the
+        // stalled link itself never has to carry another frame.
+        c.send("b", &b"other"[..]).unwrap();
+        let order: Vec<Vec<u8>> = b.drain().into_iter().map(|m| m.payload).collect();
+        assert_eq!(order, vec![b"other".to_vec(), b"held".to_vec()]);
+    }
+
+    #[test]
+    fn fault_hold_preserves_link_fifo_among_held() {
+        let (net, _tap) = fault_net(vec![
+            SendVerdict::Hold { after: 2 },
+            SendVerdict::Hold { after: 2 },
+        ]);
+        let a = net.register("a");
+        let c = net.register("c");
+        let b = net.register("b");
+        a.send("b", &b"1"[..]).unwrap();
+        a.send("b", &b"2"[..]).unwrap();
+        // The release is itself a delivery, so one trigger cascades the
+        // whole buffer out in the order it was held.
+        c.send("b", &b"x"[..]).unwrap();
+        c.send("b", &b"y"[..]).unwrap();
+        let order: Vec<Vec<u8>> = b.drain().into_iter().map(|m| m.payload).collect();
+        assert_eq!(
+            order,
+            vec![b"x".to_vec(), b"y".to_vec(), b"1".to_vec(), b"2".to_vec()]
+        );
     }
 
     #[test]

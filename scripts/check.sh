@@ -34,6 +34,13 @@ echo "==> socket throughput (in-process vs TCP loopback at k=1/2/4, parity-gated
 # in-process twin before timing is reported.
 cargo run --release -q -p deta-bench --bin socket_throughput
 
+echo "==> reconnect latency (retransmit-buffer gate: <2% fault-free overhead, parity-gated severs)"
+# Writes BENCH_reconnect.json to a temp dir (DETA_BENCH_REWRITE=1 to
+# refresh results/); runs the bridged session with buffering on/off and
+# under injected TCP severs, asserting bit-exact metrics throughout and
+# exiting non-zero if the fault-free buffering overhead reaches 2%.
+cargo run --release -q -p deta-bench --bin reconnect_latency
+
 echo "==> adversarial drills (>=10 attacks, each must be rejected with the right error)"
 # Regenerates the drill report to a temp path and diffs it against the
 # committed results/SECURITY_DRILLS.md: any FAIL row, any new drill, or
@@ -80,6 +87,33 @@ if ! diff /tmp/deta-smoke-local.txt /tmp/deta-smoke-remote.txt; then
   exit 1
 fi
 echo "    parity ok: $(grep -c '^round ' /tmp/deta-smoke-local.txt) rounds bit-identical"
+
+echo "==> link-chaos smoke (hub severs a party's TCP link twice; run must stay bit-identical)"
+# Same workload as the parity smoke plus a chaos plan: the hub cuts
+# party-1's connection abruptly (no Bye) after its 2nd and 5th ingress
+# frames. Reconnect + resume must make the severs invisible — the
+# stdout (every round's metrics and byte counts) is diffed byte-for-byte
+# against the fault-free multi-process run.
+CHAOS_CFG="$(mktemp /tmp/deta-chaos-XXXXXX.cfg)"
+cat > "$CHAOS_CFG" <<'CFG'
+dataset            = mnist
+resolution         = 8
+model              = mlp
+parties            = 3
+aggregators        = 2
+rounds             = 2
+algorithm          = avg
+seed               = 42
+examples_per_party = 40
+chaos_severs       = party-1@2,party-1@5
+CFG
+timeout 300 ./target/release/deta-cli cluster "$CHAOS_CFG" > /tmp/deta-chaos-smoke.txt
+rm -f "$CHAOS_CFG"
+if ! diff /tmp/deta-smoke-remote.txt /tmp/deta-chaos-smoke.txt; then
+  echo "FAIL: round metrics diverged under link chaos" >&2
+  exit 1
+fi
+echo "    chaos ok: 2 severs of party-1 fully absorbed, output bit-identical"
 
 echo "==> multi-process trace smoke (deta-cli trace: merged timeline + critical path)"
 # The traced twin of the parity smoke at the paper's 4-party / k=2
